@@ -1,0 +1,36 @@
+//! Fig. 5 — runtime breakdown of the PaKman assembly phases.
+//!
+//! Benchmarks the end-to-end software pipeline and prints the per-phase shares
+//! (the paper reports compaction ≈ 48 %, k-mer counting ≈ 25 %, MacroNode
+//! construction ≈ 24 %, graph walk ≈ 1 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
+use nmp_pak_pakman::{PakmanAssembler, PakmanConfig};
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare_experiments(BenchScale::from_env());
+    println!("\nFig. 5 — phase runtime shares:");
+    for row in exp.fig5_phase_breakdown() {
+        println!("  {:<36} {}", row.label, pct(row.value));
+    }
+
+    let reads = exp.workload.reads.clone();
+    let config = PakmanConfig {
+        record_trace: false,
+        ..exp.assembler.pakman
+    };
+    let mut group = c.benchmark_group("fig05_phase_breakdown");
+    group.sample_size(10);
+    group.bench_function("end_to_end_assembly", |b| {
+        b.iter(|| {
+            PakmanAssembler::new(config)
+                .assemble(std::hint::black_box(&reads))
+                .expect("assembly succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 6 — Iterative Compaction stall-time breakdown on the CPU baseline.
+//!
+//! The paper reports mem-dram ≈ 54 %, sync-futex ≈ 39 %, with base/branch/mem-l3 in
+//! the low single digits. Benchmarks the CPU-model simulation of the compaction trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
+use nmp_pak_memsim::cpu::simulate_cpu_compaction;
+use nmp_pak_memsim::{CpuConfig, DramConfig, ProcessFlow};
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare_experiments(BenchScale::from_env());
+    let stall = exp.fig6_stall_breakdown();
+    println!("\nFig. 6 — compaction stall breakdown (CPU baseline):");
+    for (label, value) in [
+        ("base", stall.base),
+        ("branch", stall.branch),
+        ("mem-l3", stall.mem_l3),
+        ("mem-dram", stall.mem_dram),
+        ("sync-futex", stall.sync_futex),
+        ("other", stall.other),
+    ] {
+        println!("  {label:<12} {}", pct(value));
+    }
+
+    let trace = exp.trace.clone();
+    let layout = exp.layout.clone();
+    let mut group = c.benchmark_group("fig06_stall_breakdown");
+    group.sample_size(20);
+    group.bench_function("cpu_baseline_simulation", |b| {
+        b.iter(|| {
+            simulate_cpu_compaction(
+                std::hint::black_box(&trace),
+                &layout,
+                ProcessFlow::Baseline,
+                &DramConfig::default(),
+                &CpuConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

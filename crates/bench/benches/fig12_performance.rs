@@ -1,0 +1,37 @@
+//! Figs. 12 and 13 — normalized performance and memory-bandwidth utilization of every
+//! execution backend.
+//!
+//! The paper reports (normalized to the CPU baseline): W/O SW-opt 0.09×, GPU 2.8×,
+//! CPU-PaK 2.6×, NMP-PaK 16×, ideal-PE 16×, ideal-forwarding 18.2×; bandwidth
+//! utilization 6.5 % / 7 % / 44 %. Benchmarks the NMP-system simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
+use nmp_pak_memsim::CpuConfig;
+use nmp_pak_nmphw::{NmpConfig, NmpSystem};
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare_experiments(BenchScale::from_env());
+    println!("\nFig. 12 — performance normalized to the CPU baseline:");
+    for row in exp.fig12_normalized_performance() {
+        println!("  {:<22} {:>6.2}x", row.label, row.value);
+    }
+    println!("\nFig. 13 — memory bandwidth utilization:");
+    for row in exp.fig13_bandwidth_utilization() {
+        println!("  {:<22} {:>7}", row.label, pct(row.value));
+    }
+
+    let trace = exp.trace.clone();
+    let layout = exp.layout.clone();
+    let dram = exp.assembler.system.dram;
+    let mut group = c.benchmark_group("fig12_performance");
+    group.sample_size(20);
+    group.bench_function("nmp_system_simulation", |b| {
+        let system = NmpSystem::new(NmpConfig::default(), dram, CpuConfig::default());
+        b.iter(|| system.simulate(std::hint::black_box(&trace), &layout))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 14 — read/write memory traffic of each backend, normalized to the CPU
+//! baseline's reads.
+//!
+//! The paper reports reads 1.0 → 0.5 (0.41 with ideal forwarding) and writes
+//! 0.44 → 0.11. Benchmarks the trace-to-request expansion for both process flows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmp_pak_bench::{prepare_experiments, BenchScale};
+use nmp_pak_memsim::traffic::summarize_trace;
+use nmp_pak_memsim::ProcessFlow;
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare_experiments(BenchScale::from_env());
+    println!("\nFig. 14 — traffic normalized to CPU-baseline reads:");
+    println!("  {:<22}{:>10}{:>10}", "backend", "reads", "writes");
+    for (label, reads, writes) in exp.fig14_traffic() {
+        println!("  {label:<22}{reads:>10.2}{writes:>10.2}");
+    }
+
+    let trace = exp.trace.clone();
+    let layout = exp.layout.clone();
+    let mut group = c.benchmark_group("fig14_traffic");
+    group.sample_size(30);
+    group.bench_function("baseline_flow_expansion", |b| {
+        b.iter(|| summarize_trace(std::hint::black_box(&trace), &layout, ProcessFlow::Baseline))
+    });
+    group.bench_function("optimized_flow_expansion", |b| {
+        b.iter(|| summarize_trace(std::hint::black_box(&trace), &layout, ProcessFlow::Optimized))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 15 — NMP-PaK performance as the number of PEs per channel varies, plus the
+//! §6.3 communication-locality breakdown.
+//!
+//! The paper reports 0.3× / 0.7× / 1.4× / 5.6× / 15.9× / 16× / 16× for 1–64 PEs per
+//! channel, saturating at 32 (16 being the cost-effective choice), and 12.5 %
+//! intra-DIMM vs 87.5 % inter-DIMM TransferNode communication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
+use nmp_pak_memsim::CpuConfig;
+use nmp_pak_nmphw::{NmpConfig, NmpSystem};
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare_experiments(BenchScale::from_env());
+    println!("\nFig. 15 — NMP-PaK performance vs PEs per channel:");
+    for row in exp.fig15_pe_sweep(&[1, 2, 4, 8, 16, 32, 64]) {
+        println!("  {:<10} {:>6.2}x", row.label, row.value);
+    }
+    let comm = exp.comm_breakdown();
+    println!("\n§6.3 — communication locality:");
+    println!("  intra-DIMM {}", pct(comm.intra_dimm_fraction()));
+    println!("  inter-DIMM {}", pct(comm.inter_dimm_fraction()));
+    println!(
+        "  of intra-DIMM, cross-PE {}",
+        pct(comm.cross_pe_fraction_of_intra())
+    );
+
+    let trace = exp.trace.clone();
+    let layout = exp.layout.clone();
+    let dram = exp.assembler.system.dram;
+    let mut group = c.benchmark_group("fig15_pe_sweep");
+    group.sample_size(15);
+    for pes in [1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("pes_per_channel", pes), &pes, |b, &pes| {
+            let system = NmpSystem::new(
+                NmpConfig { pes_per_channel: pes, ..NmpConfig::default() },
+                dram,
+                CpuConfig::default(),
+            );
+            b.iter(|| system.simulate(std::hint::black_box(&trace), &layout))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

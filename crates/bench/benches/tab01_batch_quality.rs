@@ -1,0 +1,39 @@
+//! Table 1 — contig quality (N50) across batch sizes.
+//!
+//! The paper's trend: tiny batches (0.5–4 %, the sizes a GPU's memory can hold)
+//! degrade N50 by more than half, while ≈5–10 % batches approach full quality.
+//! Benchmarks one batched assembly at the 10 % batch size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmp_pak_bench::{prepare_experiments, BenchScale};
+use nmp_pak_pakman::BatchAssembler;
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare_experiments(BenchScale::from_env());
+    println!("\nTable 1 — N50 vs batch size:");
+    let fractions = [0.005, 0.01, 0.03, 0.04, 0.05, 0.10, 1.0];
+    match exp.table1_batch_quality(&fractions) {
+        Ok(rows) => {
+            for row in rows {
+                println!("  batch {:<8} N50 = {}", row.label, row.value as u64);
+            }
+        }
+        Err(err) => println!("  (unavailable: {err})"),
+    }
+
+    let reads = exp.workload.reads.clone();
+    let config = exp.assembler.pakman;
+    let mut group = c.benchmark_group("tab01_batch_quality");
+    group.sample_size(10);
+    group.bench_function("batched_assembly_10pct", |b| {
+        b.iter(|| {
+            BatchAssembler::new(config, 0.1)
+                .assemble(std::hint::black_box(&reads))
+                .expect("batched assembly succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! The top-level NMP-PaK assembler API.
+//!
+//! [`NmpPakAssembler::run`] performs the complete flow of the paper: run the
+//! software-optimized PaKman pipeline on the reads (recording the Iterative
+//! Compaction trace), lay the MacroNodes out across the DIMMs, and simulate the
+//! compaction phase on the selected execution backend. The result bundles the
+//! assembly output (contigs, N50, footprint) with the hardware-simulation result
+//! (runtime, traffic, bandwidth, communication locality).
+
+use crate::backend::{simulate_backend, BackendResult, ExecutionBackend, SystemConfig};
+use crate::workload::Workload;
+use nmp_pak_memsim::NodeLayout;
+use nmp_pak_pakman::{AssemblyOutput, PakmanAssembler, PakmanConfig, PakmanError};
+
+/// The complete result of one system run.
+#[derive(Debug)]
+pub struct SystemRun {
+    /// Software assembly output (contigs, quality, phase timings, compaction stats).
+    pub assembly: AssemblyOutput,
+    /// The MacroNode layout used by the hardware simulation.
+    pub layout: NodeLayout,
+    /// The backend simulation result for the Iterative Compaction phase.
+    pub backend_result: BackendResult,
+}
+
+/// Top-level assembler: software pipeline plus backend simulation.
+#[derive(Debug, Clone)]
+pub struct NmpPakAssembler {
+    /// PaKman software configuration.
+    pub pakman: PakmanConfig,
+    /// Machine configuration for the backend simulations.
+    pub system: SystemConfig,
+}
+
+impl Default for NmpPakAssembler {
+    fn default() -> Self {
+        NmpPakAssembler {
+            pakman: PakmanConfig {
+                k: 21,
+                min_kmer_count: 2,
+                compaction_node_threshold: 100,
+                threads: 4,
+                record_trace: true,
+                ..PakmanConfig::default()
+            },
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+impl NmpPakAssembler {
+    /// Creates an assembler with explicit configurations.
+    pub fn new(pakman: PakmanConfig, system: SystemConfig) -> Self {
+        let pakman = PakmanConfig {
+            record_trace: true,
+            ..pakman
+        };
+        NmpPakAssembler { pakman, system }
+    }
+
+    /// Runs the pipeline on `workload` and simulates compaction on `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and empty-input errors from the software pipeline.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        backend: ExecutionBackend,
+    ) -> Result<SystemRun, PakmanError> {
+        let assembly = PakmanAssembler::new(self.pakman).assemble(&workload.reads)?;
+        let trace = assembly
+            .trace
+            .clone()
+            .expect("trace recording is forced on by NmpPakAssembler");
+        let layout = NodeLayout::new(&trace.initial_sizes, &self.system.dram);
+        let backend_result = simulate_backend(
+            backend,
+            &trace,
+            &layout,
+            assembly.footprint.peak_bytes(),
+            &self.system,
+        );
+        Ok(SystemRun {
+            assembly,
+            layout,
+            backend_result,
+        })
+    }
+
+    /// Runs the software pipeline once and simulates every backend on the same trace,
+    /// returning results in [`ExecutionBackend::ALL`] order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the software pipeline.
+    pub fn run_all_backends(
+        &self,
+        workload: &Workload,
+    ) -> Result<(AssemblyOutput, Vec<BackendResult>), PakmanError> {
+        let assembly = PakmanAssembler::new(self.pakman).assemble(&workload.reads)?;
+        let trace = assembly
+            .trace
+            .clone()
+            .expect("trace recording is forced on by NmpPakAssembler");
+        let layout = NodeLayout::new(&trace.initial_sizes, &self.system.dram);
+        let results = ExecutionBackend::ALL
+            .iter()
+            .map(|&backend| {
+                simulate_backend(
+                    backend,
+                    &trace,
+                    &layout,
+                    assembly.footprint.peak_bytes(),
+                    &self.system,
+                )
+            })
+            .collect();
+        Ok((assembly, results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_contigs_and_a_backend_result() {
+        let workload = Workload::tiny(3).unwrap();
+        let assembler = NmpPakAssembler::default();
+        let run = assembler.run(&workload, ExecutionBackend::NmpPak).unwrap();
+        assert!(!run.assembly.contigs.is_empty());
+        assert!(run.backend_result.runtime_ns > 0.0);
+        assert!(run.layout.slot_count() > 0);
+        assert_eq!(run.backend_result.backend, ExecutionBackend::NmpPak);
+    }
+
+    #[test]
+    fn all_backends_share_the_same_software_trace() {
+        let workload = Workload::tiny(9).unwrap();
+        let assembler = NmpPakAssembler::default();
+        let (assembly, results) = assembler.run_all_backends(&workload).unwrap();
+        assert_eq!(results.len(), ExecutionBackend::ALL.len());
+        assert!(assembly.stats.total_length > 0);
+        // NMP-PaK outperforms the CPU baseline on the shared trace.
+        let cpu = results
+            .iter()
+            .find(|r| r.backend == ExecutionBackend::CpuBaseline)
+            .unwrap();
+        let nmp = results
+            .iter()
+            .find(|r| r.backend == ExecutionBackend::NmpPak)
+            .unwrap();
+        assert!(nmp.speedup_over(cpu) > 1.0);
+    }
+
+    #[test]
+    fn trace_recording_is_forced_on() {
+        let assembler = NmpPakAssembler::new(
+            PakmanConfig {
+                record_trace: false,
+                k: 17,
+                min_kmer_count: 1,
+                ..PakmanConfig::default()
+            },
+            SystemConfig::default(),
+        );
+        assert!(assembler.pakman.record_trace);
+    }
+}

@@ -1,0 +1,342 @@
+//! Execution backends (§5.3 of the paper).
+//!
+//! Iterative Compaction — the phase NMP-PaK accelerates — can be simulated on any of
+//! the paper's baseline and proposed configurations. All backends replay the same
+//! [`nmp_pak_pakman::CompactionTrace`], so they perform the same assembly work and
+//! differ only in where and how the MacroNode accesses execute.
+
+use nmp_pak_memsim::cpu::simulate_cpu_compaction;
+use nmp_pak_memsim::gpu::simulate_gpu_compaction;
+use nmp_pak_memsim::{
+    CpuConfig, DramConfig, GpuConfig, MemoryStats, NodeLayout, ProcessFlow, TrafficSummary,
+};
+use nmp_pak_nmphw::{CommStats, NmpConfig, NmpSystem};
+use nmp_pak_pakman::CompactionTrace;
+use serde::{Deserialize, Serialize};
+
+/// The execution configurations compared in Figs. 12–14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionBackend {
+    /// PaKman software before the §4.5 parallelism/memory optimizations
+    /// ("W/O SW-opt" in Fig. 12).
+    CpuBaselineUnoptimized,
+    /// The software-optimized PaKman on the host CPU with the original
+    /// sequential-stage process flow — the paper's **CPU baseline**.
+    CpuBaseline,
+    /// The NMP-PaK software optimizations (pipelined flow, batching) executed on the
+    /// CPU — the paper's **CPU-PaK**.
+    CpuPak,
+    /// An A100-class GPU running the optimized flow — the paper's **GPU baseline**.
+    GpuBaseline,
+    /// The proposed near-memory design — **NMP-PaK**.
+    NmpPak,
+    /// NMP-PaK with infinitely fast PEs (§5.3).
+    NmpIdealPe,
+    /// NMP-PaK with ideal P1→P3 forwarding logic (§5.3).
+    NmpIdealForwarding,
+}
+
+impl ExecutionBackend {
+    /// All backends, in the order Fig. 12 plots them.
+    pub const ALL: [ExecutionBackend; 7] = [
+        ExecutionBackend::CpuBaselineUnoptimized,
+        ExecutionBackend::CpuBaseline,
+        ExecutionBackend::GpuBaseline,
+        ExecutionBackend::CpuPak,
+        ExecutionBackend::NmpPak,
+        ExecutionBackend::NmpIdealPe,
+        ExecutionBackend::NmpIdealForwarding,
+    ];
+
+    /// The label used by the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionBackend::CpuBaselineUnoptimized => "W/O SW-opt",
+            ExecutionBackend::CpuBaseline => "CPU-baseline",
+            ExecutionBackend::CpuPak => "CPU-PaK",
+            ExecutionBackend::GpuBaseline => "GPU-baseline",
+            ExecutionBackend::NmpPak => "NMP-PaK",
+            ExecutionBackend::NmpIdealPe => "NMP-PaK+ideal-PE",
+            ExecutionBackend::NmpIdealForwarding => "NMP-PaK+ideal-fwd",
+        }
+    }
+}
+
+/// Machine configuration shared by every backend simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Main-memory organization (shared by the CPU host and the NMP DIMMs).
+    pub dram: DramConfig,
+    /// Host CPU parameters.
+    pub cpu: CpuConfig,
+    /// GPU baseline parameters.
+    pub gpu: GpuConfig,
+    /// NMP configuration for the proposed design.
+    pub nmp: NmpConfig,
+    /// Thread count modelling the unoptimized software's limited parallel sections
+    /// (the paper measures an ≈11.6× compaction slowdown before §4.5).
+    pub unoptimized_threads: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            dram: DramConfig::default(),
+            cpu: CpuConfig::default(),
+            gpu: GpuConfig::default(),
+            nmp: NmpConfig::default(),
+            unoptimized_threads: 6,
+        }
+    }
+}
+
+/// The outcome of simulating Iterative Compaction on one backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendResult {
+    /// Which backend produced this result.
+    pub backend: ExecutionBackend,
+    /// Simulated compaction runtime in nanoseconds.
+    pub runtime_ns: f64,
+    /// Read/write traffic.
+    pub traffic: TrafficSummary,
+    /// Memory statistics (achieved bandwidth over the run).
+    pub memory: MemoryStats,
+    /// Stall breakdown, for CPU backends.
+    pub stall: Option<nmp_pak_memsim::StallBreakdown>,
+    /// TransferNode routing locality, for NMP backends.
+    pub comm: Option<CommStats>,
+    /// `true` if the workload footprint exceeded the backend's memory capacity
+    /// (GPU baseline only).
+    pub capacity_exceeded: bool,
+}
+
+impl BackendResult {
+    /// Fraction of peak memory bandwidth achieved (Fig. 13).
+    pub fn bandwidth_utilization(&self) -> f64 {
+        self.memory.bandwidth_utilization()
+    }
+
+    /// Speedup of this backend over `baseline` (Fig. 12's normalization).
+    pub fn speedup_over(&self, baseline: &BackendResult) -> f64 {
+        if self.runtime_ns <= 0.0 {
+            return 0.0;
+        }
+        baseline.runtime_ns / self.runtime_ns
+    }
+}
+
+/// Simulates Iterative Compaction on `backend`.
+///
+/// `footprint_bytes` is the workload's peak memory footprint (used for the GPU
+/// capacity check).
+pub fn simulate_backend(
+    backend: ExecutionBackend,
+    trace: &CompactionTrace,
+    layout: &NodeLayout,
+    footprint_bytes: u64,
+    config: &SystemConfig,
+) -> BackendResult {
+    match backend {
+        ExecutionBackend::CpuBaselineUnoptimized => {
+            let cpu = CpuConfig {
+                threads: config.unoptimized_threads,
+                ..config.cpu
+            };
+            let r = simulate_cpu_compaction(trace, layout, ProcessFlow::Baseline, &config.dram, &cpu);
+            from_cpu(backend, r)
+        }
+        ExecutionBackend::CpuBaseline => {
+            let r = simulate_cpu_compaction(
+                trace,
+                layout,
+                ProcessFlow::Baseline,
+                &config.dram,
+                &config.cpu,
+            );
+            from_cpu(backend, r)
+        }
+        ExecutionBackend::CpuPak => {
+            let r = simulate_cpu_compaction(
+                trace,
+                layout,
+                ProcessFlow::Optimized,
+                &config.dram,
+                &config.cpu,
+            );
+            from_cpu(backend, r)
+        }
+        ExecutionBackend::GpuBaseline => {
+            let r = simulate_gpu_compaction(trace, layout, &config.dram, &config.gpu, footprint_bytes);
+            BackendResult {
+                backend,
+                runtime_ns: r.runtime_ns,
+                traffic: r.traffic,
+                memory: r.memory,
+                stall: None,
+                comm: None,
+                capacity_exceeded: r.capacity_exceeded,
+            }
+        }
+        ExecutionBackend::NmpPak | ExecutionBackend::NmpIdealPe | ExecutionBackend::NmpIdealForwarding => {
+            let nmp_config = match backend {
+                ExecutionBackend::NmpIdealPe => NmpConfig {
+                    pe_variant: nmp_pak_nmphw::PeVariant::Ideal,
+                    ..config.nmp
+                },
+                ExecutionBackend::NmpIdealForwarding => NmpConfig {
+                    ideal_forwarding: true,
+                    ..config.nmp
+                },
+                _ => config.nmp,
+            };
+            let system = NmpSystem::new(nmp_config, config.dram, config.cpu);
+            let r = system.simulate(trace, layout);
+            BackendResult {
+                backend,
+                runtime_ns: r.runtime_ns,
+                traffic: r.traffic,
+                memory: r.memory,
+                stall: None,
+                comm: Some(r.comm),
+                capacity_exceeded: false,
+            }
+        }
+    }
+}
+
+fn from_cpu(backend: ExecutionBackend, r: nmp_pak_memsim::CpuRunResult) -> BackendResult {
+    BackendResult {
+        backend,
+        runtime_ns: r.runtime_ns,
+        traffic: r.traffic,
+        memory: r.memory,
+        stall: Some(r.stall),
+        comm: None,
+        capacity_exceeded: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_pakman::trace::{IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
+
+    fn synthetic() -> (CompactionTrace, NodeLayout) {
+        let nodes = 3_000usize;
+        let sizes: Vec<usize> = (0..nodes)
+            .map(|i| if i % 89 == 0 { 5_000 } else { 220 + (i % 8) * 100 })
+            .collect();
+        let mut trace = CompactionTrace::new(nodes, sizes.clone());
+        for it in 0..5 {
+            let alive = nodes - it * 400;
+            let checks: Vec<NodeCheck> = (0..alive)
+                .map(|slot| NodeCheck {
+                    slot,
+                    size_bytes: sizes[slot] + it * 24,
+                    invalidated: slot % 5 == 3,
+                })
+                .collect();
+            let transfers: Vec<TransferEvent> = checks
+                .iter()
+                .filter(|c| c.invalidated)
+                .flat_map(|c| {
+                    [
+                        TransferEvent {
+                            source_slot: c.slot,
+                            dest_slot: (c.slot * 7919 + 3) % alive,
+                            size_bytes: 48,
+                        },
+                        TransferEvent {
+                            source_slot: c.slot,
+                            dest_slot: (c.slot * 104_729 + 11) % alive,
+                            size_bytes: 48,
+                        },
+                    ]
+                })
+                .collect();
+            let updates: Vec<UpdateEvent> = transfers
+                .iter()
+                .map(|t| UpdateEvent {
+                    dest_slot: t.dest_slot,
+                    size_bytes: sizes[t.dest_slot] + 48,
+                })
+                .collect();
+            trace.iterations.push(IterationTrace { checks, transfers, updates });
+        }
+        let layout = NodeLayout::new(&sizes, &DramConfig::default());
+        (trace, layout)
+    }
+
+    #[test]
+    fn backend_ordering_matches_the_paper() {
+        let (trace, layout) = synthetic();
+        let cfg = SystemConfig::default();
+        let results: Vec<BackendResult> = ExecutionBackend::ALL
+            .iter()
+            .map(|&b| simulate_backend(b, &trace, &layout, 1 << 30, &cfg))
+            .collect();
+        let by = |b: ExecutionBackend| results.iter().find(|r| r.backend == b).unwrap();
+
+        let baseline = by(ExecutionBackend::CpuBaseline);
+        let unopt = by(ExecutionBackend::CpuBaselineUnoptimized);
+        let cpu_pak = by(ExecutionBackend::CpuPak);
+        let gpu = by(ExecutionBackend::GpuBaseline);
+        let nmp = by(ExecutionBackend::NmpPak);
+        let ideal_pe = by(ExecutionBackend::NmpIdealPe);
+        let ideal_fwd = by(ExecutionBackend::NmpIdealForwarding);
+
+        // Fig. 12's ordering: W/O SW-opt < CPU baseline < {CPU-PaK, GPU} < NMP ≤ ideal.
+        assert!(unopt.speedup_over(baseline) < 1.0);
+        assert!(cpu_pak.speedup_over(baseline) > 1.2);
+        assert!(gpu.speedup_over(baseline) > 1.2);
+        assert!(nmp.speedup_over(baseline) > cpu_pak.speedup_over(baseline));
+        assert!(nmp.speedup_over(baseline) > gpu.speedup_over(baseline));
+        assert!(nmp.speedup_over(baseline) > 5.0, "nmp speedup {}", nmp.speedup_over(baseline));
+        assert!(ideal_pe.speedup_over(baseline) >= nmp.speedup_over(baseline) * 0.95);
+        assert!(ideal_fwd.speedup_over(baseline) >= nmp.speedup_over(baseline));
+    }
+
+    #[test]
+    fn bandwidth_utilization_ordering() {
+        let (trace, layout) = synthetic();
+        let cfg = SystemConfig::default();
+        let cpu = simulate_backend(ExecutionBackend::CpuBaseline, &trace, &layout, 1 << 30, &cfg);
+        let nmp = simulate_backend(ExecutionBackend::NmpPak, &trace, &layout, 1 << 30, &cfg);
+        assert!(nmp.bandwidth_utilization() > 3.0 * cpu.bandwidth_utilization());
+    }
+
+    #[test]
+    fn traffic_ordering_matches_fig14() {
+        let (trace, layout) = synthetic();
+        let cfg = SystemConfig::default();
+        let cpu = simulate_backend(ExecutionBackend::CpuBaseline, &trace, &layout, 1 << 30, &cfg);
+        let cpu_pak = simulate_backend(ExecutionBackend::CpuPak, &trace, &layout, 1 << 30, &cfg);
+        let nmp = simulate_backend(ExecutionBackend::NmpPak, &trace, &layout, 1 << 30, &cfg);
+        let fwd =
+            simulate_backend(ExecutionBackend::NmpIdealForwarding, &trace, &layout, 1 << 30, &cfg);
+        // CPU-PaK and NMP-PaK share the optimized flow → identical traffic, below the baseline.
+        assert_eq!(cpu_pak.traffic, nmp.traffic);
+        assert!(nmp.traffic.read_bytes < cpu.traffic.read_bytes);
+        assert!(nmp.traffic.write_bytes < cpu.traffic.write_bytes);
+        // Ideal forwarding trims reads further but not writes.
+        assert!(fwd.traffic.read_bytes < nmp.traffic.read_bytes);
+        assert_eq!(fwd.traffic.write_bytes, nmp.traffic.write_bytes);
+    }
+
+    #[test]
+    fn gpu_capacity_flag_propagates() {
+        let (trace, layout) = synthetic();
+        let cfg = SystemConfig::default();
+        let ok = simulate_backend(ExecutionBackend::GpuBaseline, &trace, &layout, 1 << 30, &cfg);
+        assert!(!ok.capacity_exceeded);
+        let over = simulate_backend(ExecutionBackend::GpuBaseline, &trace, &layout, 500 << 30, &cfg);
+        assert!(over.capacity_exceeded);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            ExecutionBackend::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), ExecutionBackend::ALL.len());
+    }
+}

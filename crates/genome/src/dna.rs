@@ -1,0 +1,355 @@
+//! Growable, 2-bit-packed DNA sequences.
+
+use crate::base::Base;
+use crate::error::GenomeError;
+use std::fmt;
+
+/// A DNA sequence stored with 2 bits per base.
+///
+/// `DnaString` is the in-memory representation for reference genomes, reads and
+/// contigs. Four bases are packed per byte, which keeps the synthetic workloads used
+/// by the experiments an order of magnitude smaller than an ASCII representation —
+/// the same reason the paper packs k-mers into machine words.
+///
+/// # Example
+///
+/// ```
+/// use nmp_pak_genome::DnaString;
+///
+/// let s: DnaString = "ACGTACGT".parse().unwrap();
+/// assert_eq!(s.len(), 8);
+/// assert_eq!(s.to_string(), "ACGTACGT");
+/// assert_eq!(s.reverse_complement().to_string(), "ACGTACGT");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct DnaString {
+    /// Packed bases, 4 per byte, little-end first within each byte.
+    packed: Vec<u8>,
+    /// Number of bases stored.
+    len: usize,
+}
+
+impl DnaString {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        DnaString::default()
+    }
+
+    /// Creates an empty sequence with capacity for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DnaString {
+            packed: Vec::with_capacity(capacity.div_ceil(4)),
+            len: 0,
+        }
+    }
+
+    /// Builds a sequence from an ASCII string of `ACGT` characters (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidBase`] with the offending position for any other
+    /// character.
+    pub fn from_ascii(text: &str) -> Result<Self, GenomeError> {
+        let mut s = DnaString::with_capacity(text.len());
+        for (idx, c) in text.chars().enumerate() {
+            let base = Base::from_char(c).map_err(|_| GenomeError::InvalidBase {
+                character: c,
+                position: Some(idx),
+            })?;
+            s.push(base);
+        }
+        Ok(s)
+    }
+
+    /// Number of bases in the sequence.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the sequence contains no bases.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one base.
+    pub fn push(&mut self, base: Base) {
+        let byte_idx = self.len / 4;
+        let shift = (self.len % 4) * 2;
+        if byte_idx == self.packed.len() {
+            self.packed.push(0);
+        }
+        self.packed[byte_idx] |= (base.code() as u8) << shift;
+        self.len += 1;
+    }
+
+    /// Appends every base of `other`.
+    pub fn extend_from(&mut self, other: &DnaString) {
+        for i in 0..other.len() {
+            self.push(other.get(i).expect("index within other"));
+        }
+    }
+
+    /// Returns the base at `index`, or `None` if out of range.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        if index >= self.len {
+            return None;
+        }
+        let byte = self.packed[index / 4];
+        let shift = (index % 4) * 2;
+        Some(Base::from_code((byte >> shift) & 0b11))
+    }
+
+    /// Returns the base at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn base(&self, index: usize) -> Base {
+        self.get(index)
+            .unwrap_or_else(|| panic!("base index {index} out of range (len {})", self.len))
+    }
+
+    /// Iterates over the bases in order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { dna: self, pos: 0 }
+    }
+
+    /// Returns the sub-sequence `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the sequence.
+    pub fn slice(&self, start: usize, len: usize) -> DnaString {
+        assert!(
+            start + len <= self.len,
+            "slice [{start}, {}) out of range (len {})",
+            start + len,
+            self.len
+        );
+        let mut out = DnaString::with_capacity(len);
+        for i in start..start + len {
+            out.push(self.base(i));
+        }
+        out
+    }
+
+    /// Returns the reverse complement of the sequence.
+    pub fn reverse_complement(&self) -> DnaString {
+        let mut out = DnaString::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push(self.base(i).complement());
+        }
+        out
+    }
+
+    /// Fraction of bases that are G or C, in `[0, 1]`. Returns 0 for an empty sequence.
+    pub fn gc_content(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .iter()
+            .filter(|b| matches!(b, Base::G | Base::C))
+            .count();
+        gc as f64 / self.len as f64
+    }
+
+    /// Number of heap bytes used by the packed representation.
+    pub fn packed_size_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Converts the sequence to an ASCII `String` of `ACGT` characters.
+    pub fn to_ascii(&self) -> String {
+        self.iter().map(Base::to_char).collect()
+    }
+}
+
+impl fmt::Display for DnaString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", b.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DnaString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 64 {
+            write!(f, "DnaString(\"{self}\")")
+        } else {
+            write!(
+                f,
+                "DnaString(len={}, \"{}…\")",
+                self.len,
+                self.slice(0, 32)
+            )
+        }
+    }
+}
+
+impl std::str::FromStr for DnaString {
+    type Err = GenomeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnaString::from_ascii(s)
+    }
+}
+
+impl FromIterator<Base> for DnaString {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        let mut s = DnaString::new();
+        for b in iter {
+            s.push(b);
+        }
+        s
+    }
+}
+
+impl Extend<Base> for DnaString {
+    fn extend<T: IntoIterator<Item = Base>>(&mut self, iter: T) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DnaString {
+    type Item = Base;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the bases of a [`DnaString`], produced by [`DnaString::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    dna: &'a DnaString,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Base;
+
+    fn next(&mut self) -> Option<Base> {
+        let b = self.dna.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.dna.len.saturating_sub(self.pos);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut s = DnaString::new();
+        let bases = [Base::A, Base::C, Base::G, Base::T, Base::T, Base::G];
+        for b in bases {
+            s.push(b);
+        }
+        assert_eq!(s.len(), 6);
+        for (i, b) in bases.iter().enumerate() {
+            assert_eq!(s.base(i), *b);
+        }
+        assert_eq!(s.get(6), None);
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let text = "ACGTTGCAACGTTTTGGGGCCCCAAAA";
+        let s = DnaString::from_ascii(text).unwrap();
+        assert_eq!(s.to_ascii(), text);
+        assert_eq!(s.to_string(), text);
+    }
+
+    #[test]
+    fn from_ascii_reports_position_of_bad_base() {
+        let err = DnaString::from_ascii("ACGNX").unwrap_err();
+        match err {
+            GenomeError::InvalidBase { character, position } => {
+                assert_eq!(character, 'N');
+                assert_eq!(position, Some(3));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slice_extracts_expected_window() {
+        let s: DnaString = "ACGTACGTAC".parse().unwrap();
+        assert_eq!(s.slice(2, 4).to_string(), "GTAC");
+        assert_eq!(s.slice(0, 0).len(), 0);
+        assert_eq!(s.slice(9, 1).to_string(), "C");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let s: DnaString = "ACGT".parse().unwrap();
+        let _ = s.slice(2, 5);
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        let s: DnaString = "ACGGTTTACGATCG".parse().unwrap();
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn reverse_complement_known_value() {
+        let s: DnaString = "AACGT".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "ACGTT");
+    }
+
+    #[test]
+    fn gc_content_computed() {
+        let s: DnaString = "GGCC".parse().unwrap();
+        assert!((s.gc_content() - 1.0).abs() < 1e-12);
+        let s: DnaString = "AATT".parse().unwrap();
+        assert!(s.gc_content().abs() < 1e-12);
+        let s: DnaString = "ACGT".parse().unwrap();
+        assert!((s.gc_content() - 0.5).abs() < 1e-12);
+        assert_eq!(DnaString::new().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn packing_uses_quarter_byte_per_base() {
+        let s: DnaString = "ACGTACGTACGTACGT".parse().unwrap();
+        assert_eq!(s.packed_size_bytes(), 4);
+    }
+
+    #[test]
+    fn iterator_and_collect() {
+        let s: DnaString = "ACGT".parse().unwrap();
+        let collected: DnaString = s.iter().collect();
+        assert_eq!(collected, s);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a: DnaString = "ACG".parse().unwrap();
+        let b: DnaString = "TTT".parse().unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.to_string(), "ACGTTT");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", DnaString::new()).is_empty());
+        let long: DnaString = "ACGT".repeat(40).parse().unwrap();
+        assert!(format!("{long:?}").contains("len=160"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for the genome substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating DNA data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenomeError {
+    /// A character that is not one of `A`, `C`, `G`, `T` (case-insensitive) was encountered.
+    InvalidBase {
+        /// The offending character.
+        character: char,
+        /// Byte offset at which it was found, when known.
+        position: Option<usize>,
+    },
+    /// A k-mer length outside the supported `1..=32` range was requested.
+    InvalidK {
+        /// The requested k.
+        k: usize,
+    },
+    /// A sequence was too short for the requested operation (e.g. extracting k-mers
+    /// from a read shorter than k).
+    SequenceTooShort {
+        /// Length of the sequence that was provided.
+        actual: usize,
+        /// Minimum length required.
+        required: usize,
+    },
+    /// An invalid configuration value was supplied to a builder.
+    InvalidConfig {
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// FASTA/FASTQ text could not be parsed.
+    ParseError {
+        /// Line number (1-based) at which parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing sequence files.
+    Io {
+        /// Stringified `std::io::Error`, kept as a string so the error stays `Clone + Eq`.
+        message: String,
+    },
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::InvalidBase { character, position } => match position {
+                Some(pos) => write!(f, "invalid base '{character}' at position {pos}"),
+                None => write!(f, "invalid base '{character}'"),
+            },
+            GenomeError::InvalidK { k } => {
+                write!(f, "k-mer length {k} is outside the supported range 1..=32")
+            }
+            GenomeError::SequenceTooShort { actual, required } => write!(
+                f,
+                "sequence of length {actual} is shorter than the required {required}"
+            ),
+            GenomeError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            GenomeError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GenomeError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GenomeError {}
+
+impl From<std::io::Error> for GenomeError {
+    fn from(err: std::io::Error) -> Self {
+        GenomeError::Io {
+            message: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = GenomeError::InvalidBase {
+            character: 'N',
+            position: Some(12),
+        };
+        assert_eq!(err.to_string(), "invalid base 'N' at position 12");
+
+        let err = GenomeError::InvalidK { k: 64 };
+        assert!(err.to_string().contains("64"));
+
+        let err = GenomeError::SequenceTooShort {
+            actual: 10,
+            required: 32,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains("32"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: GenomeError = io.into();
+        assert!(err.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GenomeError>();
+    }
+}

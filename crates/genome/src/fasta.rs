@@ -1,0 +1,240 @@
+//! Minimal FASTA / FASTQ serialization.
+//!
+//! The real pipeline reads tens-of-GB FASTQ files; here the formats are supported so
+//! that the examples can persist synthetic datasets and contigs, and so the test suite
+//! can round-trip sequences through the on-disk representation.
+
+use crate::dna::DnaString;
+use crate::error::GenomeError;
+use crate::reads::SequencingRead;
+use std::io::{BufRead, Write};
+
+/// A named sequence record, as stored in a FASTA file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Record name (text after `>`).
+    pub name: String,
+    /// The sequence.
+    pub sequence: DnaString,
+}
+
+/// Writes FASTA records to `writer`, wrapping sequence lines at `width` characters.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[FastaRecord],
+    width: usize,
+) -> Result<(), GenomeError> {
+    let width = width.max(1);
+    for record in records {
+        writeln!(writer, ">{}", record.name)?;
+        let text = record.sequence.to_ascii();
+        for chunk in text.as_bytes().chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses FASTA records from `reader`.
+///
+/// # Errors
+///
+/// Returns [`GenomeError::ParseError`] for malformed input (sequence data before the
+/// first header or invalid bases) and propagates I/O errors.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, GenomeError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<(String, DnaString)> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            if let Some((n, s)) = current.take() {
+                records.push(FastaRecord { name: n, sequence: s });
+            }
+            current = Some((name.trim().to_string(), DnaString::new()));
+        } else {
+            let (_, seq) = current.as_mut().ok_or(GenomeError::ParseError {
+                line: lineno + 1,
+                message: "sequence data before the first '>' header".to_string(),
+            })?;
+            let parsed = DnaString::from_ascii(line).map_err(|e| GenomeError::ParseError {
+                line: lineno + 1,
+                message: e.to_string(),
+            })?;
+            seq.extend_from(&parsed);
+        }
+    }
+    if let Some((n, s)) = current.take() {
+        records.push(FastaRecord { name: n, sequence: s });
+    }
+    Ok(records)
+}
+
+/// Writes reads in FASTQ format (4 lines per read; Phred+33 qualities).
+///
+/// Reads without quality scores are written with a constant quality of 'I' (Q40).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_fastq<W: Write>(mut writer: W, reads: &[SequencingRead]) -> Result<(), GenomeError> {
+    for read in reads {
+        writeln!(writer, "@{}", read.id())?;
+        writeln!(writer, "{}", read.sequence())?;
+        writeln!(writer, "+")?;
+        if read.qualities().is_empty() {
+            let quals: String = std::iter::repeat('I').take(read.len()).collect();
+            writeln!(writer, "{quals}")?;
+        } else {
+            let quals: String = read
+                .qualities()
+                .iter()
+                .map(|q| (q.min(&93) + 33) as char)
+                .collect();
+            writeln!(writer, "{quals}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses reads from FASTQ text.
+///
+/// # Errors
+///
+/// Returns [`GenomeError::ParseError`] for truncated records or invalid bases.
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<SequencingRead>, GenomeError> {
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let mut reads = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        if i + 3 >= lines.len() {
+            return Err(GenomeError::ParseError {
+                line: i + 1,
+                message: "truncated fastq record".to_string(),
+            });
+        }
+        let id = lines[i]
+            .strip_prefix('@')
+            .ok_or(GenomeError::ParseError {
+                line: i + 1,
+                message: "expected '@' header".to_string(),
+            })?
+            .trim()
+            .to_string();
+        let sequence =
+            DnaString::from_ascii(lines[i + 1].trim()).map_err(|e| GenomeError::ParseError {
+                line: i + 2,
+                message: e.to_string(),
+            })?;
+        if !lines[i + 2].starts_with('+') {
+            return Err(GenomeError::ParseError {
+                line: i + 3,
+                message: "expected '+' separator".to_string(),
+            });
+        }
+        let qualities: Vec<u8> = lines[i + 3]
+            .trim()
+            .bytes()
+            .map(|b| b.saturating_sub(33))
+            .collect();
+        if qualities.len() != sequence.len() {
+            return Err(GenomeError::ParseError {
+                line: i + 4,
+                message: format!(
+                    "quality string length {} does not match sequence length {}",
+                    qualities.len(),
+                    sequence.len()
+                ),
+            });
+        }
+        let mut read = SequencingRead::with_provenance(id, sequence, qualities, 0, false);
+        // Plain FASTQ has no provenance; strip the placeholder origin.
+        read = SequencingRead::new(read.id().to_string(), read.sequence().clone());
+        reads.push(read);
+        i += 4;
+    }
+    Ok(reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn fasta_round_trip() {
+        let records = vec![
+            FastaRecord {
+                name: "contig_1".to_string(),
+                sequence: "ACGTACGTACGTACGT".parse().unwrap(),
+            },
+            FastaRecord {
+                name: "contig_2".to_string(),
+                sequence: "TTTTGGGGCCCCAAAA".parse().unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 8).unwrap();
+        let parsed = read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn fasta_wraps_lines() {
+        let records = vec![FastaRecord {
+            name: "x".to_string(),
+            sequence: "ACGTACGTACGT".parse().unwrap(),
+        }];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 4).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, ">x\nACGT\nACGT\nACGT\n");
+    }
+
+    #[test]
+    fn fasta_rejects_sequence_before_header() {
+        let err = read_fasta(Cursor::new("ACGT\n>x\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::ParseError { line: 1, .. }));
+    }
+
+    #[test]
+    fn fasta_rejects_invalid_bases() {
+        let err = read_fasta(Cursor::new(">x\nACGN\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::ParseError { line: 2, .. }));
+    }
+
+    #[test]
+    fn fastq_round_trip_preserves_sequences() {
+        let reads = vec![
+            SequencingRead::new("r1", "ACGTACGT".parse().unwrap()),
+            SequencingRead::new("r2", "GGGGTTTT".parse().unwrap()),
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &reads).unwrap();
+        let parsed = read_fastq(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id(), "r1");
+        assert_eq!(parsed[0].sequence(), reads[0].sequence());
+        assert_eq!(parsed[1].sequence(), reads[1].sequence());
+    }
+
+    #[test]
+    fn fastq_rejects_truncated_records() {
+        assert!(read_fastq(Cursor::new("@r1\nACGT\n+")).is_err());
+        assert!(read_fastq(Cursor::new("@r1\nACGT\nX\nIIII\n")).is_err());
+        assert!(read_fastq(Cursor::new("@r1\nACGT\n+\nII\n")).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Sequencing reads.
+
+use crate::dna::DnaString;
+
+/// A single short sequencing read (Illumina-style, ~100 bp in the paper's setup).
+///
+/// A read records where it was sampled from and whether it came from the reverse
+/// strand, which the tests use to validate the simulator; the assembler itself only
+/// looks at [`SequencingRead::sequence`].
+///
+/// # Example
+///
+/// ```
+/// use nmp_pak_genome::{DnaString, SequencingRead};
+///
+/// let read = SequencingRead::new("read_0", "ACGTACGT".parse::<DnaString>().unwrap());
+/// assert_eq!(read.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencingRead {
+    id: String,
+    sequence: DnaString,
+    /// Per-base Phred quality scores; empty when not simulated.
+    qualities: Vec<u8>,
+    /// 0-based position on the reference the read was sampled from, if known.
+    origin: Option<usize>,
+    /// True if the read was sampled from the reverse-complement strand.
+    reverse_strand: bool,
+}
+
+impl SequencingRead {
+    /// Creates a read with the given identifier and sequence.
+    pub fn new(id: impl Into<String>, sequence: DnaString) -> Self {
+        SequencingRead {
+            id: id.into(),
+            sequence,
+            qualities: Vec::new(),
+            origin: None,
+            reverse_strand: false,
+        }
+    }
+
+    /// Creates a read annotated with simulation provenance.
+    pub fn with_provenance(
+        id: impl Into<String>,
+        sequence: DnaString,
+        qualities: Vec<u8>,
+        origin: usize,
+        reverse_strand: bool,
+    ) -> Self {
+        SequencingRead {
+            id: id.into(),
+            sequence,
+            qualities,
+            origin: Some(origin),
+            reverse_strand,
+        }
+    }
+
+    /// The read identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The read sequence.
+    pub fn sequence(&self) -> &DnaString {
+        &self.sequence
+    }
+
+    /// Per-base Phred quality scores (empty if not available).
+    pub fn qualities(&self) -> &[u8] {
+        &self.qualities
+    }
+
+    /// The 0-based reference position the read was sampled from, if known.
+    pub fn origin(&self) -> Option<usize> {
+        self.origin
+    }
+
+    /// Whether the read was sampled from the reverse strand.
+    pub fn is_reverse_strand(&self) -> bool {
+        self.reverse_strand
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Returns `true` if the read is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_read_has_no_provenance() {
+        let read = SequencingRead::new("r1", "ACGT".parse().unwrap());
+        assert_eq!(read.id(), "r1");
+        assert_eq!(read.len(), 4);
+        assert!(!read.is_empty());
+        assert_eq!(read.origin(), None);
+        assert!(!read.is_reverse_strand());
+        assert!(read.qualities().is_empty());
+    }
+
+    #[test]
+    fn provenance_is_recorded() {
+        let read = SequencingRead::with_provenance(
+            "r2",
+            "ACGT".parse().unwrap(),
+            vec![30, 30, 30, 30],
+            1234,
+            true,
+        );
+        assert_eq!(read.origin(), Some(1234));
+        assert!(read.is_reverse_strand());
+        assert_eq!(read.qualities().len(), 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Event-driven DRAM replay model (the Ramulator stand-in).
+//!
+//! The model tracks per-bank row-buffer state and per-channel data-bus occupancy and
+//! replays a request stream with a configurable number of outstanding requests
+//! (memory-level parallelism) and a per-request issue gap (the requester's think
+//! time). Low parallelism reproduces the latency-bound behaviour of the CPU baseline;
+//! high parallelism (many PEs streaming MacroNodes concurrently) reproduces the
+//! bandwidth-driven behaviour of the NMP design.
+
+use crate::address::AddressMapping;
+use crate::config::DramConfig;
+use crate::request::MemRequest;
+use crate::stats::MemoryStats;
+use std::collections::VecDeque;
+
+/// Per-bank state: the open row and the cycle at which the bank is next available.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    ready_cycle: u64,
+}
+
+/// The DRAM system model.
+#[derive(Debug, Clone)]
+pub struct DramSystem {
+    config: DramConfig,
+    mapping: AddressMapping,
+}
+
+/// Requester-side replay parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayWindow {
+    /// Maximum outstanding requests (memory-level parallelism of the requester).
+    pub max_outstanding: usize,
+    /// Cycles of requester think time between consecutive issues.
+    pub issue_gap_cycles: u64,
+}
+
+impl Default for ReplayWindow {
+    fn default() -> Self {
+        ReplayWindow {
+            max_outstanding: 16,
+            issue_gap_cycles: 0,
+        }
+    }
+}
+
+impl DramSystem {
+    /// Creates a DRAM system with the given configuration and per-DIMM capacity (used
+    /// for address decomposition).
+    pub fn new(config: DramConfig, dimm_capacity: u64) -> Self {
+        DramSystem {
+            config,
+            mapping: AddressMapping::new(config, dimm_capacity),
+        }
+    }
+
+    /// The DRAM configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapping in use.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Replays `requests` in order with the given requester window, returning traffic
+    /// and timing statistics.
+    pub fn replay(&self, requests: &[MemRequest], window: ReplayWindow) -> MemoryStats {
+        let timings = self.config.timings;
+        let line = self.config.line_bytes as u64;
+        let mut banks = vec![BankState::default(); self.config.total_banks()];
+        let mut channel_busy = vec![0u64; self.config.channels];
+        let mut in_flight: VecDeque<u64> = VecDeque::new();
+        let max_outstanding = window.max_outstanding.max(1);
+
+        let mut stats = MemoryStats {
+            peak_bandwidth_gbps: self.config.total_peak_bandwidth_gbps(),
+            ..MemoryStats::default()
+        };
+        let mut issue_cycle = 0u64;
+        let mut last_completion = 0u64;
+
+        for req in requests {
+            // Respect the outstanding-request window: block until the oldest request
+            // retires if the window is full.
+            if in_flight.len() >= max_outstanding {
+                let oldest = in_flight.pop_front().expect("window non-empty");
+                issue_cycle = issue_cycle.max(oldest);
+            }
+
+            // Every line of the request is a separate burst.
+            let lines = (req.size_bytes as u64).div_ceil(line).max(1);
+            let mut req_completion = issue_cycle;
+            for l in 0..lines {
+                let addr = req.addr + l * line;
+                let loc = self.mapping.locate(addr);
+                let flat = self.mapping.flat_bank(loc);
+                let bank = &mut banks[flat];
+
+                let (latency, hit) = match bank.open_row {
+                    Some(row) if row == loc.row => (timings.hit_latency(), true),
+                    Some(_) => (timings.conflict_latency(), false),
+                    None => (timings.closed_latency(), false),
+                };
+                if hit {
+                    stats.row_hits += 1;
+                } else {
+                    stats.row_misses += 1;
+                }
+
+                let start = issue_cycle.max(bank.ready_cycle).max(channel_busy[loc.channel]);
+                let done = start + latency;
+                // The data bus is occupied for the burst at the tail of the access.
+                channel_busy[loc.channel] = done - timings.burst_cycles + timings.t_ccd.min(timings.burst_cycles);
+                bank.ready_cycle = done;
+                bank.open_row = Some(loc.row);
+                req_completion = req_completion.max(done);
+            }
+
+            if req.is_write() {
+                stats.write_lines += lines;
+                stats.write_bytes += req.size_bytes as u64;
+            } else {
+                stats.read_lines += lines;
+                stats.read_bytes += req.size_bytes as u64;
+            }
+
+            in_flight.push_back(req_completion);
+            last_completion = last_completion.max(req_completion);
+            issue_cycle += window.issue_gap_cycles.max(1);
+        }
+
+        stats.elapsed_ns = last_completion as f64 * self.config.cycle_ns();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::MemRequest;
+
+    fn system() -> DramSystem {
+        DramSystem::new(DramConfig::default(), 1 << 30)
+    }
+
+    fn sequential_reads(n: usize, stride: u64) -> Vec<MemRequest> {
+        (0..n)
+            .map(|i| MemRequest::read(i as u64 * stride, 64, i))
+            .collect()
+    }
+
+    #[test]
+    fn empty_replay_is_zero() {
+        let stats = system().replay(&[], ReplayWindow::default());
+        assert_eq!(stats.total_bytes(), 0);
+        assert_eq!(stats.elapsed_ns, 0.0);
+    }
+
+    #[test]
+    fn sequential_same_row_accesses_hit_the_row_buffer() {
+        let stats = system().replay(&sequential_reads(64, 64), ReplayWindow::default());
+        // First access opens the row; the rest of the 8 KB page hits.
+        assert!(stats.row_hit_rate() > 0.9, "hit rate {}", stats.row_hit_rate());
+        assert_eq!(stats.read_lines, 64);
+        assert_eq!(stats.read_bytes, 64 * 64);
+    }
+
+    #[test]
+    fn random_far_accesses_miss_the_row_buffer() {
+        // Stride of 8 KB within one bank-stripe pattern → every access lands in a new page.
+        let stats = system().replay(&sequential_reads(64, 8192 * 33), ReplayWindow::default());
+        assert!(stats.row_hit_rate() < 0.1);
+    }
+
+    #[test]
+    fn more_parallelism_is_never_slower() {
+        let reqs = sequential_reads(2_000, 4096);
+        let narrow = system().replay(
+            &reqs,
+            ReplayWindow { max_outstanding: 1, issue_gap_cycles: 0 },
+        );
+        let wide = system().replay(
+            &reqs,
+            ReplayWindow { max_outstanding: 64, issue_gap_cycles: 0 },
+        );
+        assert!(wide.elapsed_ns <= narrow.elapsed_ns);
+        assert!(wide.bandwidth_utilization() >= narrow.bandwidth_utilization());
+    }
+
+    #[test]
+    fn utilization_rises_with_parallelism() {
+        // Spread requests across all channels (1 GB per DIMM capacity).
+        let reqs: Vec<MemRequest> = (0..4_000)
+            .map(|i| MemRequest::read((i as u64 % 8) * (1 << 30) + (i as u64 / 8) * 64, 64, i))
+            .collect();
+        let narrow = system().replay(
+            &reqs,
+            ReplayWindow { max_outstanding: 1, issue_gap_cycles: 4 },
+        );
+        let wide = system().replay(
+            &reqs,
+            ReplayWindow { max_outstanding: 256, issue_gap_cycles: 1 },
+        );
+        assert!(
+            wide.bandwidth_utilization() > 4.0 * narrow.bandwidth_utilization(),
+            "narrow {} wide {}",
+            narrow.bandwidth_utilization(),
+            wide.bandwidth_utilization()
+        );
+    }
+
+    #[test]
+    fn writes_are_accounted_separately() {
+        let reqs = vec![
+            MemRequest::read(0, 256, 0),
+            MemRequest::write(4096, 128, 1),
+        ];
+        let stats = system().replay(&reqs, ReplayWindow::default());
+        assert_eq!(stats.read_bytes, 256);
+        assert_eq!(stats.write_bytes, 128);
+        assert_eq!(stats.read_lines, 4);
+        assert_eq!(stats.write_lines, 2);
+    }
+
+    #[test]
+    fn multi_line_requests_touch_multiple_lines() {
+        let reqs = vec![MemRequest::read(0, 1024, 0)];
+        let stats = system().replay(&reqs, ReplayWindow::default());
+        assert_eq!(stats.read_lines, 16);
+    }
+}

@@ -1,0 +1,356 @@
+//! Customized batch processing (§4.4 of the paper).
+//!
+//! The input read set is partitioned into batches that are assembled sequentially;
+//! each batch's compacted PaK-graph is kept (they are small — tens of MB in the
+//! paper) and all of them are merged before the final graph walk. This trades a
+//! lower peak memory footprint against contig quality: very small batches fragment
+//! the graph (k-mers split across batches fall below the pruning threshold, and the
+//! per-batch compaction takes divergent routes), which is the N50-vs-batch-size
+//! trade-off of Table 1.
+
+use crate::compaction::CompactionStats;
+use crate::config::PakmanConfig;
+use crate::contig::{AssemblyStats, Contig};
+use crate::error::PakmanError;
+use crate::graph::PakGraph;
+use crate::memory::MemoryFootprint;
+use crate::pipeline::{PakmanAssembler, PhaseTimings};
+use crate::walk::generate_contigs;
+use nmp_pak_genome::SequencingRead;
+
+/// A plan dividing a read set into batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Read-index ranges, one per batch.
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl BatchPlan {
+    /// Splits `read_count` reads into batches of `batch_fraction` of the input each
+    /// (e.g. `0.1` → 10 batches). A fraction of 1.0 (or ≥ 1.0) yields a single batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::InvalidConfig`] if the fraction is not positive or the
+    /// read count is zero.
+    pub fn by_fraction(read_count: usize, batch_fraction: f64) -> Result<BatchPlan, PakmanError> {
+        if read_count == 0 {
+            return Err(PakmanError::InvalidConfig {
+                message: "cannot plan batches over zero reads".to_string(),
+            });
+        }
+        if !(batch_fraction > 0.0) {
+            return Err(PakmanError::InvalidConfig {
+                message: format!("batch fraction {batch_fraction} must be positive"),
+            });
+        }
+        let fraction = batch_fraction.min(1.0);
+        let batch_count = (1.0 / fraction).round().max(1.0) as usize;
+        let base = read_count / batch_count;
+        let remainder = read_count % batch_count;
+        let mut ranges = Vec::with_capacity(batch_count);
+        let mut start = 0usize;
+        for i in 0..batch_count {
+            let len = base + usize::from(i < remainder);
+            if len == 0 {
+                continue;
+            }
+            ranges.push(start..start + len);
+            start += len;
+        }
+        Ok(BatchPlan { ranges })
+    }
+
+    /// Number of batches.
+    pub fn batch_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The read-index ranges, one per batch.
+    pub fn ranges(&self) -> &[std::ops::Range<usize>] {
+        &self.ranges
+    }
+}
+
+/// Output of a batched assembly run.
+#[derive(Debug, Clone)]
+pub struct BatchAssemblyOutput {
+    /// Contigs generated from the merged compacted graph.
+    pub contigs: Vec<Contig>,
+    /// Assembly-quality statistics.
+    pub stats: AssemblyStats,
+    /// Per-batch compaction statistics.
+    pub batch_compaction: Vec<CompactionStats>,
+    /// Per-batch phase timings.
+    pub batch_timings: Vec<PhaseTimings>,
+    /// Peak footprint of the largest single batch (the batched peak, §4.4).
+    pub peak_batch_footprint: MemoryFootprint,
+    /// Footprint the same workload would need without batching.
+    pub unbatched_footprint: MemoryFootprint,
+    /// The merged compacted graph.
+    pub merged_graph: PakGraph,
+}
+
+impl BatchAssemblyOutput {
+    /// Memory-footprint reduction achieved by batching (unbatched / batched peak).
+    pub fn footprint_reduction(&self) -> f64 {
+        let batched = self.peak_batch_footprint.peak_bytes();
+        if batched == 0 {
+            return 0.0;
+        }
+        self.unbatched_footprint.peak_bytes() as f64 / batched as f64
+    }
+}
+
+/// Assembles a read set batch-by-batch and merges the compacted graphs.
+#[derive(Debug, Clone)]
+pub struct BatchAssembler {
+    config: PakmanConfig,
+    batch_fraction: f64,
+}
+
+impl BatchAssembler {
+    /// Creates a batch assembler processing `batch_fraction` of the reads at a time.
+    pub fn new(config: PakmanConfig, batch_fraction: f64) -> Self {
+        BatchAssembler {
+            config,
+            batch_fraction,
+        }
+    }
+
+    /// The configured batch fraction.
+    pub fn batch_fraction(&self) -> f64 {
+        self.batch_fraction
+    }
+
+    /// Runs the batched assembly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and empty-input errors from the per-batch pipeline.
+    pub fn assemble(&self, reads: &[SequencingRead]) -> Result<BatchAssemblyOutput, PakmanError> {
+        self.config.validate()?;
+        let plan = BatchPlan::by_fraction(reads.len(), self.batch_fraction)?;
+        let assembler = PakmanAssembler::new(self.config);
+
+        let mut merged_nodes = Vec::new();
+        let mut batch_compaction = Vec::with_capacity(plan.batch_count());
+        let mut batch_timings = Vec::with_capacity(plan.batch_count());
+        let mut peak_batch_footprint = MemoryFootprint::default();
+        let mut total_read_bases = 0u64;
+        let mut total_kmers = 0u64;
+        let mut total_macronode_bytes = 0u64;
+
+        for range in plan.ranges() {
+            let batch = &reads[range.clone()];
+            let output = match assembler.assemble(batch) {
+                Ok(out) => out,
+                // A batch that is entirely pruned away contributes nothing; this can
+                // happen for very small batches, which is precisely the quality
+                // degradation the batching trade-off studies.
+                Err(PakmanError::EmptyInput { .. }) => continue,
+                Err(other) => return Err(other),
+            };
+            total_read_bases += batch.iter().map(|r| r.len() as u64).sum::<u64>();
+            total_kmers += output.kmer_stats.total_kmers;
+            total_macronode_bytes += output.footprint.macronode_bytes;
+            if output.footprint.peak_bytes() > peak_batch_footprint.peak_bytes() {
+                peak_batch_footprint = output.footprint;
+            }
+            batch_compaction.push(output.compaction);
+            batch_timings.push(output.timings);
+            merged_nodes.extend(output.graph.into_nodes());
+        }
+
+        if merged_nodes.is_empty() {
+            return Err(PakmanError::EmptyInput {
+                message: "no batch produced any MacroNodes".to_string(),
+            });
+        }
+
+        // Merge compacted PaK-graphs: nodes sharing a (k-1)-mer have their through-path
+        // lists concatenated. Because every batch covers the same genome at reduced
+        // coverage, the merged graph spells each region several times; contig-level
+        // deduplication keeps one copy of each assembled region.
+        let merged_graph = merge_nodes(merged_nodes, self.config.k);
+        let raw_contigs = generate_contigs(&merged_graph, self.config.min_contig_length);
+        let contigs = dedup_contigs(raw_contigs, self.config.k);
+        let stats = AssemblyStats::from_contigs(&contigs);
+        let unbatched_footprint =
+            MemoryFootprint::from_workload(total_read_bases, total_kmers, total_macronode_bytes);
+
+        Ok(BatchAssemblyOutput {
+            contigs,
+            stats,
+            batch_compaction,
+            batch_timings,
+            peak_batch_footprint,
+            unbatched_footprint,
+            merged_graph,
+        })
+    }
+}
+
+/// Drops contigs whose sequence content is already represented by longer contigs.
+///
+/// Contigs are accepted longest-first; a candidate is discarded when at least 80 % of
+/// its k-mers already appear in accepted contigs. This is the standard containment
+/// filter used when per-batch assemblies of the same genome are combined.
+fn dedup_contigs(mut contigs: Vec<Contig>, k: usize) -> Vec<Contig> {
+    use nmp_pak_genome::Kmer;
+    use std::collections::HashSet;
+
+    let k = k.clamp(2, 31);
+    contigs.sort_by(|a, b| b.len().cmp(&a.len()));
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut kept = Vec::with_capacity(contigs.len());
+    for contig in contigs {
+        if contig.len() < k {
+            // Too short to fingerprint; keep only if nothing comparable was kept yet.
+            if kept.is_empty() {
+                kept.push(contig);
+            }
+            continue;
+        }
+        let kmers: Vec<u64> = Kmer::iter_windows(&contig.sequence, k)
+            .expect("length checked above")
+            .map(|kmer| kmer.packed())
+            .collect();
+        let known = kmers.iter().filter(|km| seen.contains(km)).count();
+        if (known as f64) < 0.8 * kmers.len() as f64 {
+            seen.extend(kmers);
+            kept.push(contig);
+        }
+    }
+    kept
+}
+
+fn merge_nodes(nodes: Vec<crate::macronode::MacroNode>, k: usize) -> PakGraph {
+    use std::collections::BTreeMap;
+    let mut by_k1mer: BTreeMap<nmp_pak_genome::Kmer, crate::macronode::MacroNode> = BTreeMap::new();
+    for node in nodes {
+        match by_k1mer.get_mut(&node.k1mer()) {
+            Some(existing) => {
+                for path in node.paths() {
+                    existing.push_path(path.clone());
+                }
+            }
+            None => {
+                by_k1mer.insert(node.k1mer(), node);
+            }
+        }
+    }
+    PakGraph::from_nodes(by_k1mer.into_values().collect(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
+
+    fn reads_for(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
+        let genome = ReferenceGenome::builder()
+            .length(length)
+            .no_repeats()
+            .seed(seed)
+            .build()
+            .unwrap();
+        ReadSimulator::new(SequencerConfig {
+            coverage,
+            substitution_error_rate: 0.0,
+            seed: seed + 1,
+            ..SequencerConfig::default()
+        })
+        .simulate(&genome)
+        .unwrap()
+    }
+
+    fn cfg(k: usize) -> PakmanConfig {
+        PakmanConfig {
+            k,
+            min_kmer_count: 1,
+            compaction_node_threshold: 10,
+            threads: 2,
+            ..PakmanConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_reads_without_overlap() {
+        let plan = BatchPlan::by_fraction(1003, 0.1).unwrap();
+        assert_eq!(plan.batch_count(), 10);
+        let mut covered = 0usize;
+        let mut last_end = 0usize;
+        for range in plan.ranges() {
+            assert_eq!(range.start, last_end);
+            covered += range.len();
+            last_end = range.end;
+        }
+        assert_eq!(covered, 1003);
+    }
+
+    #[test]
+    fn full_fraction_is_one_batch() {
+        let plan = BatchPlan::by_fraction(100, 1.0).unwrap();
+        assert_eq!(plan.batch_count(), 1);
+        let plan = BatchPlan::by_fraction(100, 5.0).unwrap();
+        assert_eq!(plan.batch_count(), 1);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(BatchPlan::by_fraction(0, 0.1).is_err());
+        assert!(BatchPlan::by_fraction(10, 0.0).is_err());
+        assert!(BatchPlan::by_fraction(10, -0.5).is_err());
+    }
+
+    #[test]
+    fn batched_assembly_produces_contigs() {
+        let reads = reads_for(6_000, 20.0, 21);
+        let output = BatchAssembler::new(cfg(17), 0.25).assemble(&reads).unwrap();
+        assert!(!output.contigs.is_empty());
+        assert!(output.stats.total_length > 3_000);
+        assert_eq!(output.batch_compaction.len(), 4);
+    }
+
+    #[test]
+    fn batching_reduces_peak_footprint() {
+        let reads = reads_for(6_000, 20.0, 33);
+        let output = BatchAssembler::new(cfg(17), 0.2).assemble(&reads).unwrap();
+        assert!(
+            output.footprint_reduction() > 2.0,
+            "reduction = {}",
+            output.footprint_reduction()
+        );
+    }
+
+    #[test]
+    fn smaller_batches_do_not_improve_n50() {
+        // Table 1's trend: N50 is non-increasing as the batch size shrinks.
+        let reads = reads_for(8_000, 25.0, 55);
+        let full = BatchAssembler::new(cfg(17), 1.0).assemble(&reads).unwrap();
+        let tenth = BatchAssembler::new(cfg(17), 0.1).assemble(&reads).unwrap();
+        assert!(
+            tenth.stats.n50 <= full.stats.n50,
+            "tenth = {}, full = {}",
+            tenth.stats.n50,
+            full.stats.n50
+        );
+    }
+
+    #[test]
+    fn single_batch_matches_unbatched_pipeline() {
+        // A single batch runs the same pipeline; the only difference is the final
+        // contig-containment dedup, so the assembled content must agree closely.
+        let reads = reads_for(4_000, 15.0, 77);
+        let unbatched = PakmanAssembler::new(cfg(17)).assemble(&reads).unwrap();
+        let single_batch = BatchAssembler::new(cfg(17), 1.0).assemble(&reads).unwrap();
+        let ratio =
+            single_batch.stats.total_length as f64 / unbatched.stats.total_length as f64;
+        // The containment dedup drops reverse-strand / repeat duplicates, so the
+        // single-batch total is bounded by the unbatched total but stays the same
+        // order of magnitude, and the longest contig is identical.
+        assert!((0.4..=1.0).contains(&ratio), "ratio = {ratio}");
+        assert!(single_batch.stats.largest_contig == unbatched.stats.largest_contig);
+    }
+}

@@ -1,0 +1,562 @@
+//! Iterative Compaction (assembly step D, Figs. 2 and 4) — the phase NMP-PaK
+//! accelerates.
+//!
+//! Every iteration performs, for each alive MacroNode, the three pipeline stages the
+//! paper maps onto its processing elements (Fig. 10):
+//!
+//! 1. **P1 — invalidation check**: compute the (k-1)-mers of every neighbour and mark
+//!    the node for invalidation if its own (k-1)-mer is strictly the lexicographically
+//!    largest (and the node is fully interior, so no contig endpoint is lost);
+//! 2. **P2 — TransferNode extraction**: for each through-path of an invalidated node,
+//!    build the TransferNodes destined for its predecessor and successor;
+//! 3. **P3 — routing and update**: deliver each TransferNode to its destination node
+//!    and splice the carried extension into the matching path.
+//!
+//! Iterations repeat until the alive node count drops below the configured threshold,
+//! no node can be invalidated, or the iteration cap is hit.
+
+use crate::config::PakmanConfig;
+use crate::graph::PakGraph;
+use crate::macronode::MacroNode;
+use crate::trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
+use crate::transfer::{TransferNode, TransferSide};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Histogram of MacroNode sizes with the power-of-two buckets of Fig. 7
+/// (≤256 B, 512 B, 1 KB, 2 KB, 4 KB, 8 KB, 16 KB, 32 KB, >32 KB).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeHistogram {
+    /// Count per bucket; bucket `i` covers `(bound[i-1], bound[i]]` with the bounds
+    /// given by [`SizeHistogram::BUCKET_BOUNDS`], and the final bucket is overflow.
+    counts: Vec<usize>,
+}
+
+impl SizeHistogram {
+    /// Upper bounds (inclusive) of the non-overflow buckets, in bytes.
+    pub const BUCKET_BOUNDS: [usize; 8] = [256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        SizeHistogram {
+            counts: vec![0; Self::BUCKET_BOUNDS.len() + 1],
+        }
+    }
+
+    /// Records one node of `size` bytes.
+    pub fn record(&mut self, size: usize) {
+        let idx = Self::BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| size <= bound)
+            .unwrap_or(Self::BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts: one entry per bound plus a final overflow bucket.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total nodes recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of recorded nodes whose size exceeds `threshold` bytes.
+    ///
+    /// This is the quantity plotted in Fig. 8 (proportion of MacroNodes larger than
+    /// 1/2/4/8 KB) and the basis of the hybrid CPU-NMP offload decision.
+    pub fn fraction_exceeding(&self, threshold: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut exceeding = 0usize;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let lower = if i == 0 { 0 } else { Self::BUCKET_BOUNDS[i - 1] };
+            if lower >= threshold {
+                exceeding += count;
+            }
+        }
+        exceeding as f64 / total as f64
+    }
+}
+
+/// Per-iteration compaction statistics (drives Figs. 7 and 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Alive nodes at the start of the iteration.
+    pub alive_before: usize,
+    /// Nodes invalidated during the iteration.
+    pub invalidated: usize,
+    /// TransferNodes routed.
+    pub transfers: usize,
+    /// TransferNodes whose destination or matching extension could not be found
+    /// (wiring-heuristic mismatches); their flow is dropped.
+    pub unmatched_transfers: usize,
+    /// MacroNode size distribution at the start of the iteration.
+    pub histogram: SizeHistogram,
+}
+
+/// Whole-run compaction statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompactionStats {
+    /// Alive nodes before the first iteration.
+    pub initial_nodes: usize,
+    /// Alive nodes after the last iteration.
+    pub final_nodes: usize,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+    /// Total TransferNodes routed across the run.
+    pub total_transfers: usize,
+    /// `true` if the run stopped because the node threshold was reached or no further
+    /// invalidation was possible (as opposed to hitting the iteration cap).
+    pub converged: bool,
+}
+
+impl CompactionStats {
+    /// Number of iterations executed.
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Overall node reduction factor (initial / final); `inf` if everything compacted.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.final_nodes == 0 {
+            f64::INFINITY
+        } else {
+            self.initial_nodes as f64 / self.final_nodes as f64
+        }
+    }
+}
+
+/// Result of running Iterative Compaction.
+#[derive(Debug, Clone, Default)]
+pub struct CompactionOutcome {
+    /// Whole-run statistics.
+    pub stats: CompactionStats,
+    /// The access trace, when [`PakmanConfig::record_trace`] was set.
+    pub trace: Option<CompactionTrace>,
+}
+
+/// Runs Iterative Compaction on `graph` in place.
+///
+/// The check phase (P1) is parallelised over `config.threads` worker threads — the
+/// MacroNode-level parallelisation described in §4.5 — while TransferNode application
+/// is serialised per destination (the software equivalent of the per-MacroNode
+/// `omp_set_lock` the paper uses).
+pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome {
+    let initial_nodes = graph.alive_count();
+    let mut trace = config.record_trace.then(|| {
+        let mut sizes = vec![0usize; graph.slot_count()];
+        for (slot, node) in graph.iter_alive() {
+            sizes[slot] = node.size_bytes();
+        }
+        CompactionTrace::new(graph.slot_count(), sizes)
+    });
+
+    let mut stats = CompactionStats {
+        initial_nodes,
+        final_nodes: initial_nodes,
+        ..CompactionStats::default()
+    };
+
+    for iteration in 0..config.max_compaction_iterations {
+        let alive_before = graph.alive_count();
+        if alive_before <= config.compaction_node_threshold {
+            stats.converged = true;
+            break;
+        }
+
+        // ---- Stage P1: invalidation check (parallel, read-only) ----
+        let checks = run_invalidation_checks(graph, config.threads);
+        let mut histogram = SizeHistogram::new();
+        for check in &checks {
+            histogram.record(check.size_bytes);
+        }
+        let invalidated_slots: Vec<usize> = checks
+            .iter()
+            .filter(|c| c.invalidated)
+            .map(|c| c.slot)
+            .collect();
+
+        if invalidated_slots.is_empty() {
+            stats.iterations.push(IterationStats {
+                iteration,
+                alive_before,
+                invalidated: 0,
+                transfers: 0,
+                unmatched_transfers: 0,
+                histogram,
+            });
+            if let Some(trace) = trace.as_mut() {
+                trace.iterations.push(IterationTrace {
+                    checks,
+                    transfers: Vec::new(),
+                    updates: Vec::new(),
+                });
+            }
+            stats.converged = true;
+            break;
+        }
+
+        // ---- Stage P2: TransferNode extraction, then node invalidation ----
+        let mut transfers: Vec<(usize, TransferNode)> = Vec::new();
+        for &slot in &invalidated_slots {
+            let node = graph.node(slot).expect("invalidated slot was alive");
+            for t in TransferNode::extract_all(node) {
+                transfers.push((slot, t));
+            }
+            graph.invalidate(slot);
+        }
+
+        // ---- Stage P3: routing and destination update ----
+        let mut transfer_events = Vec::with_capacity(transfers.len());
+        let mut touched: HashMap<usize, ()> = HashMap::new();
+        let mut unmatched = 0usize;
+        for (source_slot, transfer) in &transfers {
+            match graph.index_of(&transfer.destination) {
+                Some(dest_slot) => {
+                    transfer_events.push(TransferEvent {
+                        source_slot: *source_slot,
+                        dest_slot,
+                        size_bytes: transfer.size_bytes(),
+                    });
+                    let dest = graph.node_mut(dest_slot).expect("destination is alive");
+                    if apply_transfer(dest, transfer) {
+                        touched.insert(dest_slot, ());
+                    } else {
+                        unmatched += 1;
+                    }
+                }
+                None => unmatched += 1,
+            }
+        }
+
+        let updates: Vec<UpdateEvent> = touched
+            .keys()
+            .map(|&dest_slot| UpdateEvent {
+                dest_slot,
+                size_bytes: graph.node(dest_slot).map(MacroNode::size_bytes).unwrap_or(0),
+            })
+            .collect();
+
+        stats.total_transfers += transfers.len();
+        stats.iterations.push(IterationStats {
+            iteration,
+            alive_before,
+            invalidated: invalidated_slots.len(),
+            transfers: transfers.len(),
+            unmatched_transfers: unmatched,
+            histogram,
+        });
+        if let Some(trace) = trace.as_mut() {
+            trace.iterations.push(IterationTrace {
+                checks,
+                transfers: transfer_events,
+                updates,
+            });
+        }
+    }
+
+    stats.final_nodes = graph.alive_count();
+    if graph.alive_count() <= config.compaction_node_threshold {
+        stats.converged = true;
+    }
+    CompactionOutcome { stats, trace: trace.map(|t| t) }
+}
+
+/// Runs the invalidation check for every alive node, in parallel.
+fn run_invalidation_checks(graph: &PakGraph, threads: usize) -> Vec<NodeCheck> {
+    let slots = graph.alive_slots();
+    let threads = threads.max(1).min(slots.len().max(1));
+    if threads <= 1 || slots.len() < 64 {
+        return slots
+            .iter()
+            .map(|&slot| check_one(graph, slot))
+            .collect();
+    }
+
+    let chunk = slots.len().div_ceil(threads);
+    let mut results: Vec<NodeCheck> = Vec::with_capacity(slots.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in slots.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                part.iter().map(|&slot| check_one(graph, slot)).collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            results.extend(handle.join().expect("invalidation-check worker panicked"));
+        }
+    });
+    results
+}
+
+fn check_one(graph: &PakGraph, slot: usize) -> NodeCheck {
+    let node = graph.node(slot).expect("slot is alive");
+    NodeCheck {
+        slot,
+        size_bytes: node.size_bytes(),
+        invalidated: is_invalidation_target(graph, node),
+    }
+}
+
+/// Stage P1 decision: the node is invalidated if it is fully interior and its
+/// (k-1)-mer is strictly the lexicographically largest among its neighbours
+/// (Fig. 4 (b)). The strictness guarantees two adjacent nodes are never invalidated in
+/// the same iteration. A neighbour that no longer exists in the graph (it was pruned,
+/// or its wiring went stale after an earlier invalidation) does not block the check;
+/// the corresponding TransferNode is simply dropped and counted as unmatched.
+pub fn is_invalidation_target(graph: &PakGraph, node: &MacroNode) -> bool {
+    if !node.is_fully_interior() {
+        return false;
+    }
+    let own = node.k1mer();
+    let mut neighbour_count = 0usize;
+    for neighbour in node
+        .predecessor_k1mers()
+        .into_iter()
+        .chain(node.successor_k1mers())
+    {
+        // Every neighbour must still be alive: invalidating a node whose wiring has
+        // gone stale (a residual path pointing at an already-removed neighbour) would
+        // drop its TransferNodes and lose assembled sequence, so such nodes are kept.
+        // This is conservative — compaction stops earlier than PaKman's — but it keeps
+        // the walk lossless; see DESIGN.md.
+        if !graph.contains(&neighbour) {
+            return false;
+        }
+        neighbour_count += 1;
+        if neighbour >= own {
+            return false;
+        }
+    }
+    neighbour_count > 0
+}
+
+/// Applies one TransferNode to its destination node, splitting paths as necessary so
+/// that exactly `transfer.count` units of flow receive the new extension. Returns
+/// `false` if no matching extension was found.
+fn apply_transfer(dest: &mut MacroNode, transfer: &TransferNode) -> bool {
+    let mut remaining = transfer.count;
+    let mut new_paths = Vec::new();
+    let paths = dest.paths_mut();
+
+    for path in paths.iter_mut() {
+        if remaining == 0 {
+            break;
+        }
+        let matches = match transfer.side {
+            TransferSide::Predecessor => path.suffix.as_ref() == Some(&transfer.match_ext),
+            TransferSide::Successor => path.prefix.as_ref() == Some(&transfer.match_ext),
+        };
+        if !matches {
+            continue;
+        }
+        let take = path.count.min(remaining);
+        if take == path.count {
+            // Whole path is redirected.
+            match transfer.side {
+                TransferSide::Predecessor => path.suffix = Some(transfer.new_ext.clone()),
+                TransferSide::Successor => path.prefix = Some(transfer.new_ext.clone()),
+            }
+        } else {
+            // Split: `take` units get the new extension, the rest keeps the old one.
+            path.count -= take;
+            let mut split = path.clone();
+            split.count = take;
+            match transfer.side {
+                TransferSide::Predecessor => split.suffix = Some(transfer.new_ext.clone()),
+                TransferSide::Successor => split.prefix = Some(transfer.new_ext.clone()),
+            }
+            new_paths.push(split);
+        }
+        remaining -= take;
+    }
+
+    paths.extend(new_paths);
+    remaining < transfer.count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer_count::{count_kmers, KmerCounterConfig};
+    use nmp_pak_genome::{DnaString, Kmer, SequencingRead};
+
+    fn graph_from_reads(reads: &[&str], k: usize) -> PakGraph {
+        let reads: Vec<SequencingRead> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
+            .collect();
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig { k, min_count: 1, threads: 1 },
+        )
+        .unwrap();
+        PakGraph::from_counted_kmers(&counted, k)
+    }
+
+    fn compact_config(threshold: usize) -> PakmanConfig {
+        PakmanConfig {
+            compaction_node_threshold: threshold,
+            threads: 1,
+            record_trace: true,
+            ..PakmanConfig::default()
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_fractions() {
+        let mut h = SizeHistogram::new();
+        for size in [100, 300, 600, 1500, 9000, 40_000] {
+            h.record(size);
+        }
+        assert_eq!(h.total(), 6);
+        // Sizes > 1 KB: 1500, 9000, 40000 → 3/6. (600 sits in the 512–1024 bucket.)
+        assert!((h.fraction_exceeding(1024) - 0.5).abs() < 1e-12);
+        // Sizes > 8 KB: 9000 and 40000 → 2/6.
+        assert!((h.fraction_exceeding(8192) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.counts().len(), SizeHistogram::BUCKET_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    fn compaction_reduces_node_count_on_a_chain() {
+        let mut graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAAC"], 5);
+        let before = graph.alive_count();
+        let outcome = compact(&mut graph, &compact_config(2));
+        let after = graph.alive_count();
+        assert!(after < before, "compaction should remove interior nodes");
+        assert_eq!(outcome.stats.initial_nodes, before);
+        assert_eq!(outcome.stats.final_nodes, after);
+        assert!(outcome.stats.converged);
+        assert!(outcome.stats.iteration_count() >= 1);
+    }
+
+    #[test]
+    fn compaction_preserves_spelled_sequence_on_a_chain() {
+        // After full compaction of a linear chain, walking from the terminal-start node
+        // must reproduce the original read.
+        let read = "ACGTACCTGATCAGTTGCAAC";
+        let mut graph = graph_from_reads(&[read], 5);
+        compact(&mut graph, &compact_config(0));
+        let contigs = crate::walk::generate_contigs(&graph, 0);
+        assert!(
+            contigs.iter().any(|c| c.sequence.to_string() == read),
+            "expected contig {read}, got {:?}",
+            contigs.iter().map(|c| c.sequence.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adjacent_nodes_are_never_both_invalidated() {
+        let mut graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAACGGTT"], 6);
+        let cfg = compact_config(0);
+        let outcome = compact(&mut graph, &cfg);
+        let trace = outcome.trace.expect("trace recorded");
+        for it in &trace.iterations {
+            let invalidated: std::collections::HashSet<usize> = it
+                .checks
+                .iter()
+                .filter(|c| c.invalidated)
+                .map(|c| c.slot)
+                .collect();
+            // No transfer may target an invalidated slot: destinations are neighbours,
+            // and neighbours of an invalidated node must stay alive this iteration.
+            for t in &it.transfers {
+                assert!(!invalidated.contains(&t.dest_slot));
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_nodes_are_not_invalidated() {
+        let graph = graph_from_reads(&["ACGTACCTG"], 5);
+        for (_, node) in graph.iter_alive() {
+            if !node.is_fully_interior() {
+                assert!(!is_invalidation_target(&graph, node));
+            }
+        }
+    }
+
+    #[test]
+    fn lexicographically_largest_interior_node_is_selected() {
+        // Read "ACGTTAC", k = 5 gives (k-1)-mer chain ACGT → CGTT → GTTA → TTAC.
+        // Interior nodes are CGTT and GTTA. Under the paper's A<C<T<G ordering,
+        // GTTA is larger than both of its neighbours (CGTT and TTAC), so it is the
+        // invalidation target; CGTT is not (its successor GTTA is larger).
+        let graph = graph_from_reads(&["ACGTTAC"], 5);
+        let gtta = graph.node_by_k1mer(&Kmer::from_ascii("GTTA").unwrap()).unwrap();
+        let cgtt = graph.node_by_k1mer(&Kmer::from_ascii("CGTT").unwrap()).unwrap();
+        assert!(is_invalidation_target(&graph, gtta));
+        assert!(!is_invalidation_target(&graph, cgtt));
+
+        // Compacting removes GTTA and routes its content to CGTT and TTAC
+        // (two transfers for its single through-path), after which no further
+        // interior node dominates its neighbours.
+        let mut graph = graph;
+        let outcome = compact(&mut graph, &compact_config(0));
+        assert_eq!(outcome.stats.total_transfers, 2);
+        assert!(outcome.stats.converged);
+        assert_eq!(graph.alive_count(), 3);
+        assert!(!graph.contains(&Kmer::from_ascii("GTTA").unwrap()));
+        // CGTT's suffix grew from "A" to "AC".
+        let cgtt = graph.node_by_k1mer(&Kmer::from_ascii("CGTT").unwrap()).unwrap();
+        assert_eq!(cgtt.suffix_extensions()[0].0.to_string(), "AC");
+    }
+
+    #[test]
+    fn trace_records_checks_transfers_and_updates() {
+        let mut graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAAC"], 5);
+        let outcome = compact(&mut graph, &compact_config(2));
+        let trace = outcome.trace.expect("trace requested");
+        assert_eq!(trace.slot_count, trace.initial_sizes.len());
+        assert!(trace.iteration_count() >= 1);
+        let total_invalidated = trace.total_invalidated();
+        assert!(total_invalidated > 0);
+        // Every invalidated interior node produces two transfers per path.
+        assert!(trace.total_transfers() >= total_invalidated);
+        // Updates reference alive-at-the-time destinations with nonzero sizes.
+        for it in &trace.iterations {
+            for u in &it.updates {
+                assert!(u.size_bytes > 0);
+                assert!(u.dest_slot < trace.slot_count);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let mut graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAACGGTTACCAGT"], 5);
+        let cfg = PakmanConfig {
+            compaction_node_threshold: 0,
+            max_compaction_iterations: 1,
+            threads: 1,
+            ..PakmanConfig::default()
+        };
+        let outcome = compact(&mut graph, &cfg);
+        assert!(outcome.stats.iteration_count() <= 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_checks_agree() {
+        let graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAACGGTTACCAGTACGATC"], 6);
+        let serial = run_invalidation_checks(&graph, 1);
+        let mut parallel = run_invalidation_checks(&graph, 4);
+        parallel.sort_by_key(|c| c.slot);
+        let mut serial_sorted = serial.clone();
+        serial_sorted.sort_by_key(|c| c.slot);
+        assert_eq!(serial_sorted, parallel);
+    }
+
+    #[test]
+    fn reduction_factor_reported() {
+        let mut graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAAC"], 5);
+        let outcome = compact(&mut graph, &compact_config(2));
+        assert!(outcome.stats.reduction_factor() > 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the PaKman assembler.
+
+use nmp_pak_genome::GenomeError;
+use std::fmt;
+
+/// Errors produced while running the PaKman assembly pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PakmanError {
+    /// An invalid configuration value was supplied.
+    InvalidConfig {
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// The input read set produced no usable k-mers (e.g. all reads shorter than k).
+    EmptyInput {
+        /// Description of what was empty.
+        message: String,
+    },
+    /// An underlying DNA/sequence error.
+    Genome(GenomeError),
+}
+
+impl fmt::Display for PakmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PakmanError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            PakmanError::EmptyInput { message } => write!(f, "empty input: {message}"),
+            PakmanError::Genome(err) => write!(f, "genome error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for PakmanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PakmanError::Genome(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GenomeError> for PakmanError {
+    fn from(err: GenomeError) -> Self {
+        PakmanError::Genome(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = PakmanError::InvalidConfig {
+            message: "k must be at most 32".to_string(),
+        };
+        assert!(err.to_string().contains("k must be at most 32"));
+
+        let err = PakmanError::EmptyInput {
+            message: "no reads".to_string(),
+        };
+        assert!(err.to_string().contains("no reads"));
+    }
+
+    #[test]
+    fn genome_errors_convert_and_chain() {
+        use std::error::Error;
+        let err: PakmanError = GenomeError::InvalidK { k: 99 }.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PakmanError>();
+    }
+}

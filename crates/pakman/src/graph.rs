@@ -1,0 +1,286 @@
+//! The PaK-graph: the distributed de Bruijn graph expressed over MacroNodes
+//! (assembly step C of Fig. 2).
+
+use crate::kmer_count::CountedKmer;
+use crate::macronode::MacroNode;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use nmp_pak_genome::{Base, Kmer};
+
+/// The PaK-graph: every MacroNode keyed by its (k-1)-mer.
+///
+/// Nodes are stored in a slot vector ordered by ascending (k-1)-mer — the same layout
+/// the paper assumes for its static MacroNode→DIMM mapping table ("MacroNodes are
+/// stored in ascending (k-1)-mer order across DIMMs", §4.2). Invalidation during
+/// compaction clears a slot but never reuses it (the paper postpones deletion until
+/// compaction completes, §4.5), so slot indices are stable identifiers that the memory
+/// traces and the hardware model can use as addresses.
+///
+/// Following §4.5's "efficient memory management", nodes are boxed so the map stores
+/// pointers rather than values, avoiding struct copies when nodes are moved.
+#[derive(Debug, Clone, Default)]
+pub struct PakGraph {
+    slots: Vec<Option<Box<MacroNode>>>,
+    index: HashMap<Kmer, usize>,
+    k: usize,
+}
+
+impl PakGraph {
+    /// Builds the PaK-graph from counted k-mers (MacroNode construction and wiring).
+    ///
+    /// Every k-mer `b₀ b₁ … b_{k-1}` with count `c` contributes:
+    /// * prefix `b₀` (count `c`) to the node of its suffix (k-1)-mer `b₁ … b_{k-1}`, and
+    /// * suffix `b_{k-1}` (count `c`) to the node of its prefix (k-1)-mer `b₀ … b_{k-2}`
+    ///
+    /// exactly as in Fig. 3(b).
+    pub fn from_counted_kmers(counted: &[CountedKmer], k: usize) -> PakGraph {
+        // Accumulate single-base extensions per (k-1)-mer.
+        #[derive(Default)]
+        struct Pending {
+            prefixes: Vec<(Base, u32)>,
+            suffixes: Vec<(Base, u32)>,
+        }
+        fn bump(list: &mut Vec<(Base, u32)>, base: Base, count: u32) {
+            match list.iter_mut().find(|(b, _)| *b == base) {
+                Some((_, c)) => *c += count,
+                None => list.push((base, count)),
+            }
+        }
+
+        let mut pending: BTreeMap<Kmer, Pending> = BTreeMap::new();
+        for ck in counted {
+            let kmer = ck.kmer;
+            let prefix_node = kmer.prefix_k1();
+            let suffix_node = kmer.suffix_k1();
+            bump(
+                &mut pending.entry(suffix_node).or_default().prefixes,
+                kmer.first_base(),
+                ck.count,
+            );
+            bump(
+                &mut pending.entry(prefix_node).or_default().suffixes,
+                kmer.last_base(),
+                ck.count,
+            );
+        }
+
+        // BTreeMap iteration order is ascending (k-1)-mer order: slot index == rank.
+        let mut slots = Vec::with_capacity(pending.len());
+        let mut index = HashMap::with_capacity(pending.len());
+        for (k1mer, p) in pending {
+            let node = MacroNode::from_extensions(k1mer, p.prefixes, p.suffixes);
+            index.insert(k1mer, slots.len());
+            slots.push(Some(Box::new(node)));
+        }
+        PakGraph { slots, index, k }
+    }
+
+    /// Builds a graph from already-constructed MacroNodes (used when merging batches).
+    /// Nodes are re-sorted into ascending (k-1)-mer order.
+    pub fn from_nodes(mut nodes: Vec<MacroNode>, k: usize) -> PakGraph {
+        nodes.sort_by_key(MacroNode::k1mer);
+        let mut slots = Vec::with_capacity(nodes.len());
+        let mut index = HashMap::with_capacity(nodes.len());
+        for node in nodes {
+            index.insert(node.k1mer(), slots.len());
+            slots.push(Some(Box::new(node)));
+        }
+        PakGraph { slots, index, k }
+    }
+
+    /// The k-mer length this graph was built for (the (k-1)-mers are one shorter).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of slots ever allocated (alive + invalidated).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of alive (non-invalidated) MacroNodes.
+    pub fn alive_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Returns `true` if the graph has no alive nodes.
+    pub fn is_empty(&self) -> bool {
+        self.alive_count() == 0
+    }
+
+    /// The slot index of the node with the given (k-1)-mer, if it is alive.
+    pub fn index_of(&self, k1mer: &Kmer) -> Option<usize> {
+        let idx = *self.index.get(k1mer)?;
+        self.slots[idx].as_ref().map(|_| idx)
+    }
+
+    /// `true` if a node with this (k-1)-mer is alive.
+    pub fn contains(&self, k1mer: &Kmer) -> bool {
+        self.index_of(k1mer).is_some()
+    }
+
+    /// The alive node at `slot`, if any.
+    pub fn node(&self, slot: usize) -> Option<&MacroNode> {
+        self.slots.get(slot)?.as_deref()
+    }
+
+    /// Mutable access to the alive node at `slot`, if any.
+    pub fn node_mut(&mut self, slot: usize) -> Option<&mut MacroNode> {
+        self.slots.get_mut(slot)?.as_deref_mut()
+    }
+
+    /// The alive node with the given (k-1)-mer.
+    pub fn node_by_k1mer(&self, k1mer: &Kmer) -> Option<&MacroNode> {
+        self.node(self.index_of(k1mer)?)
+    }
+
+    /// Invalidates (removes) the node at `slot`, returning it. The slot is left empty;
+    /// physical deletion is deferred, matching §4.5.
+    pub fn invalidate(&mut self, slot: usize) -> Option<Box<MacroNode>> {
+        self.slots.get_mut(slot)?.take()
+    }
+
+    /// Iterates over `(slot, node)` for every alive node.
+    pub fn iter_alive(&self) -> impl Iterator<Item = (usize, &MacroNode)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|n| (i, n)))
+    }
+
+    /// Slot indices of all alive nodes.
+    pub fn alive_slots(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Sum of [`MacroNode::size_bytes`] over alive nodes.
+    pub fn total_size_bytes(&self) -> usize {
+        self.iter_alive().map(|(_, n)| n.size_bytes()).sum()
+    }
+
+    /// Collects the alive nodes into a vector (consuming the graph).
+    pub fn into_nodes(self) -> Vec<MacroNode> {
+        self.slots.into_iter().flatten().map(|b| *b).collect()
+    }
+
+    /// Total number of graph edges (distinct suffix extensions over alive nodes).
+    pub fn edge_count(&self) -> usize {
+        self.iter_alive()
+            .map(|(_, n)| n.suffix_extensions().len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer_count::{count_kmers, KmerCounterConfig};
+    use nmp_pak_genome::{DnaString, SequencingRead};
+
+    fn graph_from_reads(reads: &[&str], k: usize) -> PakGraph {
+        let reads: Vec<SequencingRead> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
+            .collect();
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig { k, min_count: 1, threads: 1 },
+        )
+        .unwrap();
+        PakGraph::from_counted_kmers(&counted, k)
+    }
+
+    #[test]
+    fn single_kmer_creates_two_macronodes() {
+        // Fig. 3(b): k-mer GTTAC creates node TTAC (prefix G) and node GTTA (suffix C).
+        let graph = graph_from_reads(&["GTTAC"], 5);
+        assert_eq!(graph.alive_count(), 2);
+        let gtta = graph
+            .node_by_k1mer(&Kmer::from_ascii("GTTA").unwrap())
+            .expect("GTTA node exists");
+        assert_eq!(gtta.suffix_extensions()[0].0.to_string(), "C");
+        let ttac = graph
+            .node_by_k1mer(&Kmer::from_ascii("TTAC").unwrap())
+            .expect("TTAC node exists");
+        assert_eq!(ttac.prefix_extensions()[0].0.to_string(), "G");
+    }
+
+    #[test]
+    fn linear_read_creates_chain_of_nodes() {
+        let graph = graph_from_reads(&["ACGTACCTG"], 5);
+        // (k-1)-mers: ACGT, CGTA, GTAC, TACC, ACCT, CCTG → 6 nodes.
+        assert_eq!(graph.alive_count(), 6);
+        // Interior nodes have exactly one predecessor and one successor.
+        let interior = graph
+            .node_by_k1mer(&Kmer::from_ascii("GTAC").unwrap())
+            .unwrap();
+        assert_eq!(interior.predecessor_k1mers().len(), 1);
+        assert_eq!(interior.successor_k1mers().len(), 1);
+    }
+
+    #[test]
+    fn slots_are_in_ascending_k1mer_order() {
+        let graph = graph_from_reads(&["ACGTACCTGTTGAC"], 6);
+        let k1mers: Vec<Kmer> = graph.iter_alive().map(|(_, n)| n.k1mer()).collect();
+        for pair in k1mers.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        // index_of agrees with slot positions.
+        for (slot, node) in graph.iter_alive() {
+            assert_eq!(graph.index_of(&node.k1mer()), Some(slot));
+        }
+    }
+
+    #[test]
+    fn branching_read_creates_multi_extension_node() {
+        // Two reads diverging after GTCA: GTCAT and GTCAG (plus shared AGTCA context).
+        let graph = graph_from_reads(&["AGTCAT", "AGTCAG"], 5);
+        let node = graph
+            .node_by_k1mer(&Kmer::from_ascii("GTCA").unwrap())
+            .unwrap();
+        assert_eq!(node.suffix_extensions().len(), 2);
+        assert_eq!(node.prefix_extensions().len(), 1);
+        assert_eq!(node.prefix_extensions()[0].1, 2);
+    }
+
+    #[test]
+    fn invalidate_clears_slot_but_keeps_layout() {
+        let mut graph = graph_from_reads(&["ACGTACCTG"], 5);
+        let total_slots = graph.slot_count();
+        let victim = graph.alive_slots()[2];
+        let removed = graph.invalidate(victim).expect("node existed");
+        assert_eq!(graph.alive_count(), 5);
+        assert_eq!(graph.slot_count(), total_slots);
+        assert!(graph.node(victim).is_none());
+        assert!(!graph.contains(&removed.k1mer()));
+        // Double invalidation returns None.
+        assert!(graph.invalidate(victim).is_none());
+    }
+
+    #[test]
+    fn from_nodes_round_trips() {
+        let graph = graph_from_reads(&["ACGTACCTG"], 5);
+        let k = graph.k();
+        let count = graph.alive_count();
+        let rebuilt = PakGraph::from_nodes(graph.into_nodes(), k);
+        assert_eq!(rebuilt.alive_count(), count);
+        let k1mers: Vec<Kmer> = rebuilt.iter_alive().map(|(_, n)| n.k1mer()).collect();
+        for pair in k1mers.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn size_and_edge_statistics() {
+        let graph = graph_from_reads(&["ACGTACCTGAC", "ACGTACCTGAC"], 5);
+        assert!(graph.total_size_bytes() > 0);
+        assert!(graph.edge_count() > 0);
+        assert!(!graph.is_empty());
+    }
+}

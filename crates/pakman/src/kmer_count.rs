@@ -1,0 +1,359 @@
+//! Parallel k-mer counting (assembly step B, Fig. 2).
+//!
+//! Implements the paper's §4.5 "Improved Parallelism" optimizations:
+//!
+//! * **(a) parallel sliding window** — reads are partitioned across worker threads and
+//!   each thread slides its own window over its reads;
+//! * **(b) pre-allocated per-thread vectors** — every worker extracts packed k-mers into
+//!   its own vector sized up front, avoiding repeated reallocation of one shared vector;
+//! * **(c) parallel sorting** — per-thread vectors are sorted independently and merged,
+//!   replacing the serial global sort of the original PaKman implementation.
+//!
+//! After sorting, duplicate k-mers are counted and k-mers below the error threshold are
+//! pruned.
+
+use crate::config::PakmanConfig;
+use crate::error::PakmanError;
+use nmp_pak_genome::{Kmer, SequencingRead};
+
+/// Configuration subset used by the k-mer counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmerCounterConfig {
+    /// k-mer length.
+    pub k: usize,
+    /// k-mers observed fewer than this many times are pruned.
+    pub min_count: u32,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl From<&PakmanConfig> for KmerCounterConfig {
+    fn from(cfg: &PakmanConfig) -> Self {
+        KmerCounterConfig {
+            k: cfg.k,
+            min_count: cfg.min_kmer_count,
+            threads: cfg.threads,
+        }
+    }
+}
+
+/// A distinct k-mer with its multiplicity in the read set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountedKmer {
+    /// The k-mer value.
+    pub kmer: Kmer,
+    /// Number of occurrences across all reads.
+    pub count: u32,
+}
+
+/// Summary statistics from a k-mer counting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KmerCountStats {
+    /// Total (non-distinct) k-mers extracted from the reads.
+    pub total_kmers: u64,
+    /// Distinct k-mers observed.
+    pub distinct_kmers: usize,
+    /// Distinct k-mers discarded because their count fell below the threshold.
+    pub pruned_kmers: usize,
+    /// Reads skipped because they were shorter than k.
+    pub skipped_reads: usize,
+}
+
+/// Counts the k-mers of `reads`, returning them sorted in ascending lexicographic
+/// order (the order MacroNodes are later laid out across DIMMs).
+///
+/// # Errors
+///
+/// * [`PakmanError::InvalidConfig`] for an unsupported `k` or a zero thread count.
+/// * [`PakmanError::EmptyInput`] if no read is at least `k` bases long.
+pub fn count_kmers(
+    reads: &[SequencingRead],
+    config: KmerCounterConfig,
+) -> Result<(Vec<CountedKmer>, KmerCountStats), PakmanError> {
+    if config.k < 2 || config.k > nmp_pak_genome::kmer::MAX_K {
+        return Err(PakmanError::InvalidConfig {
+            message: format!("k = {} must lie in 2..=32", config.k),
+        });
+    }
+    if config.threads == 0 {
+        return Err(PakmanError::InvalidConfig {
+            message: "thread count must be at least 1".to_string(),
+        });
+    }
+
+    let threads = config.threads.min(reads.len().max(1));
+    let chunk_size = reads.len().div_ceil(threads).max(1);
+
+    // (a)+(b): per-thread extraction into pre-allocated, thread-local vectors,
+    // (c): per-thread sort. std::thread::scope keeps this dependency-free.
+    let mut per_thread: Vec<Vec<u64>> = Vec::with_capacity(threads);
+    let mut skipped_total = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for chunk in reads.chunks(chunk_size) {
+            let k = config.k;
+            handles.push(scope.spawn(move || {
+                let capacity: usize = chunk
+                    .iter()
+                    .map(|r| r.len().saturating_sub(k - 1))
+                    .sum();
+                let mut local: Vec<u64> = Vec::with_capacity(capacity);
+                let mut skipped = 0usize;
+                for read in chunk {
+                    if read.len() < k {
+                        skipped += 1;
+                        continue;
+                    }
+                    for kmer in Kmer::iter_windows(read.sequence(), k)
+                        .expect("read length checked above")
+                    {
+                        local.push(kmer.packed());
+                    }
+                }
+                local.sort_unstable();
+                (local, skipped)
+            }));
+        }
+        for handle in handles {
+            let (local, skipped) = handle.join().expect("k-mer counting worker panicked");
+            skipped_total += skipped;
+            per_thread.push(local);
+        }
+    });
+
+    let total_kmers: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+    if total_kmers == 0 {
+        return Err(PakmanError::EmptyInput {
+            message: format!("no read is at least k = {} bases long", config.k),
+        });
+    }
+
+    // Merge the pre-sorted per-thread runs. The final vector is pre-allocated to the
+    // exact total size (§4.5 (b)).
+    let merged = merge_sorted_runs(per_thread, total_kmers as usize);
+
+    // Run-length count duplicates and prune low-count k-mers.
+    let mut counted = Vec::new();
+    let mut pruned = 0usize;
+    let mut distinct = 0usize;
+    let mut i = 0usize;
+    while i < merged.len() {
+        let value = merged[i];
+        let mut j = i + 1;
+        while j < merged.len() && merged[j] == value {
+            j += 1;
+        }
+        let count = (j - i) as u32;
+        distinct += 1;
+        if count >= config.min_count {
+            counted.push(CountedKmer {
+                kmer: kmer_from_packed(value, config.k),
+                count,
+            });
+        } else {
+            pruned += 1;
+        }
+        i = j;
+    }
+
+    let stats = KmerCountStats {
+        total_kmers,
+        distinct_kmers: distinct,
+        pruned_kmers: pruned,
+        skipped_reads: skipped_total,
+    };
+    Ok((counted, stats))
+}
+
+/// Reconstructs a [`Kmer`] from its packed representation.
+fn kmer_from_packed(packed: u64, k: usize) -> Kmer {
+    use nmp_pak_genome::Base;
+    let bases = (0..k).map(|i| {
+        let shift = 2 * (k - 1 - i);
+        Base::from_code(((packed >> shift) & 0b11) as u8)
+    });
+    Kmer::from_bases(bases).expect("k validated by caller")
+}
+
+/// K-way merge of pre-sorted runs into one sorted vector.
+fn merge_sorted_runs(mut runs: Vec<Vec<u64>>, total: usize) -> Vec<u64> {
+    runs.retain(|r| !r.is_empty());
+    match runs.len() {
+        0 => Vec::new(),
+        1 => runs.pop().expect("one run present"),
+        _ => {
+            // Repeated pairwise merging: O(n log r), simple and cache-friendly for the
+            // small run counts used here (≤ thread count).
+            while runs.len() > 1 {
+                let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+                let mut iter = runs.into_iter();
+                while let Some(a) = iter.next() {
+                    match iter.next() {
+                        Some(b) => next.push(merge_two(a, b)),
+                        None => next.push(a),
+                    }
+                }
+                runs = next;
+            }
+            let out = runs.pop().expect("one run remains");
+            debug_assert_eq!(out.len(), total);
+            out
+        }
+    }
+}
+
+fn merge_two(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_genome::DnaString;
+
+    fn reads_from(strs: &[&str]) -> Vec<SequencingRead> {
+        strs.iter()
+            .enumerate()
+            .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn counts_simple_overlapping_kmers() {
+        // "ACGTAC" with k=4 → ACGT, CGTA, GTAC
+        let reads = reads_from(&["ACGTAC", "ACGTAC"]);
+        let (counted, stats) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 4, min_count: 1, threads: 2 },
+        )
+        .unwrap();
+        assert_eq!(stats.total_kmers, 6);
+        assert_eq!(stats.distinct_kmers, 3);
+        assert_eq!(counted.len(), 3);
+        assert!(counted.iter().all(|c| c.count == 2));
+    }
+
+    #[test]
+    fn output_is_sorted_ascending() {
+        let reads = reads_from(&["TTTTGGGGCCCCAAAA", "GATTACAGATTACA"]);
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 5, min_count: 1, threads: 3 },
+        )
+        .unwrap();
+        for pair in counted.windows(2) {
+            assert!(pair[0].kmer < pair[1].kmer, "{:?} !< {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn pruning_removes_low_count_kmers() {
+        let reads = reads_from(&["ACGTACGT", "ACGTACGT", "TTTTTTTT"]);
+        let (counted, stats) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 6, min_count: 2, threads: 2 },
+        )
+        .unwrap();
+        // The TTTTTT k-mer appears 3 times (windows of the single poly-T read), the
+        // ACGTAC-family k-mers appear twice.
+        assert!(counted.iter().all(|c| c.count >= 2));
+        assert!(stats.pruned_kmers == 0 || stats.pruned_kmers < stats.distinct_kmers);
+    }
+
+    #[test]
+    fn prune_threshold_filters_singletons() {
+        let reads = reads_from(&["ACGTACGTAC", "GGGGGGGGGG"]);
+        let (with_singletons, _) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 8, min_count: 1, threads: 1 },
+        )
+        .unwrap();
+        let (without_singletons, stats) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 8, min_count: 2, threads: 1 },
+        )
+        .unwrap();
+        assert!(without_singletons.len() < with_singletons.len());
+        assert!(stats.pruned_kmers > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let reads = reads_from(&[
+            "ACGTACGTACGTTTTACG",
+            "GGGCCCAAATTTACGTAG",
+            "ACGTACGTACGTTTTACG",
+            "TTGACCAGTTGACCAGTT",
+        ]);
+        let single = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 7, min_count: 1, threads: 1 },
+        )
+        .unwrap()
+        .0;
+        for threads in [2, 3, 8] {
+            let multi = count_kmers(
+                &reads,
+                KmerCounterConfig { k: 7, min_count: 1, threads },
+            )
+            .unwrap()
+            .0;
+            assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn short_reads_are_skipped() {
+        let reads = reads_from(&["ACG", "ACGTACGT"]);
+        let (_, stats) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 5, min_count: 1, threads: 2 },
+        )
+        .unwrap();
+        assert_eq!(stats.skipped_reads, 1);
+    }
+
+    #[test]
+    fn all_short_reads_is_an_error() {
+        let reads = reads_from(&["ACG", "TT"]);
+        assert!(matches!(
+            count_kmers(&reads, KmerCounterConfig { k: 5, min_count: 1, threads: 2 }),
+            Err(PakmanError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let reads = reads_from(&["ACGTACGT"]);
+        assert!(count_kmers(&reads, KmerCounterConfig { k: 1, min_count: 1, threads: 1 }).is_err());
+        assert!(count_kmers(&reads, KmerCounterConfig { k: 40, min_count: 1, threads: 1 }).is_err());
+        assert!(count_kmers(&reads, KmerCounterConfig { k: 5, min_count: 1, threads: 0 }).is_err());
+    }
+
+    #[test]
+    fn total_count_is_conserved() {
+        let reads = reads_from(&["ACGTACGTACGTACGT", "TGCATGCATGCA"]);
+        let expected_total: u64 = reads.iter().map(|r| (r.len() - 6 + 1) as u64).sum();
+        let (counted, stats) = count_kmers(
+            &reads,
+            KmerCounterConfig { k: 6, min_count: 1, threads: 2 },
+        )
+        .unwrap();
+        assert_eq!(stats.total_kmers, expected_total);
+        let sum: u64 = counted.iter().map(|c| c.count as u64).sum();
+        assert_eq!(sum, expected_total);
+    }
+}

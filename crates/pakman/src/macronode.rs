@@ -1,0 +1,486 @@
+//! The MacroNode data structure (Fig. 3 of the paper).
+//!
+//! A MacroNode groups every k-mer that shares a (k-1)-mer. The shared (k-1)-mer is
+//! stored once; each grouped k-mer contributes a one-base *prefix* or *suffix*
+//! extension. During Iterative Compaction those extensions grow into multi-base
+//! strings as neighbouring nodes are folded in, which is exactly the dynamic,
+//! non-uniform size behaviour the paper analyses in §3.4 (Figs. 7 and 8).
+//!
+//! Internally this implementation stores the node's *wiring* directly as a list of
+//! [`ThroughPath`]s — (prefix extension, suffix extension, count) triples describing
+//! how sequence flow passes through the node. The paper's prefix list, suffix list and
+//! internal wiring information are all derived views of this list, which keeps the
+//! TransferNode extraction and update rules (Fig. 4) straightforward to express.
+
+use nmp_pak_genome::{Base, DnaString, Kmer};
+
+/// One unit of sequence flow through a MacroNode.
+///
+/// * `prefix = None` means the flow *starts* at this node (a read began here);
+/// * `suffix = None` means the flow *ends* at this node (a read ended here).
+///
+/// The invariant linking neighbouring nodes: if node `X` has a path with prefix `e`,
+/// then the predecessor node `P` (whose (k-1)-mer is the first k-1 bases of
+/// `e + X.k1mer`) has a path whose suffix `s` satisfies `P.k1mer + s == e + X.k1mer`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughPath {
+    /// Incoming extension (bases that precede the (k-1)-mer), or `None` for a
+    /// read-start terminal.
+    pub prefix: Option<DnaString>,
+    /// Outgoing extension (bases that follow the (k-1)-mer), or `None` for a
+    /// read-end terminal.
+    pub suffix: Option<DnaString>,
+    /// Number of k-mer observations supporting this path.
+    pub count: u32,
+}
+
+impl ThroughPath {
+    /// Creates a path with both sides present.
+    pub fn through(prefix: DnaString, suffix: DnaString, count: u32) -> Self {
+        ThroughPath {
+            prefix: Some(prefix),
+            suffix: Some(suffix),
+            count,
+        }
+    }
+
+    /// `true` if the path has both an incoming and an outgoing extension.
+    pub fn is_interior(&self) -> bool {
+        self.prefix.is_some() && self.suffix.is_some()
+    }
+
+    /// Approximate heap bytes used by this path (packed extensions plus bookkeeping).
+    pub fn size_bytes(&self) -> usize {
+        let ext_bytes = |e: &Option<DnaString>| {
+            e.as_ref()
+                .map(|s| s.len().div_ceil(4) + 16)
+                .unwrap_or(1)
+        };
+        // count (4) + two Option discriminants (2) + vector bookkeeping share (8)
+        14 + ext_bytes(&self.prefix) + ext_bytes(&self.suffix)
+    }
+}
+
+/// A MacroNode: a shared (k-1)-mer plus the sequence flow passing through it.
+///
+/// # Example
+///
+/// ```
+/// use nmp_pak_genome::{Base, Kmer};
+/// use nmp_pak_pakman::MacroNode;
+///
+/// // Node "GTCA" with one incoming k-mer AGTCA and one outgoing k-mer GTCAT.
+/// let node = MacroNode::from_extensions(
+///     Kmer::from_ascii("GTCA").unwrap(),
+///     vec![(Base::A, 6)],
+///     vec![(Base::T, 6)],
+/// );
+/// assert_eq!(node.paths().len(), 1);
+/// assert_eq!(node.predecessor_k1mers()[0].to_string(), "AGTC");
+/// assert_eq!(node.successor_k1mers()[0].to_string(), "TCAT");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroNode {
+    k1mer: Kmer,
+    paths: Vec<ThroughPath>,
+}
+
+impl MacroNode {
+    /// Creates an empty MacroNode for the given (k-1)-mer.
+    pub fn new(k1mer: Kmer) -> Self {
+        MacroNode {
+            k1mer,
+            paths: Vec::new(),
+        }
+    }
+
+    /// Builds a MacroNode from single-base prefix and suffix extensions with counts,
+    /// running the count-based wiring step of assembly stage C (Fig. 2).
+    ///
+    /// Prefix and suffix multiplicities are matched greedily in descending count order
+    /// (the same count-proportional heuristic PaKman uses); any imbalance becomes
+    /// terminal flow (`prefix = None` or `suffix = None` paths).
+    pub fn from_extensions(
+        k1mer: Kmer,
+        prefixes: Vec<(Base, u32)>,
+        suffixes: Vec<(Base, u32)>,
+    ) -> Self {
+        let mut node = MacroNode::new(k1mer);
+        node.wire(prefixes, suffixes);
+        node
+    }
+
+    fn wire(&mut self, prefixes: Vec<(Base, u32)>, suffixes: Vec<(Base, u32)>) {
+        let mut ps: Vec<(DnaString, u32)> = prefixes
+            .into_iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(b, c)| (std::iter::once(b).collect(), c))
+            .collect();
+        let mut ss: Vec<(DnaString, u32)> = suffixes
+            .into_iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(b, c)| (std::iter::once(b).collect(), c))
+            .collect();
+        ps.sort_by(|a, b| b.1.cmp(&a.1));
+        ss.sort_by(|a, b| b.1.cmp(&a.1));
+        let best_prefix = ps.first().map(|(e, _)| e.clone());
+        let best_suffix = ss.first().map(|(e, _)| e.clone());
+
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ps.len() && j < ss.len() {
+            let flow = ps[i].1.min(ss[j].1);
+            self.paths.push(ThroughPath::through(ps[i].0.clone(), ss[j].0.clone(), flow));
+            ps[i].1 -= flow;
+            ss[j].1 -= flow;
+            if ps[i].1 == 0 {
+                i += 1;
+            }
+            if ss[j].1 == 0 {
+                j += 1;
+            }
+        }
+
+        // Leftover flow on one side: if the opposite side saw any flow at all, the
+        // imbalance is only sampling noise from read boundaries (the reads that start
+        // or end here are covered by longer reads passing through), so the leftover is
+        // folded into an existing path with the same extension (or wired through the
+        // opposite side's dominant extension). Only nodes with *no* flow on the
+        // opposite side carry true terminal (contig-endpoint) flow.
+        for (prefix, count) in ps.into_iter().skip(i).filter(|(_, c)| *c > 0) {
+            if let Some(path) = self
+                .paths
+                .iter_mut()
+                .find(|p| p.prefix.as_ref() == Some(&prefix))
+            {
+                path.count += count;
+            } else if let Some(suffix) = &best_suffix {
+                self.paths.push(ThroughPath::through(prefix, suffix.clone(), count));
+            } else {
+                self.paths.push(ThroughPath {
+                    prefix: Some(prefix),
+                    suffix: None,
+                    count,
+                });
+            }
+        }
+        for (suffix, count) in ss.into_iter().skip(j).filter(|(_, c)| *c > 0) {
+            if let Some(path) = self
+                .paths
+                .iter_mut()
+                .find(|p| p.suffix.as_ref() == Some(&suffix))
+            {
+                path.count += count;
+            } else if let Some(prefix) = &best_prefix {
+                self.paths.push(ThroughPath::through(prefix.clone(), suffix, count));
+            } else {
+                self.paths.push(ThroughPath {
+                    prefix: None,
+                    suffix: Some(suffix),
+                    count,
+                });
+            }
+        }
+    }
+
+    /// The node's (k-1)-mer.
+    pub fn k1mer(&self) -> Kmer {
+        self.k1mer
+    }
+
+    /// The sequence-flow paths through this node.
+    pub fn paths(&self) -> &[ThroughPath] {
+        &self.paths
+    }
+
+    /// Mutable access for compaction updates (crate-internal).
+    pub(crate) fn paths_mut(&mut self) -> &mut Vec<ThroughPath> {
+        &mut self.paths
+    }
+
+    /// Adds a path (used when merging per-batch compacted graphs).
+    pub fn push_path(&mut self, path: ThroughPath) {
+        self.paths.push(path);
+    }
+
+    /// Distinct prefix extensions with aggregated counts.
+    pub fn prefix_extensions(&self) -> Vec<(DnaString, u32)> {
+        aggregate(self.paths.iter().filter_map(|p| {
+            p.prefix.as_ref().map(|e| (e.clone(), p.count))
+        }))
+    }
+
+    /// Distinct suffix extensions with aggregated counts.
+    pub fn suffix_extensions(&self) -> Vec<(DnaString, u32)> {
+        aggregate(self.paths.iter().filter_map(|p| {
+            p.suffix.as_ref().map(|e| (e.clone(), p.count))
+        }))
+    }
+
+    /// Total incoming (prefix-side) flow, excluding terminal starts.
+    pub fn incoming_count(&self) -> u32 {
+        self.paths
+            .iter()
+            .filter(|p| p.prefix.is_some())
+            .map(|p| p.count)
+            .sum()
+    }
+
+    /// Total outgoing (suffix-side) flow, excluding terminal ends.
+    pub fn outgoing_count(&self) -> u32 {
+        self.paths
+            .iter()
+            .filter(|p| p.suffix.is_some())
+            .map(|p| p.count)
+            .sum()
+    }
+
+    /// Flow that starts at this node (read-start terminals).
+    pub fn terminal_start_count(&self) -> u32 {
+        self.paths
+            .iter()
+            .filter(|p| p.prefix.is_none())
+            .map(|p| p.count)
+            .sum()
+    }
+
+    /// Flow that ends at this node (read-end terminals).
+    pub fn terminal_end_count(&self) -> u32 {
+        self.paths
+            .iter()
+            .filter(|p| p.suffix.is_none())
+            .map(|p| p.count)
+            .sum()
+    }
+
+    /// `true` if every path passes through the node (no terminal flow). Only such
+    /// nodes are candidates for invalidation during Iterative Compaction — removing a
+    /// node with terminal flow would lose a contig endpoint.
+    pub fn is_fully_interior(&self) -> bool {
+        !self.paths.is_empty() && self.paths.iter().all(ThroughPath::is_interior)
+    }
+
+    /// The (k-1)-mer of the predecessor node reached through prefix extension `prefix`.
+    ///
+    /// This is the "calculate preceding node's (k-1)-mer" append operation of
+    /// pipeline stage P1 (Fig. 4 (b), Fig. 10): the first k-1 bases of
+    /// `prefix + self.k1mer`.
+    pub fn predecessor_k1mer(&self, prefix: &DnaString) -> Kmer {
+        let spell = spell_prefix(prefix, &self.k1mer);
+        kmer_from_slice(&spell, 0, self.k1mer.k())
+    }
+
+    /// The (k-1)-mer of the successor node reached through suffix extension `suffix`:
+    /// the last k-1 bases of `self.k1mer + suffix`.
+    pub fn successor_k1mer(&self, suffix: &DnaString) -> Kmer {
+        let spell = spell_suffix(&self.k1mer, suffix);
+        kmer_from_slice(&spell, spell.len() - self.k1mer.k(), self.k1mer.k())
+    }
+
+    /// Distinct predecessor (k-1)-mers over all prefix extensions.
+    pub fn predecessor_k1mers(&self) -> Vec<Kmer> {
+        let mut out: Vec<Kmer> = self
+            .prefix_extensions()
+            .iter()
+            .map(|(e, _)| self.predecessor_k1mer(e))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Distinct successor (k-1)-mers over all suffix extensions.
+    pub fn successor_k1mers(&self) -> Vec<Kmer> {
+        let mut out: Vec<Kmer> = self
+            .suffix_extensions()
+            .iter()
+            .map(|(e, _)| self.successor_k1mer(e))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Approximate in-memory size of the node in bytes.
+    ///
+    /// Mirrors the accounting the paper uses for Figs. 7–8 and the 1 KB hybrid-offload
+    /// threshold: a fixed header (packed (k-1)-mer, vector headers, map entry) plus the
+    /// per-path extension storage.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER_BYTES: usize = 64;
+        HEADER_BYTES + self.paths.iter().map(ThroughPath::size_bytes).sum::<usize>()
+    }
+}
+
+/// `prefix + k1mer` spelled out as a [`DnaString`].
+pub(crate) fn spell_prefix(prefix: &DnaString, k1mer: &Kmer) -> DnaString {
+    let mut s = DnaString::with_capacity(prefix.len() + k1mer.k());
+    s.extend_from(prefix);
+    s.extend(k1mer.to_dna_string().iter());
+    s
+}
+
+/// `k1mer + suffix` spelled out as a [`DnaString`].
+pub(crate) fn spell_suffix(k1mer: &Kmer, suffix: &DnaString) -> DnaString {
+    let mut s = DnaString::with_capacity(suffix.len() + k1mer.k());
+    s.extend(k1mer.to_dna_string().iter());
+    s.extend_from(suffix);
+    s
+}
+
+/// Extracts the `[start, start + len)` window of `dna` as a [`Kmer`].
+pub(crate) fn kmer_from_slice(dna: &DnaString, start: usize, len: usize) -> Kmer {
+    Kmer::from_dna(dna, start, len).expect("window bounds validated by caller")
+}
+
+fn aggregate<I: Iterator<Item = (DnaString, u32)>>(items: I) -> Vec<(DnaString, u32)> {
+    let mut out: Vec<(DnaString, u32)> = Vec::new();
+    for (ext, count) in items {
+        match out.iter_mut().find(|(e, _)| *e == ext) {
+            Some((_, c)) => *c += count,
+            None => out.push((ext, count)),
+        }
+    }
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(text: &str) -> Kmer {
+        Kmer::from_ascii(text).unwrap()
+    }
+
+    fn d(text: &str) -> DnaString {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_fig3_example_groups_kmers_by_shared_k1mer() {
+        // Fig. 3(a): with k = 5, k-mers AGTCA, CGTCA, TGTCA, GTCAT, GTCAG share
+        // (k-1)-mer GTCA: three prefixes (A, C, T) and two suffixes (T, G).
+        let node = MacroNode::from_extensions(
+            k("GTCA"),
+            vec![(Base::A, 1), (Base::C, 1), (Base::T, 1)],
+            vec![(Base::T, 1), (Base::G, 1)],
+        );
+        assert_eq!(node.prefix_extensions().len(), 3);
+        assert_eq!(node.suffix_extensions().len(), 2);
+        assert_eq!(node.incoming_count(), 3);
+        // The read that ends at this node is covered by the through-flow, so the
+        // one-k-mer imbalance is wired through rather than kept as terminal flow.
+        assert_eq!(node.outgoing_count(), 3);
+        assert_eq!(node.terminal_end_count(), 0);
+        assert!(node.is_fully_interior());
+    }
+
+    #[test]
+    fn wiring_conserves_counts() {
+        let node = MacroNode::from_extensions(
+            k("ACGT"),
+            vec![(Base::A, 10), (Base::C, 3)],
+            vec![(Base::G, 7), (Base::T, 6)],
+        );
+        let total_in: u32 = node.incoming_count();
+        let total_out: u32 = node.outgoing_count();
+        assert_eq!(total_in, 13);
+        assert_eq!(total_out, 13);
+        let path_total: u32 = node.paths().iter().map(|p| p.count).sum();
+        // Interior flow is min(13, 13) = 13; no terminals needed.
+        assert_eq!(path_total, 13);
+        assert!(node.is_fully_interior());
+    }
+
+    #[test]
+    fn imbalance_with_flow_on_both_sides_is_wired_through() {
+        let node = MacroNode::from_extensions(
+            k("ACGT"),
+            vec![(Base::A, 2)],
+            vec![(Base::G, 5)],
+        );
+        // The 3 extra suffix observations are wired through the dominant prefix.
+        assert_eq!(node.terminal_start_count(), 0);
+        assert_eq!(node.incoming_count(), 5);
+        assert_eq!(node.outgoing_count(), 5);
+        assert!(node.is_fully_interior());
+    }
+
+    #[test]
+    fn one_sided_nodes_carry_terminal_flow() {
+        let start = MacroNode::from_extensions(k("ACGT"), vec![(Base::A, 0)], vec![(Base::G, 4)]);
+        assert_eq!(start.terminal_start_count(), 4);
+        assert!(!start.is_fully_interior());
+        let end = MacroNode::from_extensions(k("ACGT"), vec![(Base::C, 2)], vec![(Base::G, 0)]);
+        assert_eq!(end.terminal_end_count(), 2);
+        assert!(!end.is_fully_interior());
+    }
+
+    #[test]
+    fn zero_count_extensions_are_ignored() {
+        let node = MacroNode::from_extensions(
+            k("ACGT"),
+            vec![(Base::A, 0), (Base::C, 2)],
+            vec![(Base::G, 2), (Base::T, 0)],
+        );
+        assert_eq!(node.prefix_extensions().len(), 1);
+        assert_eq!(node.suffix_extensions().len(), 1);
+    }
+
+    #[test]
+    fn neighbour_k1mers_match_paper_fig4() {
+        // Fig. 4(b): node GTCA with prefixes {A, C} and suffixes {T, G} has
+        // predecessors AGTC / CGTC and successors TCAT / TCAG.
+        let node = MacroNode::from_extensions(
+            k("GTCA"),
+            vec![(Base::A, 1), (Base::C, 1)],
+            vec![(Base::T, 1), (Base::G, 1)],
+        );
+        let preds: Vec<String> = node.predecessor_k1mers().iter().map(Kmer::to_string).collect();
+        let succs: Vec<String> = node.successor_k1mers().iter().map(Kmer::to_string).collect();
+        assert!(preds.contains(&"AGTC".to_string()));
+        assert!(preds.contains(&"CGTC".to_string()));
+        assert!(succs.contains(&"TCAT".to_string()));
+        assert!(succs.contains(&"TCAG".to_string()));
+    }
+
+    #[test]
+    fn multi_base_extensions_compute_neighbours_correctly() {
+        // Fig. 4(b) also computes CAGT for the two-base prefix "CA" of node GTCA.
+        let node = MacroNode::new(k("GTCA"));
+        assert_eq!(node.predecessor_k1mer(&d("CA")).to_string(), "CAGT");
+        assert_eq!(node.successor_k1mer(&d("CA")).to_string(), "CACA");
+        // Extensions longer than k-1 work too: the neighbour lies entirely inside the
+        // extension.
+        assert_eq!(node.predecessor_k1mer(&d("TTTTTT")).to_string(), "TTTT");
+        assert_eq!(node.successor_k1mer(&d("AAAAAA")).to_string(), "AAAA");
+    }
+
+    #[test]
+    fn size_grows_with_extension_length() {
+        let small = MacroNode::from_extensions(k("ACGT"), vec![(Base::A, 1)], vec![(Base::C, 1)]);
+        let mut large = small.clone();
+        large.paths_mut()[0].suffix = Some(d(&"ACGT".repeat(64)));
+        assert!(large.size_bytes() > small.size_bytes());
+        assert!(small.size_bytes() >= 64);
+    }
+
+    #[test]
+    fn aggregated_extensions_merge_duplicates() {
+        let mut node = MacroNode::new(k("ACGT"));
+        node.push_path(ThroughPath::through(d("A"), d("T"), 3));
+        node.push_path(ThroughPath::through(d("A"), d("G"), 2));
+        node.push_path(ThroughPath::through(d("C"), d("T"), 1));
+        let prefixes = node.prefix_extensions();
+        assert_eq!(prefixes[0], (d("A"), 5));
+        assert_eq!(prefixes[1], (d("C"), 1));
+        let suffixes = node.suffix_extensions();
+        assert_eq!(suffixes[0], (d("T"), 4));
+    }
+
+    #[test]
+    fn spell_helpers_concatenate() {
+        assert_eq!(spell_prefix(&d("AG"), &k("TTC")).to_string(), "AGTTC");
+        assert_eq!(spell_suffix(&k("TTC"), &d("AG")).to_string(), "TTCAG");
+    }
+}

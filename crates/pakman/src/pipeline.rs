@@ -1,0 +1,315 @@
+//! The end-to-end PaKman assembly pipeline (Fig. 2 steps A–E) with per-phase timing.
+
+use crate::compaction::{compact, CompactionStats};
+use crate::config::PakmanConfig;
+use crate::contig::{AssemblyStats, Contig};
+use crate::error::PakmanError;
+use crate::graph::PakGraph;
+use crate::kmer_count::{count_kmers, KmerCountStats, KmerCounterConfig};
+use crate::memory::MemoryFootprint;
+use crate::trace::CompactionTrace;
+use crate::walk::generate_contigs;
+use nmp_pak_genome::SequencingRead;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each assembly phase (the quantities behind Fig. 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Step A: accessing and distributing reads (here: partitioning / bookkeeping).
+    pub access_reads: Duration,
+    /// Step B: k-mer counting.
+    pub kmer_counting: Duration,
+    /// Step C: MacroNode construction and wiring.
+    pub macronode_construction: Duration,
+    /// Step D: Iterative Compaction.
+    pub compaction: Duration,
+    /// Step E: graph walk and contig generation.
+    pub walk: Duration,
+}
+
+impl PhaseTimings {
+    /// Total assembly time.
+    pub fn total(&self) -> Duration {
+        self.access_reads
+            + self.kmer_counting
+            + self.macronode_construction
+            + self.compaction
+            + self.walk
+    }
+
+    /// Per-phase shares of the total runtime, in the order A–E. Returns zeros if the
+    /// total is zero.
+    pub fn shares(&self) -> [f64; 5] {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.access_reads.as_secs_f64() / total,
+            self.kmer_counting.as_secs_f64() / total,
+            self.macronode_construction.as_secs_f64() / total,
+            self.compaction.as_secs_f64() / total,
+            self.walk.as_secs_f64() / total,
+        ]
+    }
+}
+
+/// Everything produced by one assembly run.
+#[derive(Debug, Clone)]
+pub struct AssemblyOutput {
+    /// The assembled contigs, longest first.
+    pub contigs: Vec<Contig>,
+    /// Assembly-quality statistics (N50 etc.).
+    pub stats: AssemblyStats,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// k-mer counting statistics.
+    pub kmer_stats: KmerCountStats,
+    /// Iterative Compaction statistics.
+    pub compaction: CompactionStats,
+    /// Compaction access trace (when requested in the configuration).
+    pub trace: Option<CompactionTrace>,
+    /// Memory-footprint model for this workload.
+    pub footprint: MemoryFootprint,
+    /// The compacted PaK-graph (useful for merging batches or re-walking).
+    pub graph: PakGraph,
+}
+
+/// The end-to-end PaKman assembler.
+///
+/// # Example
+///
+/// ```
+/// use nmp_pak_genome::{DnaString, SequencingRead};
+/// use nmp_pak_pakman::{PakmanAssembler, PakmanConfig};
+///
+/// # fn main() -> Result<(), nmp_pak_pakman::PakmanError> {
+/// let reads = vec![SequencingRead::new(
+///     "r0",
+///     "ACGTACCTGATCAGTTGCAACGGT".parse::<DnaString>().unwrap(),
+/// )];
+/// let output = PakmanAssembler::new(PakmanConfig {
+///     k: 5,
+///     min_kmer_count: 1,
+///     threads: 1,
+///     ..PakmanConfig::default()
+/// })
+/// .assemble(&reads)?;
+/// assert_eq!(output.contigs[0].sequence.to_string(), "ACGTACCTGATCAGTTGCAACGGT");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PakmanAssembler {
+    config: PakmanConfig,
+}
+
+impl PakmanAssembler {
+    /// Creates an assembler with the given configuration.
+    pub fn new(config: PakmanConfig) -> Self {
+        PakmanAssembler { config }
+    }
+
+    /// The assembler configuration.
+    pub fn config(&self) -> &PakmanConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `reads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::InvalidConfig`] for invalid configurations and
+    /// [`PakmanError::EmptyInput`] when the reads contain no usable k-mers.
+    pub fn assemble(&self, reads: &[SequencingRead]) -> Result<AssemblyOutput, PakmanError> {
+        self.config.validate()?;
+
+        // Step A: access and distribute reads. In the single-node library this is the
+        // bookkeeping pass over the read set (length census for pre-allocation).
+        let t0 = Instant::now();
+        let total_read_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
+        if total_read_bases == 0 {
+            return Err(PakmanError::EmptyInput {
+                message: "the read set is empty".to_string(),
+            });
+        }
+        let access_reads = t0.elapsed();
+
+        // Step B: k-mer counting.
+        let t1 = Instant::now();
+        let (counted, kmer_stats) = count_kmers(reads, KmerCounterConfig::from(&self.config))?;
+        let kmer_counting = t1.elapsed();
+        if counted.is_empty() {
+            return Err(PakmanError::EmptyInput {
+                message: format!(
+                    "all k-mers were pruned (min count {})",
+                    self.config.min_kmer_count
+                ),
+            });
+        }
+
+        // Step C: MacroNode construction and wiring.
+        let t2 = Instant::now();
+        let mut graph = PakGraph::from_counted_kmers(&counted, self.config.k);
+        let macronode_construction = t2.elapsed();
+        let macronode_bytes = graph.total_size_bytes() as u64;
+
+        // Step D: Iterative Compaction.
+        let t3 = Instant::now();
+        let outcome = compact(&mut graph, &self.config);
+        let compaction = t3.elapsed();
+
+        // Step E: graph walk and contig generation.
+        let t4 = Instant::now();
+        let contigs = generate_contigs(&graph, self.config.min_contig_length);
+        let walk = t4.elapsed();
+
+        let stats = AssemblyStats::from_contigs(&contigs);
+        let footprint = MemoryFootprint::from_workload(
+            total_read_bases,
+            kmer_stats.total_kmers,
+            macronode_bytes,
+        );
+
+        Ok(AssemblyOutput {
+            contigs,
+            stats,
+            timings: PhaseTimings {
+                access_reads,
+                kmer_counting,
+                macronode_construction,
+                compaction,
+                walk,
+            },
+            kmer_stats,
+            compaction: outcome.stats,
+            trace: outcome.trace,
+            footprint,
+            graph,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
+
+    fn simulated_reads(length: usize, coverage: f64, seed: u64) -> (ReferenceGenome, Vec<SequencingRead>) {
+        let genome = ReferenceGenome::builder()
+            .length(length)
+            .no_repeats()
+            .seed(seed)
+            .build()
+            .unwrap();
+        let reads = ReadSimulator::new(SequencerConfig {
+            coverage,
+            substitution_error_rate: 0.0,
+            seed: seed + 1,
+            ..SequencerConfig::default()
+        })
+        .simulate(&genome)
+        .unwrap();
+        (genome, reads)
+    }
+
+    fn test_config(k: usize) -> PakmanConfig {
+        PakmanConfig {
+            k,
+            min_kmer_count: 1,
+            compaction_node_threshold: 10,
+            threads: 2,
+            record_trace: true,
+            ..PakmanConfig::default()
+        }
+    }
+
+    #[test]
+    fn assembles_error_free_reads_into_long_contigs() {
+        let (genome, reads) = simulated_reads(8_000, 30.0, 11);
+        let output = PakmanAssembler::new(test_config(21)).assemble(&reads).unwrap();
+        // The assembly should recover most of the genome with few contigs.
+        assert!(
+            output.stats.total_length as f64 > 0.8 * genome.len() as f64,
+            "total assembled {} of genome {}",
+            output.stats.total_length,
+            genome.len()
+        );
+        // Deep compaction (threshold 10) trades contiguity for node reduction in this
+        // implementation (see DESIGN.md "known deviations"); a shallower run keeps
+        // long contigs.
+        let shallow = PakmanAssembler::new(PakmanConfig {
+            compaction_node_threshold: usize::MAX,
+            ..test_config(21)
+        })
+        .assemble(&reads)
+        .unwrap();
+        assert!(
+            shallow.stats.n50 as f64 > 0.2 * genome.len() as f64,
+            "n50 = {}",
+            shallow.stats.n50
+        );
+    }
+
+    #[test]
+    fn compaction_dominates_macronode_count_reduction() {
+        let (_, reads) = simulated_reads(4_000, 20.0, 5);
+        let output = PakmanAssembler::new(test_config(17)).assemble(&reads).unwrap();
+        assert!(output.compaction.initial_nodes > output.compaction.final_nodes);
+        assert!(output.compaction.reduction_factor() > 2.0);
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested() {
+        let (_, reads) = simulated_reads(2_000, 15.0, 9);
+        let output = PakmanAssembler::new(test_config(15)).assemble(&reads).unwrap();
+        let trace = output.trace.expect("trace requested");
+        assert!(trace.iteration_count() > 0);
+        assert!(trace.total_transfers() > 0);
+
+        let mut cfg = test_config(15);
+        cfg.record_trace = false;
+        let output = PakmanAssembler::new(cfg).assemble(&reads).unwrap();
+        assert!(output.trace.is_none());
+    }
+
+    #[test]
+    fn timings_cover_all_phases() {
+        let (_, reads) = simulated_reads(2_000, 10.0, 3);
+        let output = PakmanAssembler::new(test_config(15)).assemble(&reads).unwrap();
+        let shares = output.timings.shares();
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(output.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let assembler = PakmanAssembler::new(test_config(15));
+        assert!(matches!(
+            assembler.assemble(&[]),
+            Err(PakmanError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (_, reads) = simulated_reads(1_000, 5.0, 2);
+        let assembler = PakmanAssembler::new(PakmanConfig { k: 1, ..PakmanConfig::default() });
+        assert!(matches!(
+            assembler.assemble(&reads),
+            Err(PakmanError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn footprint_reflects_workload_size() {
+        let (_, reads_small) = simulated_reads(2_000, 10.0, 7);
+        let (_, reads_large) = simulated_reads(8_000, 10.0, 7);
+        let small = PakmanAssembler::new(test_config(17)).assemble(&reads_small).unwrap();
+        let large = PakmanAssembler::new(test_config(17)).assemble(&reads_large).unwrap();
+        assert!(large.footprint.peak_bytes() > small.footprint.peak_bytes());
+        assert!(large.footprint.expansion_factor() > 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! TransferNodes: the messages that carry an invalidated MacroNode's sequence content
+//! to its neighbours during Iterative Compaction (Fig. 4 (c)–(d)).
+
+use crate::macronode::{spell_prefix, spell_suffix, MacroNode, ThroughPath};
+use nmp_pak_genome::{DnaString, Kmer};
+
+/// Which side of the destination MacroNode a TransferNode updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferSide {
+    /// The destination precedes the invalidated node; its matching **suffix**
+    /// extension is extended forward (Fig. 4 (d): `new_ext = pred_ext + suffix`).
+    Predecessor,
+    /// The destination succeeds the invalidated node; its matching **prefix**
+    /// extension is extended backward (`new_ext = prefix + succ_ext`).
+    Successor,
+}
+
+/// A TransferNode extracted from an invalidated MacroNode.
+///
+/// Extraction for a through-path `(prefix e, suffix f, count c)` of invalidated node
+/// `X` produces two TransferNodes:
+///
+/// * to the **predecessor** `P` (first k-1 bases of `e + X.k1mer`): locate the suffix
+///   `s` with `P.k1mer + s == e + X.k1mer` and replace it with `s + f`;
+/// * to the **successor** `S` (last k-1 bases of `X.k1mer + f`): locate the prefix `p`
+///   with `p + S.k1mer == X.k1mer + f` and replace it with `e + p`.
+///
+/// Both updates preserve the spelled sequence of the path `P → X → S`, so compaction
+/// never loses assembled bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferNode {
+    /// (k-1)-mer of the MacroNode to update.
+    pub destination: Kmer,
+    /// Which side of the destination is updated.
+    pub side: TransferSide,
+    /// The existing extension at the destination to locate (`pred_ext` in Fig. 4).
+    pub match_ext: DnaString,
+    /// The replacement extension (`new_ext` in Fig. 4).
+    pub new_ext: DnaString,
+    /// Flow count carried by this transfer.
+    pub count: u32,
+    /// (k-1)-mer of the invalidated source node (for bookkeeping and traces).
+    pub source: Kmer,
+}
+
+impl TransferNode {
+    /// Approximate wire size of this TransferNode in bytes, used by the hardware model
+    /// when routing transfers through the crossbar / network bridge.
+    pub fn size_bytes(&self) -> usize {
+        // destination + source (8 B each), side + count (8 B), packed extensions.
+        24 + self.match_ext.len().div_ceil(4) + self.new_ext.len().div_ceil(4)
+    }
+
+    /// Extracts the TransferNodes for every interior path of `node` (pipeline stage P2).
+    ///
+    /// Paths with terminal flow produce no transfers; callers should only invalidate
+    /// fully interior nodes (see [`MacroNode::is_fully_interior`]).
+    pub fn extract_all(node: &MacroNode) -> Vec<TransferNode> {
+        let mut out = Vec::with_capacity(node.paths().len() * 2);
+        for path in node.paths() {
+            out.extend(TransferNode::extract_for_path(node, path));
+        }
+        out
+    }
+
+    /// Extracts the (predecessor, successor) TransferNode pair for one interior path.
+    pub fn extract_for_path(node: &MacroNode, path: &ThroughPath) -> Vec<TransferNode> {
+        let (Some(prefix), Some(suffix)) = (&path.prefix, &path.suffix) else {
+            return Vec::new();
+        };
+        let k1 = node.k1mer();
+        let k1_len = k1.k();
+
+        // Predecessor side.
+        let pred_spell = spell_prefix(prefix, &k1); // e + X.k1mer
+        let pred_k1mer = crate::macronode::kmer_from_slice(&pred_spell, 0, k1_len);
+        let pred_match = pred_spell.slice(k1_len, pred_spell.len() - k1_len);
+        let mut pred_new = pred_match.clone();
+        pred_new.extend_from(suffix);
+
+        // Successor side.
+        let succ_spell = spell_suffix(&k1, suffix); // X.k1mer + f
+        let succ_k1mer =
+            crate::macronode::kmer_from_slice(&succ_spell, succ_spell.len() - k1_len, k1_len);
+        let succ_match = succ_spell.slice(0, succ_spell.len() - k1_len);
+        let mut succ_new = prefix.clone();
+        succ_new.extend_from(&succ_match);
+
+        vec![
+            TransferNode {
+                destination: pred_k1mer,
+                side: TransferSide::Predecessor,
+                match_ext: pred_match,
+                new_ext: pred_new,
+                count: path.count,
+                source: k1,
+            },
+            TransferNode {
+                destination: succ_k1mer,
+                side: TransferSide::Successor,
+                match_ext: succ_match,
+                new_ext: succ_new,
+                count: path.count,
+                source: k1,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_genome::Base;
+
+    fn k(text: &str) -> Kmer {
+        Kmer::from_ascii(text).unwrap()
+    }
+
+    fn d(text: &str) -> DnaString {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_fig4_transfer_extraction() {
+        // Fig. 4 (c): invalidated node GTCA with prefix 'A' and suffix 'T' (count 6)
+        // produces a TransferNode to predecessor AGTC with pred_ext 'A' and
+        // new_ext 'AT'.
+        let node = MacroNode::from_extensions(k("GTCA"), vec![(Base::A, 6)], vec![(Base::T, 6)]);
+        let transfers = TransferNode::extract_all(&node);
+        assert_eq!(transfers.len(), 2);
+
+        let pred = transfers
+            .iter()
+            .find(|t| t.side == TransferSide::Predecessor)
+            .unwrap();
+        assert_eq!(pred.destination.to_string(), "AGTC");
+        assert_eq!(pred.match_ext.to_string(), "A");
+        assert_eq!(pred.new_ext.to_string(), "AT");
+        assert_eq!(pred.count, 6);
+
+        let succ = transfers
+            .iter()
+            .find(|t| t.side == TransferSide::Successor)
+            .unwrap();
+        assert_eq!(succ.destination.to_string(), "TCAT");
+        assert_eq!(succ.match_ext.to_string(), "G");
+        assert_eq!(succ.new_ext.to_string(), "AG");
+        assert_eq!(succ.count, 6);
+    }
+
+    #[test]
+    fn transfers_preserve_spelled_sequence() {
+        // The predecessor update and successor update must describe the same
+        // spelled path e + X.k1mer + f.
+        let node = MacroNode::from_extensions(
+            k("GTCA"),
+            vec![(Base::C, 4)],
+            vec![(Base::G, 4)],
+        );
+        let full_spell = "CGTCAG"; // e + k1mer + f
+        let transfers = TransferNode::extract_all(&node);
+        let pred = transfers.iter().find(|t| t.side == TransferSide::Predecessor).unwrap();
+        let succ = transfers.iter().find(|t| t.side == TransferSide::Successor).unwrap();
+        // predecessor: P.k1mer + new_ext == full spell
+        assert_eq!(format!("{}{}", pred.destination, pred.new_ext), full_spell);
+        // successor: new_ext + S.k1mer == full spell
+        assert_eq!(format!("{}{}", succ.new_ext, succ.destination), full_spell);
+    }
+
+    #[test]
+    fn multi_base_extensions_are_supported() {
+        let mut node = MacroNode::new(k("GTCA"));
+        node.push_path(ThroughPath::through(d("CA"), d("TG"), 3));
+        let transfers = TransferNode::extract_all(&node);
+        let pred = transfers.iter().find(|t| t.side == TransferSide::Predecessor).unwrap();
+        assert_eq!(pred.destination.to_string(), "CAGT");
+        assert_eq!(pred.match_ext.to_string(), "CA");
+        assert_eq!(pred.new_ext.to_string(), "CATG");
+        let succ = transfers.iter().find(|t| t.side == TransferSide::Successor).unwrap();
+        assert_eq!(succ.destination.to_string(), "CATG");
+        assert_eq!(succ.match_ext.to_string(), "GT");
+        assert_eq!(succ.new_ext.to_string(), "CAGT");
+        // Both sides still spell CAGTCATG.
+        assert_eq!(format!("{}{}", pred.destination, pred.new_ext), "CAGTCATG");
+        assert_eq!(format!("{}{}", succ.new_ext, succ.destination), "CAGTCATG");
+    }
+
+    #[test]
+    fn terminal_paths_produce_no_transfers() {
+        let mut node = MacroNode::new(k("GTCA"));
+        node.push_path(ThroughPath {
+            prefix: None,
+            suffix: Some(d("T")),
+            count: 2,
+        });
+        node.push_path(ThroughPath {
+            prefix: Some(d("A")),
+            suffix: None,
+            count: 2,
+        });
+        assert!(TransferNode::extract_all(&node).is_empty());
+    }
+
+    #[test]
+    fn size_bytes_scales_with_extension_length() {
+        let node = MacroNode::from_extensions(k("GTCA"), vec![(Base::A, 1)], vec![(Base::T, 1)]);
+        let small = &TransferNode::extract_all(&node)[0];
+        let mut long_node = MacroNode::new(k("GTCA"));
+        long_node.push_path(ThroughPath::through(d(&"A".repeat(100)), d(&"T".repeat(100)), 1));
+        let large = &TransferNode::extract_all(&long_node)[0];
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+}

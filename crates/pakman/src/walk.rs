@@ -1,0 +1,280 @@
+//! Graph walk and contig generation (assembly step E, Fig. 2).
+//!
+//! After Iterative Compaction the PaK-graph is small and its extensions are long, so
+//! a simple traversal suffices (the paper measures this step at ~1 % of runtime,
+//! Fig. 5). The walk starts at nodes carrying terminal-start flow (reads began there),
+//! repeatedly follows the wired through-path with the highest remaining count, and
+//! spells out the visited (k-1)-mer plus every suffix extension along the way.
+
+use crate::contig::Contig;
+use crate::graph::PakGraph;
+use nmp_pak_genome::DnaString;
+
+/// Generates contigs from a (typically compacted) PaK-graph.
+///
+/// Contigs shorter than `min_length` bases are discarded. The result is sorted by
+/// decreasing length.
+pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
+    let mut used: Vec<Vec<bool>> = vec![Vec::new(); graph.slot_count()];
+    for (slot, node) in graph.iter_alive() {
+        used[slot] = vec![false; node.paths().len()];
+    }
+
+    let mut contigs = Vec::new();
+
+    // Pass 1: start from true source nodes (no incoming interior flow at all). Reads
+    // that merely *start* at an otherwise covered node contribute redundant terminal
+    // flow and are not separate contig starts.
+    for (slot, node) in graph.iter_alive() {
+        if node.incoming_count() > 0 {
+            continue;
+        }
+        for path_idx in 0..node.paths().len() {
+            let path = &node.paths()[path_idx];
+            if path.suffix.is_some() && !used[slot][path_idx] {
+                let contig = walk_from(graph, &mut used, slot, path_idx);
+                contigs.push(contig);
+            }
+        }
+    }
+
+    // Pass 2: cover leftovers (cycles or wiring breaks) by starting at any unused
+    // interior path whose successor still exists. Residual paths that point at nodes
+    // removed by compaction are stale wiring noise, not assembly content.
+    for (slot, node) in graph.iter_alive() {
+        for path_idx in 0..node.paths().len() {
+            let path = &node.paths()[path_idx];
+            if path.prefix.is_some() && !used[slot][path_idx] {
+                if let Some(suffix) = path.suffix.as_ref() {
+                    if graph.contains(&node.successor_k1mer(suffix)) {
+                        let contig = walk_from(graph, &mut used, slot, path_idx);
+                        contigs.push(contig);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: isolated nodes with only terminal flow still carry their (k-1)-mer.
+    for (slot, node) in graph.iter_alive() {
+        if node.paths().iter().all(|p| p.suffix.is_none())
+            && used[slot].iter().all(|u| !u)
+        {
+            contigs.push(Contig::new(node.k1mer().to_dna_string()));
+            for flag in &mut used[slot] {
+                *flag = true;
+            }
+        }
+    }
+
+    let mut contigs: Vec<Contig> = contigs
+        .into_iter()
+        .filter(|c| c.len() >= min_length)
+        .collect();
+    contigs.sort_by(|a, b| b.len().cmp(&a.len()));
+    contigs
+}
+
+/// Walks forward from `(slot, path_idx)`, spelling the node's (k-1)-mer followed by
+/// every suffix extension along the wired path, until the chain ends or every
+/// continuation has already been used.
+fn walk_from(
+    graph: &PakGraph,
+    used: &mut [Vec<bool>],
+    start_slot: usize,
+    start_path: usize,
+) -> Contig {
+    let start_node = graph.node(start_slot).expect("start slot is alive");
+    let mut sequence = start_node.k1mer().to_dna_string();
+    let k1_len = start_node.k1mer().k();
+
+    let mut slot = start_slot;
+    let mut path_idx = start_path;
+    // Bound the walk defensively; each step consumes a path so this cannot loop
+    // forever, but the explicit cap keeps malformed graphs from degenerating.
+    let max_steps = graph.slot_count().saturating_mul(4) + 16;
+
+    for _ in 0..max_steps {
+        let node = match graph.node(slot) {
+            Some(n) => n,
+            None => break,
+        };
+        if used[slot][path_idx] {
+            break;
+        }
+        used[slot][path_idx] = true;
+
+        let path = &node.paths()[path_idx];
+        let Some(suffix) = path.suffix.as_ref() else {
+            break;
+        };
+        sequence.extend_from(suffix);
+
+        // Move to the successor through this suffix. The incoming extension the
+        // successor knows us by is the spelled edge minus its own (k-1)-mer.
+        let spell = crate::macronode::spell_suffix(&node.k1mer(), suffix);
+        let successor_k1mer = node.successor_k1mer(suffix);
+        let Some(next_slot) = graph.index_of(&successor_k1mer) else {
+            break;
+        };
+        let incoming = spell.slice(0, spell.len() - k1_len);
+
+        let next_node = graph.node(next_slot).expect("successor is alive");
+        let exact = next_node
+            .paths()
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                !used[next_slot][*i] && p.prefix.as_ref() == Some(&incoming)
+            })
+            .max_by_key(|(_, p)| p.count)
+            .map(|(i, _)| i);
+        // Compaction can leave the two sides of an edge at different extension lengths
+        // (partial transfers); accept a consistent prefix — one string being a suffix
+        // of the other — when no exact match remains.
+        let next_path = exact.or_else(|| {
+            let incoming_text = incoming.to_ascii();
+            next_node
+                .paths()
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| {
+                    if used[next_slot][*i] {
+                        return false;
+                    }
+                    match &p.prefix {
+                        Some(prefix) => {
+                            let text = prefix.to_ascii();
+                            incoming_text.ends_with(&text) || text.ends_with(&incoming_text)
+                        }
+                        None => false,
+                    }
+                })
+                .max_by_key(|(_, p)| p.count)
+                .map(|(i, _)| i)
+        });
+
+        match next_path {
+            Some(i) => {
+                slot = next_slot;
+                path_idx = i;
+            }
+            None => break,
+        }
+    }
+
+    Contig::new(sequence)
+}
+
+/// Convenience: returns the longest contig spelled by the graph, if any.
+pub fn longest_contig(graph: &PakGraph) -> Option<DnaString> {
+    generate_contigs(graph, 0)
+        .into_iter()
+        .map(|c| c.sequence)
+        .max_by_key(DnaString::len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compaction::compact;
+    use crate::config::PakmanConfig;
+    use crate::kmer_count::{count_kmers, KmerCounterConfig};
+    use nmp_pak_genome::SequencingRead;
+
+    fn graph_from_reads(reads: &[&str], k: usize) -> PakGraph {
+        let reads: Vec<SequencingRead> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap())
+            })
+            .collect();
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig { k, min_count: 1, threads: 1 },
+        )
+        .unwrap();
+        PakGraph::from_counted_kmers(&counted, k)
+    }
+
+    #[test]
+    fn uncompacted_chain_walks_back_to_the_read() {
+        let read = "ACGTACCTGATCAG";
+        let graph = graph_from_reads(&[read], 5);
+        let contigs = generate_contigs(&graph, 0);
+        assert_eq!(contigs[0].sequence.to_string(), read);
+    }
+
+    #[test]
+    fn compacted_chain_walks_back_to_the_read() {
+        let read = "ACGTACCTGATCAGTTGCAACGGT";
+        let mut graph = graph_from_reads(&[read], 5);
+        compact(
+            &mut graph,
+            &PakmanConfig {
+                compaction_node_threshold: 0,
+                threads: 1,
+                ..PakmanConfig::default()
+            },
+        );
+        let contigs = generate_contigs(&graph, 0);
+        assert_eq!(contigs[0].sequence.to_string(), read);
+    }
+
+    #[test]
+    fn duplicate_reads_do_not_duplicate_contig_content() {
+        let read = "ACGTACCTGATCAG";
+        let graph = graph_from_reads(&[read, read, read], 5);
+        let contigs = generate_contigs(&graph, 0);
+        assert_eq!(contigs[0].sequence.to_string(), read);
+        // All additional contigs (from duplicated terminal flow) are no longer than
+        // the primary contig.
+        assert!(contigs.iter().all(|c| c.len() <= read.len()));
+    }
+
+    #[test]
+    fn two_disjoint_reads_produce_two_contigs() {
+        let a = "ACGTACCTGATCAG";
+        let b = "GGCCTTAAGTCCTA";
+        let graph = graph_from_reads(&[a, b], 5);
+        let contigs = generate_contigs(&graph, 0);
+        let spelled: Vec<String> = contigs.iter().map(|c| c.sequence.to_string()).collect();
+        assert!(spelled.contains(&a.to_string()), "missing {a} in {spelled:?}");
+        assert!(spelled.contains(&b.to_string()), "missing {b} in {spelled:?}");
+    }
+
+    #[test]
+    fn min_length_filter_applies() {
+        let graph = graph_from_reads(&["ACGTACCTGATCAG"], 5);
+        let all = generate_contigs(&graph, 0);
+        let filtered = generate_contigs(&graph, 1_000);
+        assert!(!all.is_empty());
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn cyclic_graph_still_terminates_and_covers_sequence() {
+        // A perfectly periodic read yields a cycle in the (k-1)-mer graph.
+        let read = "ACGACGACGACGACG";
+        let graph = graph_from_reads(&[read], 4);
+        let contigs = generate_contigs(&graph, 0);
+        assert!(!contigs.is_empty());
+        let longest = contigs[0].len();
+        assert!(longest >= 6, "cycle walk too short: {longest}");
+    }
+
+    #[test]
+    fn longest_contig_helper() {
+        let graph = graph_from_reads(&["ACGTACCTGATCAG", "GGCCTTA"], 5);
+        let longest = longest_contig(&graph).unwrap();
+        assert_eq!(longest.to_string(), "ACGTACCTGATCAG");
+    }
+
+    #[test]
+    fn empty_graph_produces_no_contigs() {
+        let graph = PakGraph::default();
+        assert!(generate_contigs(&graph, 0).is_empty());
+        assert!(longest_contig(&graph).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! The batch-size / contig-quality / memory-footprint trade-off (§4.4, Table 1 and
+//! the GPU-capacity analysis of §6.6).
+//!
+//! Processing the reads in smaller batches shrinks the peak memory footprint
+//! (that is what lets NMP-PaK assemble a full genome on one node, and what a GPU's
+//! 40–80 GB forces), but batches that are too small fragment the assembly and
+//! degrade N50.
+//!
+//! ```text
+//! cargo run --release --example batch_tradeoff
+//! ```
+
+use nmp_pak::core::workload::Workload;
+use nmp_pak::pakman::{BatchAssembler, PakmanConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::synthesize("batch-study", 120_000, 35.0, 0.002, 99)?;
+    println!(
+        "workload: genome {} bp, {} reads\n",
+        workload.genome.len(),
+        workload.reads.len()
+    );
+
+    let config = PakmanConfig {
+        k: 21,
+        min_kmer_count: 2,
+        threads: 4,
+        ..PakmanConfig::default()
+    };
+
+    println!(
+        "{:<12}{:>10}{:>14}{:>16}{:>20}",
+        "batch size", "N50", "contigs", "total bases", "peak batch footprint"
+    );
+    for fraction in [0.01, 0.03, 0.05, 0.10, 0.25, 1.0] {
+        let output = BatchAssembler::new(config, fraction).assemble(&workload.reads)?;
+        println!(
+            "{:<12}{:>10}{:>14}{:>16}{:>17} MiB",
+            format!("{:.0}%", fraction * 100.0),
+            output.stats.n50,
+            output.stats.contig_count,
+            output.stats.total_length,
+            output.peak_batch_footprint.peak_bytes() / (1 << 20),
+        );
+    }
+
+    println!(
+        "\nSmaller batches cut the peak footprint roughly in proportion, but below a few\n\
+         percent of the input the contig quality collapses — the paper's Table 1 shows the\n\
+         same collapse at the batch sizes an 80 GB GPU would force for a human genome."
+    );
+    Ok(())
+}

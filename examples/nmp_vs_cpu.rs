@@ -1,0 +1,59 @@
+//! Head-to-head backend comparison on one workload: every execution configuration of
+//! Fig. 12 (CPU baseline with/without software optimizations, GPU, CPU-PaK, NMP-PaK
+//! and the ideal variants) replaying the same Iterative Compaction trace.
+//!
+//! ```text
+//! cargo run --release --example nmp_vs_cpu
+//! ```
+
+use nmp_pak::core::assembler::NmpPakAssembler;
+use nmp_pak::core::backend::ExecutionBackend;
+use nmp_pak::core::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::small(7)?;
+    let assembler = NmpPakAssembler::default();
+    let (assembly, results) = assembler.run_all_backends(&workload)?;
+
+    println!(
+        "workload: {} bp genome, {} reads; compaction {} iterations over {} MacroNodes\n",
+        workload.genome.len(),
+        workload.reads.len(),
+        assembly.compaction.iteration_count(),
+        assembly.compaction.initial_nodes
+    );
+
+    let baseline = results
+        .iter()
+        .find(|r| r.backend == ExecutionBackend::CpuBaseline)
+        .expect("baseline simulated");
+
+    println!(
+        "{:<22}{:>14}{:>12}{:>12}{:>12}",
+        "backend", "runtime (ms)", "speedup", "BW util", "GB moved"
+    );
+    for result in &results {
+        println!(
+            "{:<22}{:>14.3}{:>11.2}x{:>11.1}%{:>12.3}",
+            result.backend.label(),
+            result.runtime_ns / 1e6,
+            result.speedup_over(baseline),
+            result.bandwidth_utilization() * 100.0,
+            result.traffic.total_bytes() as f64 / 1e9,
+        );
+    }
+
+    let nmp = results
+        .iter()
+        .find(|r| r.backend == ExecutionBackend::NmpPak)
+        .expect("NMP simulated");
+    if let Some(comm) = nmp.comm {
+        println!(
+            "\nNMP TransferNode routing: {:.1}% same PE, {:.1}% cross-PE same DIMM, {:.1}% cross-DIMM",
+            100.0 * comm.same_pe as f64 / comm.total().max(1) as f64,
+            100.0 * comm.cross_pe_same_dimm as f64 / comm.total().max(1) as f64,
+            100.0 * comm.cross_dimm as f64 / comm.total().max(1) as f64,
+        );
+    }
+    Ok(())
+}

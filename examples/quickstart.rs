@@ -1,0 +1,62 @@
+//! Quickstart: assemble a small synthetic genome end to end and simulate the
+//! Iterative Compaction phase on the NMP-PaK hardware.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nmp_pak::core::assembler::NmpPakAssembler;
+use nmp_pak::core::backend::ExecutionBackend;
+use nmp_pak::core::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a workload: a synthetic 100 kbp genome sequenced at 30x with 100 bp reads.
+    let workload = Workload::small(42)?;
+    println!(
+        "workload: {} — genome {} bp, {} reads",
+        workload.name,
+        workload.genome.len(),
+        workload.reads.len()
+    );
+
+    // 2. Run the software pipeline and simulate compaction on the NMP hardware.
+    let assembler = NmpPakAssembler::default();
+    let run = assembler.run(&workload, ExecutionBackend::NmpPak)?;
+
+    // 3. Assembly quality.
+    let stats = &run.assembly.stats;
+    println!(
+        "assembly: {} contigs, {} bases total, N50 = {}, largest = {}",
+        stats.contig_count, stats.total_length, stats.n50, stats.largest_contig
+    );
+    println!(
+        "compaction: {} iterations, {} -> {} MacroNodes ({}x reduction)",
+        run.assembly.compaction.iteration_count(),
+        run.assembly.compaction.initial_nodes,
+        run.assembly.compaction.final_nodes,
+        run.assembly.compaction.reduction_factor() as u64,
+    );
+
+    // 4. Hardware results for the accelerated phase.
+    let hw = &run.backend_result;
+    println!(
+        "NMP-PaK compaction: {:.3} ms simulated, {:.1}% of peak DRAM bandwidth",
+        hw.runtime_ns / 1e6,
+        hw.bandwidth_utilization() * 100.0
+    );
+    if let Some(comm) = hw.comm {
+        println!(
+            "TransferNode routing: {:.1}% intra-DIMM, {:.1}% inter-DIMM",
+            comm.intra_dimm_fraction() * 100.0,
+            comm.inter_dimm_fraction() * 100.0
+        );
+    }
+
+    // 5. Compare against the CPU baseline on the same trace.
+    let cpu = assembler.run(&workload, ExecutionBackend::CpuBaseline)?;
+    println!(
+        "speedup over the CPU baseline: {:.1}x",
+        cpu.backend_result.runtime_ns / hw.runtime_ns
+    );
+    Ok(())
+}

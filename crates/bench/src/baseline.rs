@@ -1,0 +1,184 @@
+//! Pre-refactor reference implementations of assembly steps B and C.
+//!
+//! These reproduce, through public APIs only, the hot path this repository shipped
+//! before the packed-u64 refactor (see `DESIGN.md`): a *serial* k-way merge and
+//! run-length count that reconstructs every distinct k-mer base-by-base, and a
+//! `BTreeMap`-based MacroNode construction with per-entry allocation and
+//! linear-probe extension bumping. The `experiments` binary times them against the
+//! current pipeline and records the speedup in `BENCH_pipeline.json`, so every
+//! later PR has a measured trajectory rather than a claimed one.
+//!
+//! They are benchmark fixtures, not supported assembly entry points: both must
+//! keep producing output identical to the optimized pipeline (asserted by this
+//! module's tests), but nothing else in the workspace may call them.
+
+use nmp_pak_genome::{Base, Kmer, SequencingRead};
+use nmp_pak_pakman::{CountedKmer, MacroNode, PakGraph};
+use std::collections::BTreeMap;
+
+/// Pre-refactor step B: parallel extraction and per-thread sort (the seed already
+/// had §4.5 (a)–(c)), followed by a serial pairwise merge, a serial run-length
+/// count, and per-base k-mer reconstruction.
+pub fn count_kmers_baseline(
+    reads: &[SequencingRead],
+    k: usize,
+    min_count: u32,
+    threads: usize,
+) -> Vec<CountedKmer> {
+    let threads = threads.clamp(1, reads.len().max(1));
+    let chunk_size = reads.len().div_ceil(threads).max(1);
+    let mut runs: Vec<Vec<u64>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for chunk in reads.chunks(chunk_size) {
+            handles.push(scope.spawn(move || {
+                let capacity: usize = chunk.iter().map(|r| r.len().saturating_sub(k - 1)).sum();
+                let mut local = Vec::with_capacity(capacity);
+                for read in chunk {
+                    if read.len() < k {
+                        continue;
+                    }
+                    for kmer in Kmer::iter_windows(read.sequence(), k).expect("length checked") {
+                        local.push(kmer.packed());
+                    }
+                }
+                local.sort_unstable();
+                local
+            }));
+        }
+        for handle in handles {
+            runs.push(handle.join().expect("extraction worker panicked"));
+        }
+    });
+
+    // Serial pairwise merge — the single-threaded funnel the refactor removed.
+    runs.retain(|r| !r.is_empty());
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two_serial(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    let merged = runs.pop().unwrap_or_default();
+
+    // Serial run-length count with base-by-base k-mer reconstruction.
+    let mut counted = Vec::new();
+    let mut i = 0usize;
+    while i < merged.len() {
+        let value = merged[i];
+        let mut j = i + 1;
+        while j < merged.len() && merged[j] == value {
+            j += 1;
+        }
+        let count = (j - i) as u32;
+        if count >= min_count {
+            counted.push(CountedKmer {
+                kmer: kmer_from_packed_per_base(value, k),
+                count,
+            });
+        }
+        i = j;
+    }
+    counted
+}
+
+/// The per-base reconstruction loop the refactor replaced with `Kmer::from_packed`.
+fn kmer_from_packed_per_base(packed: u64, k: usize) -> Kmer {
+    let bases = (0..k).map(|i| {
+        let shift = 2 * (k - 1 - i);
+        Base::from_code(((packed >> shift) & 0b11) as u8)
+    });
+    Kmer::from_bases(bases).expect("k validated by caller")
+}
+
+fn merge_two_serial(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Pre-refactor step C: accumulate extensions in a `BTreeMap<Kmer, Pending>` with
+/// one heap entry per (k-1)-mer and linear-probe extension bumping.
+pub fn build_graph_baseline(counted: &[CountedKmer], k: usize) -> PakGraph {
+    #[derive(Default)]
+    struct Pending {
+        prefixes: Vec<(Base, u32)>,
+        suffixes: Vec<(Base, u32)>,
+    }
+    fn bump(list: &mut Vec<(Base, u32)>, base: Base, count: u32) {
+        match list.iter_mut().find(|(b, _)| *b == base) {
+            Some((_, c)) => *c += count,
+            None => list.push((base, count)),
+        }
+    }
+
+    let mut pending: BTreeMap<Kmer, Pending> = BTreeMap::new();
+    for ck in counted {
+        let kmer = ck.kmer;
+        bump(
+            &mut pending.entry(kmer.suffix_k1()).or_default().prefixes,
+            kmer.first_base(),
+            ck.count,
+        );
+        bump(
+            &mut pending.entry(kmer.prefix_k1()).or_default().suffixes,
+            kmer.last_base(),
+            ck.count,
+        );
+    }
+
+    let nodes: Vec<MacroNode> = pending
+        .into_iter()
+        .map(|(k1mer, p)| MacroNode::from_extensions(k1mer, p.prefixes, p.suffixes))
+        .collect();
+    PakGraph::from_nodes(nodes, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_core::workload::Workload;
+    use nmp_pak_pakman::{count_kmers, KmerCounterConfig};
+
+    /// The baseline is only a valid speedup denominator while it still produces the
+    /// same assembly state as the optimized pipeline.
+    #[test]
+    fn baseline_matches_optimized_pipeline() {
+        let workload = Workload::synthesize("baseline_check", 5_000, 15.0, 0.001, 7).unwrap();
+        let k = 17;
+        let (optimized, _) = count_kmers(
+            &workload.reads,
+            KmerCounterConfig {
+                k,
+                min_count: 2,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        let baseline = count_kmers_baseline(&workload.reads, k, 2, 4);
+        assert_eq!(optimized, baseline);
+
+        let opt_graph = PakGraph::from_counted_kmers(&optimized, k, 4);
+        let base_graph = build_graph_baseline(&baseline, k);
+        assert_eq!(opt_graph.slot_count(), base_graph.slot_count());
+        for slot in 0..opt_graph.slot_count() {
+            assert_eq!(opt_graph.node(slot), base_graph.node(slot), "slot {slot}");
+        }
+    }
+}

@@ -4,11 +4,16 @@
 //! Usage:
 //!
 //! ```text
-//! experiments            # run everything at the quick scale
-//! experiments fig12 tab1 # run a subset
+//! experiments            # run everything at the quick scale, including the
+//!                        # pipeline benchmark — overwrites ./BENCH_pipeline.json
+//! experiments fig12 tab1 # run a subset (no benchmark, no file written)
+//! experiments pipeline   # only the pipeline benchmark + BENCH_pipeline.json
 //! NMP_PAK_BENCH_SCALE=standard experiments   # the scale recorded in EXPERIMENTS.md
+//! NMP_PAK_BENCH_OUT=/tmp/b.json experiments pipeline      # report path override
+//! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
 //! ```
 
+use nmp_pak_bench::pipeline_bench::{report_to_json, run_pipeline_bench};
 use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
 use nmp_pak_core::experiments::Experiments;
 
@@ -68,6 +73,62 @@ fn main() {
     if wanted("footprint") {
         footprint(&exp);
     }
+    if wanted("pipeline") {
+        pipeline_bench();
+    }
+}
+
+/// Times the refactored B/C hot path against the pre-refactor baseline on the
+/// fixed-seed workload and records the result in `BENCH_pipeline.json` (path
+/// overridable via `NMP_PAK_BENCH_OUT`).
+fn pipeline_bench() {
+    heading("Pipeline benchmark — packed-u64 hot path vs pre-refactor baseline");
+    let report = run_pipeline_bench(3);
+    println!(
+        "workload: {} reads ({} bases), k = {}, {} threads",
+        report.reads,
+        report.read_bases,
+        nmp_pak_bench::pipeline_bench::BENCH_K,
+        report.threads
+    );
+    for (phase, cmp) in [
+        ("kmer_counting", &report.kmer_counting),
+        ("macronode_construction", &report.macronode_construction),
+    ] {
+        println!(
+            "{phase:<24} optimized {:>9.3} ms   baseline {:>9.3} ms   speedup {:>5.2}x",
+            cmp.optimized.as_secs_f64() * 1e3,
+            cmp.baseline.as_secs_f64() * 1e3,
+            cmp.speedup()
+        );
+    }
+    println!(
+        "counting + construction speedup: {:.2}x",
+        report.counting_plus_construction_speedup()
+    );
+
+    let path = std::env::var("NMP_PAK_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    match std::fs::write(&path, report_to_json(&report)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+
+    // Optional regression gate: NMP_PAK_BENCH_MIN_SPEEDUP=1.3 makes the run fail
+    // when the counting+construction speedup falls below the threshold (CI sets a
+    // conservative value so shared-runner noise doesn't flake the build).
+    if let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MIN_SPEEDUP") {
+        let threshold: f64 = threshold
+            .parse()
+            .expect("NMP_PAK_BENCH_MIN_SPEEDUP must be a number");
+        let speedup = report.counting_plus_construction_speedup();
+        if speedup < threshold {
+            eprintln!(
+                "pipeline benchmark regression: counting+construction speedup \
+                 {speedup:.2}x is below the required {threshold}x"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn heading(title: &str) {
@@ -115,7 +176,10 @@ fn fig7(exp: &Experiments) {
 
 fn fig8(exp: &Experiments) {
     heading("Fig. 8 — proportion of MacroNodes exceeding size thresholds");
-    println!("{:<12}{:>10}{:>10}{:>10}{:>10}", "iteration", ">1KB", ">2KB", ">4KB", ">8KB");
+    println!(
+        "{:<12}{:>10}{:>10}{:>10}{:>10}",
+        "iteration", ">1KB", ">2KB", ">4KB", ">8KB"
+    );
     for (iteration, f) in exp.fig8_oversize_fractions() {
         println!(
             "{iteration:<12}{:>10}{:>10}{:>10}{:>10}",
@@ -174,12 +238,18 @@ fn comm(exp: &Experiments) {
     let c = exp.comm_breakdown();
     println!("intra-DIMM  {}", pct(c.intra_dimm_fraction()));
     println!("inter-DIMM  {}", pct(c.inter_dimm_fraction()));
-    println!("  of intra-DIMM, cross-PE {}", pct(c.cross_pe_fraction_of_intra()));
+    println!(
+        "  of intra-DIMM, cross-PE {}",
+        pct(c.cross_pe_fraction_of_intra())
+    );
 }
 
 fn table3(exp: &Experiments) {
     heading("Table 3 — area and power");
-    println!("{:<40}{:>12}{:>12}", "component", "area (mm²)", "power (mW)");
+    println!(
+        "{:<40}{:>12}{:>12}",
+        "component", "area (mm²)", "power (mW)"
+    );
     for (name, area, power) in exp.table3_area_power() {
         println!("{name:<40}{area:>12.3}{power:>12.1}");
     }
@@ -188,13 +258,22 @@ fn table3(exp: &Experiments) {
 fn supercomputer(exp: &Experiments) {
     heading("§6.4 — comparison with the PaKman supercomputer run");
     let sc = exp.supercomputer_comparison();
-    println!("single-node assembly time        {:.2} s", sc.nmp_single_node_seconds);
+    println!(
+        "single-node assembly time        {:.2} s",
+        sc.nmp_single_node_seconds
+    );
     println!(
         "supercomputer ({} cores)       {:.0} s",
         sc.supercomputer_cores, sc.supercomputer_seconds
     );
-    println!("supercomputer raw speed advantage {:.1}x", sc.supercomputer_speed_advantage);
-    println!("NMP-PaK throughput advantage      {:.1}x", sc.nmp_throughput_advantage);
+    println!(
+        "supercomputer raw speed advantage {:.1}x",
+        sc.supercomputer_speed_advantage
+    );
+    println!(
+        "NMP-PaK throughput advantage      {:.1}x",
+        sc.nmp_throughput_advantage
+    );
     println!(
         "integration speedup (Amdahl)      {:.2}x",
         sc.supercomputer_integration_speedup
@@ -209,5 +288,8 @@ fn footprint(exp: &Experiments) {
     println!("batched (10%) peak   {} bytes", f.batched_peak_bytes);
     println!("combined reduction   {:.1}x", f.reduction_factor);
     println!("fits a 40 GB GPU     {}", f.fits_gpu);
-    println!("GPU cluster power ratio {:.0}x, area ratio {:.0}x", f.gpu_power_ratio, f.gpu_area_ratio);
+    println!(
+        "GPU cluster power ratio {:.0}x, area ratio {:.0}x",
+        f.gpu_power_ratio, f.gpu_area_ratio
+    );
 }

@@ -5,6 +5,9 @@
 //! compaction trace, and the per-backend simulations. This crate centralizes that
 //! setup so every bench regenerates its table/figure from identical inputs.
 
+pub mod baseline;
+pub mod pipeline_bench;
+
 use nmp_pak_core::assembler::NmpPakAssembler;
 use nmp_pak_core::experiments::Experiments;
 use nmp_pak_core::workload::Workload;

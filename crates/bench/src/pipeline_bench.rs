@@ -1,0 +1,260 @@
+//! Reproducible end-to-end pipeline benchmark (`BENCH_pipeline.json`).
+//!
+//! Runs the full assembly pipeline on a fixed-seed synthetic workload (20 kbp
+//! genome, 30× coverage, k = 21) and times, in the same process and on the same
+//! inputs, the pre-refactor baseline implementations of steps B and C from
+//! [`crate::baseline`]. The report is written as hand-rolled JSON (no serde in the
+//! offline environment) so later PRs have a recorded perf trajectory to beat.
+
+use crate::baseline::{build_graph_baseline, count_kmers_baseline};
+use nmp_pak_core::workload::Workload;
+use nmp_pak_pakman::{
+    count_kmers, AssemblyOutput, KmerCounterConfig, PakGraph, PakmanAssembler, PakmanConfig,
+};
+use std::time::{Duration, Instant};
+
+/// Fixed workload parameters for the benchmark (kept stable across PRs so the
+/// recorded numbers stay comparable).
+pub const BENCH_GENOME_LENGTH: usize = 20_000;
+/// Coverage of the benchmark read set.
+pub const BENCH_COVERAGE: f64 = 30.0;
+/// k-mer length used by the benchmark.
+pub const BENCH_K: usize = 21;
+/// Seed for the benchmark workload.
+pub const BENCH_SEED: u64 = 0xBEC4;
+
+/// One timed phase pair: optimized vs pre-refactor baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseComparison {
+    /// Current-pipeline wall clock.
+    pub optimized: Duration,
+    /// Pre-refactor wall clock on identical inputs.
+    pub baseline: Duration,
+}
+
+impl PhaseComparison {
+    /// baseline / optimized (higher is better; 1.0 means no change).
+    pub fn speedup(&self) -> f64 {
+        let opt = self.optimized.as_secs_f64();
+        if opt == 0.0 {
+            return f64::INFINITY;
+        }
+        self.baseline.as_secs_f64() / opt
+    }
+}
+
+/// The full benchmark report behind `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchReport {
+    /// Worker threads used by both implementations.
+    pub threads: usize,
+    /// Number of reads in the workload.
+    pub reads: usize,
+    /// Total read bases in the workload.
+    pub read_bases: u64,
+    /// Step B comparison.
+    pub kmer_counting: PhaseComparison,
+    /// Step C comparison.
+    pub macronode_construction: PhaseComparison,
+    /// Full optimized assembly output (timings of all phases, quality stats).
+    pub assembly: AssemblyOutput,
+}
+
+impl PipelineBenchReport {
+    /// Combined speedup over the two refactored phases (the acceptance metric).
+    pub fn counting_plus_construction_speedup(&self) -> f64 {
+        let opt = self.kmer_counting.optimized + self.macronode_construction.optimized;
+        let base = self.kmer_counting.baseline + self.macronode_construction.baseline;
+        if opt.as_secs_f64() == 0.0 {
+            return f64::INFINITY;
+        }
+        base.as_secs_f64() / opt.as_secs_f64()
+    }
+}
+
+/// Runs the benchmark: `reps` repetitions, keeping the fastest time per phase per
+/// implementation (best-of filters scheduler noise without favouring either side).
+pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
+    let reps = reps.max(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let workload = Workload::synthesize(
+        "bench_pipeline",
+        BENCH_GENOME_LENGTH,
+        BENCH_COVERAGE,
+        0.001,
+        BENCH_SEED,
+    )
+    .expect("benchmark workload builds");
+    let config = PakmanConfig {
+        k: BENCH_K,
+        min_kmer_count: 2,
+        compaction_node_threshold: 100,
+        threads,
+        record_trace: false,
+        ..PakmanConfig::default()
+    };
+
+    // Shared counted input for the step C comparison.
+    let (counted, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+        .expect("benchmark counting succeeds");
+
+    let mut best_opt_count = Duration::MAX;
+    let mut best_base_count = Duration::MAX;
+    let mut best_opt_build = Duration::MAX;
+    let mut best_base_build = Duration::MAX;
+    let mut assembly = None;
+
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (opt_counted, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+            .expect("benchmark counting succeeds");
+        best_opt_count = best_opt_count.min(t.elapsed());
+        assert_eq!(opt_counted.len(), counted.len());
+
+        let t = Instant::now();
+        let base_counted =
+            count_kmers_baseline(&workload.reads, BENCH_K, config.min_kmer_count, threads);
+        best_base_count = best_base_count.min(t.elapsed());
+        assert_eq!(base_counted, counted, "baseline counting diverged");
+
+        let t = Instant::now();
+        let opt_graph = PakGraph::from_counted_kmers(&counted, BENCH_K, threads);
+        best_opt_build = best_opt_build.min(t.elapsed());
+
+        let t = Instant::now();
+        let base_graph = build_graph_baseline(&counted, BENCH_K);
+        best_base_build = best_base_build.min(t.elapsed());
+        assert_eq!(
+            opt_graph.slot_count(),
+            base_graph.slot_count(),
+            "baseline construction diverged"
+        );
+
+        if assembly.is_none() {
+            assembly = Some(
+                PakmanAssembler::new(config)
+                    .assemble(&workload.reads)
+                    .expect("benchmark assembly succeeds"),
+            );
+        }
+    }
+
+    PipelineBenchReport {
+        threads,
+        reads: workload.reads.len(),
+        read_bases: workload.total_read_bases(),
+        kmer_counting: PhaseComparison {
+            optimized: best_opt_count,
+            baseline: best_base_count,
+        },
+        macronode_construction: PhaseComparison {
+            optimized: best_opt_build,
+            baseline: best_base_build,
+        },
+        assembly: assembly.expect("at least one repetition ran"),
+    }
+}
+
+/// Serializes the report as JSON (hand-rolled; the offline environment has no
+/// serde_json).
+pub fn report_to_json(report: &PipelineBenchReport) -> String {
+    let t = &report.assembly.timings;
+    let stats = &report.assembly.stats;
+    let secs = Duration::as_secs_f64;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\n",
+            "    \"genome_length\": {genome_length},\n",
+            "    \"coverage\": {coverage},\n",
+            "    \"k\": {k},\n",
+            "    \"seed\": {seed},\n",
+            "    \"reads\": {reads},\n",
+            "    \"read_bases\": {read_bases}\n",
+            "  }},\n",
+            "  \"threads\": {threads},\n",
+            "  \"phase_timings_s\": {{\n",
+            "    \"access_reads\": {access_reads:.6},\n",
+            "    \"kmer_counting\": {kmer_counting:.6},\n",
+            "    \"macronode_construction\": {construction:.6},\n",
+            "    \"compaction\": {compaction:.6},\n",
+            "    \"walk\": {walk:.6},\n",
+            "    \"total\": {total:.6}\n",
+            "  }},\n",
+            "  \"baseline_s\": {{\n",
+            "    \"kmer_counting\": {base_count:.6},\n",
+            "    \"macronode_construction\": {base_build:.6}\n",
+            "  }},\n",
+            "  \"optimized_s\": {{\n",
+            "    \"kmer_counting\": {opt_count:.6},\n",
+            "    \"macronode_construction\": {opt_build:.6}\n",
+            "  }},\n",
+            "  \"speedup\": {{\n",
+            "    \"kmer_counting\": {count_speedup:.3},\n",
+            "    \"macronode_construction\": {build_speedup:.3},\n",
+            "    \"counting_plus_construction\": {combined_speedup:.3}\n",
+            "  }},\n",
+            "  \"assembly\": {{\n",
+            "    \"contigs\": {contigs},\n",
+            "    \"total_length\": {total_length},\n",
+            "    \"n50\": {n50},\n",
+            "    \"compaction_iterations\": {iterations},\n",
+            "    \"initial_nodes\": {initial_nodes},\n",
+            "    \"final_nodes\": {final_nodes}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        genome_length = BENCH_GENOME_LENGTH,
+        coverage = BENCH_COVERAGE,
+        k = BENCH_K,
+        seed = BENCH_SEED,
+        reads = report.reads,
+        read_bases = report.read_bases,
+        threads = report.threads,
+        access_reads = secs(&t.access_reads),
+        kmer_counting = secs(&t.kmer_counting),
+        construction = secs(&t.macronode_construction),
+        compaction = secs(&t.compaction),
+        walk = secs(&t.walk),
+        total = secs(&t.total()),
+        base_count = secs(&report.kmer_counting.baseline),
+        base_build = secs(&report.macronode_construction.baseline),
+        opt_count = secs(&report.kmer_counting.optimized),
+        opt_build = secs(&report.macronode_construction.optimized),
+        count_speedup = report.kmer_counting.speedup(),
+        build_speedup = report.macronode_construction.speedup(),
+        combined_speedup = report.counting_plus_construction_speedup(),
+        contigs = report.assembly.contigs.len(),
+        total_length = stats.total_length,
+        n50 = stats.n50,
+        iterations = report.assembly.compaction.iteration_count(),
+        initial_nodes = report.assembly.compaction.initial_nodes,
+        final_nodes = report.assembly.compaction.final_nodes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = run_pipeline_bench(1);
+        let json = report_to_json(&report);
+        // Structural sanity without a JSON parser: balanced braces, expected keys.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"workload\"",
+            "\"phase_timings_s\"",
+            "\"baseline_s\"",
+            "\"speedup\"",
+            "\"counting_plus_construction\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(report.kmer_counting.speedup() > 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive` (offline build environment).
+//!
+//! The derives accept the `#[serde(...)]` helper attribute and emit no code: the
+//! workspace only needs `#[derive(Serialize, Deserialize)]` to compile, never an
+//! actual trait implementation (see `crates/compat/README.md`).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

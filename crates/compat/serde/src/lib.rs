@@ -1,0 +1,13 @@
+//! Offline stand-in for the `serde` crate (see `crates/compat/README.md`).
+//!
+//! Exposes `Serialize` / `Deserialize` as both traits and derive macros, which is
+//! the only surface the workspace uses. The derives are no-ops, so deriving a type
+//! does **not** implement the traits — nothing in the workspace requires it to.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -142,7 +142,8 @@ pub fn simulate_backend(
                 threads: config.unoptimized_threads,
                 ..config.cpu
             };
-            let r = simulate_cpu_compaction(trace, layout, ProcessFlow::Baseline, &config.dram, &cpu);
+            let r =
+                simulate_cpu_compaction(trace, layout, ProcessFlow::Baseline, &config.dram, &cpu);
             from_cpu(backend, r)
         }
         ExecutionBackend::CpuBaseline => {
@@ -166,7 +167,8 @@ pub fn simulate_backend(
             from_cpu(backend, r)
         }
         ExecutionBackend::GpuBaseline => {
-            let r = simulate_gpu_compaction(trace, layout, &config.dram, &config.gpu, footprint_bytes);
+            let r =
+                simulate_gpu_compaction(trace, layout, &config.dram, &config.gpu, footprint_bytes);
             BackendResult {
                 backend,
                 runtime_ns: r.runtime_ns,
@@ -177,7 +179,9 @@ pub fn simulate_backend(
                 capacity_exceeded: r.capacity_exceeded,
             }
         }
-        ExecutionBackend::NmpPak | ExecutionBackend::NmpIdealPe | ExecutionBackend::NmpIdealForwarding => {
+        ExecutionBackend::NmpPak
+        | ExecutionBackend::NmpIdealPe
+        | ExecutionBackend::NmpIdealForwarding => {
             let nmp_config = match backend {
                 ExecutionBackend::NmpIdealPe => NmpConfig {
                     pe_variant: nmp_pak_nmphw::PeVariant::Ideal,
@@ -224,7 +228,13 @@ mod tests {
     fn synthetic() -> (CompactionTrace, NodeLayout) {
         let nodes = 3_000usize;
         let sizes: Vec<usize> = (0..nodes)
-            .map(|i| if i % 89 == 0 { 5_000 } else { 220 + (i % 8) * 100 })
+            .map(|i| {
+                if i % 89 == 0 {
+                    5_000
+                } else {
+                    220 + (i % 8) * 100
+                }
+            })
             .collect();
         let mut trace = CompactionTrace::new(nodes, sizes.clone());
         for it in 0..5 {
@@ -261,7 +271,11 @@ mod tests {
                     size_bytes: sizes[t.dest_slot] + 48,
                 })
                 .collect();
-            trace.iterations.push(IterationTrace { checks, transfers, updates });
+            trace.iterations.push(IterationTrace {
+                checks,
+                transfers,
+                updates,
+            });
         }
         let layout = NodeLayout::new(&sizes, &DramConfig::default());
         (trace, layout)
@@ -291,7 +305,11 @@ mod tests {
         assert!(gpu.speedup_over(baseline) > 1.2);
         assert!(nmp.speedup_over(baseline) > cpu_pak.speedup_over(baseline));
         assert!(nmp.speedup_over(baseline) > gpu.speedup_over(baseline));
-        assert!(nmp.speedup_over(baseline) > 5.0, "nmp speedup {}", nmp.speedup_over(baseline));
+        assert!(
+            nmp.speedup_over(baseline) > 5.0,
+            "nmp speedup {}",
+            nmp.speedup_over(baseline)
+        );
         assert!(ideal_pe.speedup_over(baseline) >= nmp.speedup_over(baseline) * 0.95);
         assert!(ideal_fwd.speedup_over(baseline) >= nmp.speedup_over(baseline));
     }
@@ -300,7 +318,13 @@ mod tests {
     fn bandwidth_utilization_ordering() {
         let (trace, layout) = synthetic();
         let cfg = SystemConfig::default();
-        let cpu = simulate_backend(ExecutionBackend::CpuBaseline, &trace, &layout, 1 << 30, &cfg);
+        let cpu = simulate_backend(
+            ExecutionBackend::CpuBaseline,
+            &trace,
+            &layout,
+            1 << 30,
+            &cfg,
+        );
         let nmp = simulate_backend(ExecutionBackend::NmpPak, &trace, &layout, 1 << 30, &cfg);
         assert!(nmp.bandwidth_utilization() > 3.0 * cpu.bandwidth_utilization());
     }
@@ -309,11 +333,22 @@ mod tests {
     fn traffic_ordering_matches_fig14() {
         let (trace, layout) = synthetic();
         let cfg = SystemConfig::default();
-        let cpu = simulate_backend(ExecutionBackend::CpuBaseline, &trace, &layout, 1 << 30, &cfg);
+        let cpu = simulate_backend(
+            ExecutionBackend::CpuBaseline,
+            &trace,
+            &layout,
+            1 << 30,
+            &cfg,
+        );
         let cpu_pak = simulate_backend(ExecutionBackend::CpuPak, &trace, &layout, 1 << 30, &cfg);
         let nmp = simulate_backend(ExecutionBackend::NmpPak, &trace, &layout, 1 << 30, &cfg);
-        let fwd =
-            simulate_backend(ExecutionBackend::NmpIdealForwarding, &trace, &layout, 1 << 30, &cfg);
+        let fwd = simulate_backend(
+            ExecutionBackend::NmpIdealForwarding,
+            &trace,
+            &layout,
+            1 << 30,
+            &cfg,
+        );
         // CPU-PaK and NMP-PaK share the optimized flow → identical traffic, below the baseline.
         assert_eq!(cpu_pak.traffic, nmp.traffic);
         assert!(nmp.traffic.read_bytes < cpu.traffic.read_bytes);
@@ -327,9 +362,21 @@ mod tests {
     fn gpu_capacity_flag_propagates() {
         let (trace, layout) = synthetic();
         let cfg = SystemConfig::default();
-        let ok = simulate_backend(ExecutionBackend::GpuBaseline, &trace, &layout, 1 << 30, &cfg);
+        let ok = simulate_backend(
+            ExecutionBackend::GpuBaseline,
+            &trace,
+            &layout,
+            1 << 30,
+            &cfg,
+        );
         assert!(!ok.capacity_exceeded);
-        let over = simulate_backend(ExecutionBackend::GpuBaseline, &trace, &layout, 500 << 30, &cfg);
+        let over = simulate_backend(
+            ExecutionBackend::GpuBaseline,
+            &trace,
+            &layout,
+            500 << 30,
+            &cfg,
+        );
         assert!(over.capacity_exceeded);
     }
 

@@ -11,9 +11,7 @@ use crate::workload::Workload;
 use nmp_pak_memsim::{NodeLayout, StallBreakdown};
 use nmp_pak_nmphw::area_power::GpuComparison;
 use nmp_pak_nmphw::{AreaPowerModel, CommStats, NmpConfig, NmpSystem};
-use nmp_pak_pakman::{
-    AssemblyOutput, BatchAssembler, CompactionTrace, PakmanError, SizeHistogram,
-};
+use nmp_pak_pakman::{AssemblyOutput, BatchAssembler, CompactionTrace, PakmanError, SizeHistogram};
 
 /// A label/value pair, the common row format of the figure drivers.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,7 +150,10 @@ impl Experiments {
         for &fraction in fractions {
             let output = BatchAssembler::new(self.assembler.pakman, fraction)
                 .assemble(&self.workload.reads)?;
-            rows.push(Row::new(format!("{:.1}%", fraction * 100.0), output.stats.n50 as f64));
+            rows.push(Row::new(
+                format!("{:.1}%", fraction * 100.0),
+                output.stats.n50 as f64,
+            ));
         }
         Ok(rows)
     }
@@ -218,9 +219,16 @@ impl Experiments {
                     pes_per_channel: pes,
                     ..self.assembler.system.nmp
                 };
-                let result = NmpSystem::new(config, self.assembler.system.dram, self.assembler.system.cpu)
-                    .simulate(&self.trace, &self.layout);
-                Row::new(format!("{pes} PE/ch"), baseline.runtime_ns / result.runtime_ns)
+                let result = NmpSystem::new(
+                    config,
+                    self.assembler.system.dram,
+                    self.assembler.system.cpu,
+                )
+                .simulate(&self.trace, &self.layout);
+                Row::new(
+                    format!("{pes} PE/ch"),
+                    baseline.runtime_ns / result.runtime_ns,
+                )
             })
             .collect()
     }
@@ -425,7 +433,10 @@ mod tests {
         assert!(get("NMP-PaK") > get("CPU-baseline"));
 
         let traffic = exp.fig14_traffic();
-        let baseline = traffic.iter().find(|(l, _, _)| l == "CPU-baseline").unwrap();
+        let baseline = traffic
+            .iter()
+            .find(|(l, _, _)| l == "CPU-baseline")
+            .unwrap();
         let nmp = traffic.iter().find(|(l, _, _)| l == "NMP-PaK").unwrap();
         assert!((baseline.1 - 1.0).abs() < 1e-9);
         assert!(nmp.1 < baseline.1);

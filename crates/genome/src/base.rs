@@ -25,8 +25,10 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
+#[derive(Default)]
 pub enum Base {
     /// Adenine (code 0).
+    #[default]
     A = 0,
     /// Cytosine (code 1).
     C = 1,
@@ -118,12 +120,6 @@ impl Base {
     }
 }
 
-impl Default for Base {
-    fn default() -> Self {
-        Base::A
-    }
-}
-
 impl fmt::Display for Base {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.to_char())
@@ -157,7 +153,12 @@ mod tests {
 
     #[test]
     fn char_round_trip_upper_and_lower() {
-        for (c, b) in [('A', Base::A), ('C', Base::C), ('T', Base::T), ('G', Base::G)] {
+        for (c, b) in [
+            ('A', Base::A),
+            ('C', Base::C),
+            ('T', Base::T),
+            ('G', Base::G),
+        ] {
             assert_eq!(Base::from_char(c).unwrap(), b);
             assert_eq!(Base::from_char(c.to_ascii_lowercase()).unwrap(), b);
             assert_eq!(b.to_char(), c);

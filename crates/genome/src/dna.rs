@@ -4,12 +4,36 @@ use crate::base::Base;
 use crate::error::GenomeError;
 use std::fmt;
 
+/// Number of packed bytes stored inline before spilling to the heap; 16 bytes hold
+/// 64 bases, which covers every (k-1)-mer, every single-base extension, and the
+/// overwhelming majority of MacroNode extensions during early compaction.
+const INLINE_BYTES: usize = 16;
+
+/// Maximum number of bases the inline representation holds.
+pub const INLINE_BASES: usize = INLINE_BYTES * 4;
+
+/// Packed storage: a fixed inline buffer for short sequences (no heap allocation),
+/// spilling to a `Vec<u8>` once the sequence outgrows it.
+///
+/// Invariants: the inline buffer's bytes beyond the sequence are zero, the unused
+/// high bits of the last partial byte are zero in both variants, and a heap vector
+/// has exactly `len.div_ceil(4)` bytes. Together these make byte-slice comparison
+/// an exact equality check regardless of which variant holds the data.
+#[derive(Clone)]
+enum Repr {
+    Inline([u8; INLINE_BYTES]),
+    Heap(Vec<u8>),
+}
+
 /// A DNA sequence stored with 2 bits per base.
 ///
 /// `DnaString` is the in-memory representation for reference genomes, reads and
 /// contigs. Four bases are packed per byte, which keeps the synthetic workloads used
 /// by the experiments an order of magnitude smaller than an ASCII representation —
-/// the same reason the paper packs k-mers into machine words.
+/// the same reason the paper packs k-mers into machine words. Sequences of up to
+/// [`INLINE_BASES`] bases live entirely inline (no heap allocation), which is what
+/// keeps MacroNode wiring and TransferNode extraction off the allocator: nearly all
+/// extensions flowing through Iterative Compaction are short.
 ///
 /// # Example
 ///
@@ -21,12 +45,38 @@ use std::fmt;
 /// assert_eq!(s.to_string(), "ACGTACGT");
 /// assert_eq!(s.reverse_complement().to_string(), "ACGTACGT");
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct DnaString {
     /// Packed bases, 4 per byte, little-end first within each byte.
-    packed: Vec<u8>,
+    repr: Repr,
     /// Number of bases stored.
     len: usize,
+}
+
+impl Default for DnaString {
+    fn default() -> Self {
+        DnaString {
+            repr: Repr::Inline([0; INLINE_BYTES]),
+            len: 0,
+        }
+    }
+}
+
+impl PartialEq for DnaString {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare content, not representation: the same sequence may be inline in
+        // one value and heap-allocated in another (e.g. a slice of a long contig).
+        self.len == other.len && self.used_bytes() == other.used_bytes()
+    }
+}
+
+impl Eq for DnaString {}
+
+impl std::hash::Hash for DnaString {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.used_bytes().hash(state);
+    }
 }
 
 impl DnaString {
@@ -37,9 +87,33 @@ impl DnaString {
 
     /// Creates an empty sequence with capacity for `capacity` bases.
     pub fn with_capacity(capacity: usize) -> Self {
+        if capacity <= INLINE_BASES {
+            return DnaString::new();
+        }
         DnaString {
-            packed: Vec::with_capacity(capacity.div_ceil(4)),
+            repr: Repr::Heap(Vec::with_capacity(capacity.div_ceil(4))),
             len: 0,
+        }
+    }
+
+    /// The packed bytes currently holding the sequence (`len.div_ceil(4)` of them).
+    #[inline]
+    fn used_bytes(&self) -> &[u8] {
+        let used = self.len.div_ceil(4);
+        match &self.repr {
+            Repr::Inline(buf) => &buf[..used],
+            Repr::Heap(v) => &v[..used],
+        }
+    }
+
+    /// Moves an inline buffer to the heap so it can hold `nbytes` packed bytes.
+    #[cold]
+    fn spill_to_heap(&mut self, nbytes: usize) {
+        if let Repr::Inline(buf) = &self.repr {
+            let used = self.len.div_ceil(4);
+            let mut v = Vec::with_capacity(nbytes.max(2 * INLINE_BYTES));
+            v.extend_from_slice(&buf[..used]);
+            self.repr = Repr::Heap(v);
         }
     }
 
@@ -75,26 +149,63 @@ impl DnaString {
     pub fn push(&mut self, base: Base) {
         let byte_idx = self.len / 4;
         let shift = (self.len % 4) * 2;
-        if byte_idx == self.packed.len() {
-            self.packed.push(0);
+        match &mut self.repr {
+            Repr::Inline(buf) if byte_idx < INLINE_BYTES => {
+                // Bytes beyond the sequence are zero by invariant; just OR the bits.
+                buf[byte_idx] |= base.code() << shift;
+            }
+            Repr::Inline(_) => {
+                self.spill_to_heap(byte_idx + 1);
+                self.push(base);
+                return;
+            }
+            Repr::Heap(v) => {
+                if byte_idx == v.len() {
+                    v.push(0);
+                }
+                v[byte_idx] |= base.code() << shift;
+            }
         }
-        self.packed[byte_idx] |= (base.code() as u8) << shift;
         self.len += 1;
     }
 
     /// Appends every base of `other`.
     pub fn extend_from(&mut self, other: &DnaString) {
+        if self.len.is_multiple_of(4) && !other.is_empty() {
+            // Byte-aligned destination: splice other's packed bytes wholesale.
+            // Other's trailing partial byte has zeroed spare bits (the invariant),
+            // so the result's invariant holds too.
+            let start = self.len / 4;
+            let nbytes = (self.len + other.len).div_ceil(4);
+            if matches!(&self.repr, Repr::Inline(_)) && nbytes > INLINE_BYTES {
+                self.spill_to_heap(nbytes);
+            }
+            let src = other.used_bytes();
+            match &mut self.repr {
+                Repr::Inline(buf) => buf[start..start + src.len()].copy_from_slice(src),
+                Repr::Heap(v) => {
+                    debug_assert_eq!(v.len(), start);
+                    v.extend_from_slice(src);
+                }
+            }
+            self.len += other.len;
+            return;
+        }
         for i in 0..other.len() {
             self.push(other.get(i).expect("index within other"));
         }
     }
 
     /// Returns the base at `index`, or `None` if out of range.
+    #[inline]
     pub fn get(&self, index: usize) -> Option<Base> {
         if index >= self.len {
             return None;
         }
-        let byte = self.packed[index / 4];
+        let byte = match &self.repr {
+            Repr::Inline(buf) => buf[index / 4],
+            Repr::Heap(v) => v[index / 4],
+        };
         let shift = (index % 4) * 2;
         Some(Base::from_code((byte >> shift) & 0b11))
     }
@@ -112,6 +223,16 @@ impl DnaString {
     /// Iterates over the bases in order.
     pub fn iter(&self) -> Iter<'_> {
         Iter { dna: self, pos: 0 }
+    }
+
+    /// Iterates over the raw 2-bit codes in order, reading the packed bytes
+    /// directly. This is the hot-path accessor the k-mer extractor uses: it avoids
+    /// the per-base representation dispatch and enum round-trip of [`Self::base`],
+    /// which matters when sliding a window over hundreds of thousands of reads.
+    #[inline]
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        let bytes = self.used_bytes();
+        (0..self.len).map(move |i| (bytes[i >> 2] >> ((i & 3) * 2)) & 0b11)
     }
 
     /// Returns the sub-sequence `[start, start + len)`.
@@ -154,9 +275,15 @@ impl DnaString {
         gc as f64 / self.len as f64
     }
 
-    /// Number of heap bytes used by the packed representation.
+    /// Number of packed bytes used by the representation (4 bases per byte),
+    /// whether they live inline or on the heap.
     pub fn packed_size_bytes(&self) -> usize {
-        self.packed.len()
+        self.len.div_ceil(4)
+    }
+
+    /// `true` while the sequence fits in the inline buffer (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
     }
 
     /// Converts the sequence to an ASCII `String` of `ACGT` characters.
@@ -179,12 +306,7 @@ impl fmt::Debug for DnaString {
         if self.len <= 64 {
             write!(f, "DnaString(\"{self}\")")
         } else {
-            write!(
-                f,
-                "DnaString(len={}, \"{}…\")",
-                self.len,
-                self.slice(0, 32)
-            )
+            write!(f, "DnaString(len={}, \"{}…\")", self.len, self.slice(0, 32))
         }
     }
 }
@@ -278,7 +400,10 @@ mod tests {
     fn from_ascii_reports_position_of_bad_base() {
         let err = DnaString::from_ascii("ACGNX").unwrap_err();
         match err {
-            GenomeError::InvalidBase { character, position } => {
+            GenomeError::InvalidBase {
+                character,
+                position,
+            } => {
                 assert_eq!(character, 'N');
                 assert_eq!(position, Some(3));
             }
@@ -331,6 +456,20 @@ mod tests {
     }
 
     #[test]
+    fn codes_match_bases() {
+        let s: DnaString = "ACGTTGCAACGTTTTGGGGCCCCAAAA".parse().unwrap();
+        let via_codes: Vec<u8> = s.codes().collect();
+        let via_bases: Vec<u8> = s.iter().map(Base::code).collect();
+        assert_eq!(via_codes, via_bases);
+        // And across the inline/heap boundary.
+        let long: DnaString = "ACGT".repeat(40).parse().unwrap();
+        assert_eq!(
+            long.codes().collect::<Vec<_>>(),
+            long.iter().map(Base::code).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn iterator_and_collect() {
         let s: DnaString = "ACGT".parse().unwrap();
         let collected: DnaString = s.iter().collect();
@@ -344,6 +483,68 @@ mod tests {
         let b: DnaString = "TTT".parse().unwrap();
         a.extend_from(&b);
         assert_eq!(a.to_string(), "ACGTTT");
+        // Byte-aligned fast path (len % 4 == 0).
+        let mut c: DnaString = "ACGT".parse().unwrap();
+        c.extend_from(&b);
+        assert_eq!(c.to_string(), "ACGTTTT");
+    }
+
+    #[test]
+    fn short_sequences_stay_inline_and_long_ones_spill() {
+        let short: DnaString = "ACGT".repeat(16).parse().unwrap(); // 64 bases
+        assert!(short.is_inline());
+        let mut spilled = short.clone();
+        spilled.push(Base::G); // 65th base
+        assert!(!spilled.is_inline());
+        assert_eq!(spilled.len(), 65);
+        assert_eq!(spilled.to_string(), format!("{}G", "ACGT".repeat(16)));
+        // Pushing across the boundary preserves every earlier base.
+        for i in 0..64 {
+            assert_eq!(spilled.base(i), short.base(i));
+        }
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        // Same content, one inline and one heap-backed (reserved for more).
+        let mut heap_backed = DnaString::with_capacity(100);
+        for c in "ACGTACGT".chars() {
+            heap_backed.push(Base::from_char(c).unwrap());
+        }
+        assert!(!heap_backed.is_inline());
+        let inline: DnaString = "ACGTACGT".parse().unwrap();
+        assert!(inline.is_inline());
+        assert_eq!(inline, heap_backed);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |s: &DnaString| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&inline), hash(&heap_backed));
+    }
+
+    #[test]
+    fn extend_across_inline_boundary() {
+        let unit: DnaString = "ACGTTGCA".parse().unwrap();
+        let mut grown = DnaString::new();
+        let mut expected = String::new();
+        for _ in 0..20 {
+            grown.extend_from(&unit);
+            expected.push_str("ACGTTGCA");
+        }
+        assert_eq!(grown.len(), 160);
+        assert_eq!(grown.to_string(), expected);
+        // Unaligned growth across the boundary too.
+        let tri: DnaString = "ACG".parse().unwrap();
+        let mut grown = DnaString::new();
+        let mut expected = String::new();
+        for _ in 0..30 {
+            grown.extend_from(&tri);
+            expected.push_str("ACG");
+        }
+        assert_eq!(grown.to_string(), expected);
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub enum GenomeError {
 impl fmt::Display for GenomeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GenomeError::InvalidBase { character, position } => match position {
+            GenomeError::InvalidBase {
+                character,
+                position,
+            } => match position {
                 Some(pos) => write!(f, "invalid base '{character}' at position {pos}"),
                 None => write!(f, "invalid base '{character}'"),
             },

@@ -58,7 +58,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, GenomeError
         }
         if let Some(name) = line.strip_prefix('>') {
             if let Some((n, s)) = current.take() {
-                records.push(FastaRecord { name: n, sequence: s });
+                records.push(FastaRecord {
+                    name: n,
+                    sequence: s,
+                });
             }
             current = Some((name.trim().to_string(), DnaString::new()));
         } else {
@@ -74,7 +77,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, GenomeError
         }
     }
     if let Some((n, s)) = current.take() {
-        records.push(FastaRecord { name: n, sequence: s });
+        records.push(FastaRecord {
+            name: n,
+            sequence: s,
+        });
     }
     Ok(records)
 }
@@ -92,7 +98,7 @@ pub fn write_fastq<W: Write>(mut writer: W, reads: &[SequencingRead]) -> Result<
         writeln!(writer, "{}", read.sequence())?;
         writeln!(writer, "+")?;
         if read.qualities().is_empty() {
-            let quals: String = std::iter::repeat('I').take(read.len()).collect();
+            let quals: String = std::iter::repeat_n('I', read.len()).collect();
             writeln!(writer, "{quals}")?;
         } else {
             let quals: String = read

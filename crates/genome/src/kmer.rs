@@ -88,6 +88,27 @@ impl Kmer {
         Ok(Kmer { packed, k: k as u8 })
     }
 
+    /// Reconstructs a k-mer from its packed 2-bit representation.
+    ///
+    /// This is the cheap constructor the hot paths use: counting produces sorted
+    /// packed `u64` values and turns them back into [`Kmer`]s without touching
+    /// individual bases. Infallible by construction — bits above the `2 * k` in use
+    /// are masked off, so any `u64` yields a valid k-mer of length `k`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that `k` lies in `1..=`[`MAX_K`]; release builds clamp
+    /// nothing and rely on the caller having validated `k` (every pipeline entry
+    /// point does).
+    #[inline]
+    pub fn from_packed(packed: u64, k: usize) -> Kmer {
+        debug_assert!((1..=MAX_K).contains(&k), "k = {k} must lie in 1..={MAX_K}");
+        Kmer {
+            packed: packed & mask_for(k),
+            k: k as u8,
+        }
+    }
+
     /// Parses a k-mer from ASCII text.
     ///
     /// # Errors
@@ -117,7 +138,11 @@ impl Kmer {
     /// Panics if `index >= self.k()`.
     #[inline]
     pub fn base(&self, index: usize) -> Base {
-        assert!(index < self.k(), "k-mer index {index} out of range (k={})", self.k);
+        assert!(
+            index < self.k(),
+            "k-mer index {index} out of range (k={})",
+            self.k
+        );
         let shift = 2 * (self.k() - 1 - index);
         Base::from_code(((self.packed >> shift) & 0b11) as u8)
     }
@@ -471,6 +496,23 @@ mod tests {
         assert_eq!(k.base(1), Base::A);
         assert_eq!(k.base(2), Base::T);
         assert_eq!(k.base(3), Base::C);
+    }
+
+    #[test]
+    fn from_packed_round_trips() {
+        for text in ["A", "GTTAC", "ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+            let k = Kmer::from_ascii(text).unwrap();
+            assert_eq!(Kmer::from_packed(k.packed(), k.k()), k);
+        }
+    }
+
+    #[test]
+    fn from_packed_masks_unused_high_bits() {
+        // Garbage above the 2k bits in use must not affect equality or ordering.
+        let k = Kmer::from_ascii("GTTAC").unwrap();
+        let noisy = Kmer::from_packed(k.packed() | (0xDEAD << (2 * k.k())), k.k());
+        assert_eq!(noisy, k);
+        assert_eq!(noisy.to_string(), "GTTAC");
     }
 
     #[test]

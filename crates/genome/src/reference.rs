@@ -29,7 +29,10 @@ pub struct RepeatSpec {
 impl RepeatSpec {
     /// A repeat family with `copies` copies of a `unit_length`-base unit.
     pub fn new(unit_length: usize, copies: usize) -> Self {
-        RepeatSpec { unit_length, copies }
+        RepeatSpec {
+            unit_length,
+            copies,
+        }
     }
 }
 
@@ -232,22 +235,42 @@ mod tests {
 
     #[test]
     fn builds_genome_of_requested_length() {
-        let g = ReferenceGenome::builder().length(12_345).seed(1).build().unwrap();
+        let g = ReferenceGenome::builder()
+            .length(12_345)
+            .seed(1)
+            .build()
+            .unwrap();
         assert_eq!(g.len(), 12_345);
         assert!(!g.is_empty());
     }
 
     #[test]
     fn same_seed_is_deterministic() {
-        let a = ReferenceGenome::builder().length(5_000).seed(99).build().unwrap();
-        let b = ReferenceGenome::builder().length(5_000).seed(99).build().unwrap();
+        let a = ReferenceGenome::builder()
+            .length(5_000)
+            .seed(99)
+            .build()
+            .unwrap();
+        let b = ReferenceGenome::builder()
+            .length(5_000)
+            .seed(99)
+            .build()
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = ReferenceGenome::builder().length(5_000).seed(1).build().unwrap();
-        let b = ReferenceGenome::builder().length(5_000).seed(2).build().unwrap();
+        let a = ReferenceGenome::builder()
+            .length(5_000)
+            .seed(1)
+            .build()
+            .unwrap();
+        let b = ReferenceGenome::builder()
+            .length(5_000)
+            .seed(2)
+            .build()
+            .unwrap();
         assert_ne!(a, b);
     }
 
@@ -280,7 +303,10 @@ mod tests {
             *counts.entry(kmer).or_insert(0) += 1;
         }
         let repeated = counts.values().filter(|&&c| c > 1).count();
-        assert!(repeated > 100, "expected repeated 31-mers, found {repeated}");
+        assert!(
+            repeated > 100,
+            "expected repeated 31-mers, found {repeated}"
+        );
     }
 
     #[test]

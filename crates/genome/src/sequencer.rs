@@ -61,7 +61,10 @@ impl SequencerConfig {
         }
         for (name, p) in [
             ("substitution error rate", self.substitution_error_rate),
-            ("reverse strand probability", self.reverse_strand_probability),
+            (
+                "reverse strand probability",
+                self.reverse_strand_probability,
+            ),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(GenomeError::InvalidConfig {

@@ -137,8 +137,7 @@ mod tests {
             }
         }
         // Every flat id maps back to exactly one (channel, rank, bank).
-        let flats: std::collections::HashSet<usize> =
-            seen.iter().map(|&(_, _, _, f)| f).collect();
+        let flats: std::collections::HashSet<usize> = seen.iter().map(|&(_, _, _, f)| f).collect();
         let coords: std::collections::HashSet<(usize, usize, usize)> =
             seen.iter().map(|&(c, r, b, _)| (c, r, b)).collect();
         assert_eq!(flats.len(), coords.len());

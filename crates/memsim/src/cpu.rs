@@ -59,7 +59,7 @@ impl Default for CpuConfig {
             compute_ns_per_byte: 0.02,
             branch_fraction: 0.05,
             lock_overhead_ns: 6.0,
-            }
+        }
     }
 }
 
@@ -194,7 +194,11 @@ pub fn simulate_cpu_compaction(
     let total_thread_time = runtime_ns * threads as f64;
     let busy_total = busy_base + busy_branch + busy_l3 + busy_dram;
     let other = (total_thread_time - busy_total - sync_ns).max(0.0);
-    let norm = if total_thread_time > 0.0 { total_thread_time } else { 1.0 };
+    let norm = if total_thread_time > 0.0 {
+        total_thread_time
+    } else {
+        1.0
+    };
     let stall = StallBreakdown {
         base: busy_base / norm,
         branch: busy_branch / norm,
@@ -323,14 +327,20 @@ mod tests {
             &layout,
             ProcessFlow::Optimized,
             &DramConfig::default(),
-            &CpuConfig { threads: 4, ..CpuConfig::default() },
+            &CpuConfig {
+                threads: 4,
+                ..CpuConfig::default()
+            },
         );
         let many = simulate_cpu_compaction(
             &trace,
             &layout,
             ProcessFlow::Optimized,
             &DramConfig::default(),
-            &CpuConfig { threads: 64, ..CpuConfig::default() },
+            &CpuConfig {
+                threads: 64,
+                ..CpuConfig::default()
+            },
         );
         assert!(many.runtime_ns < few.runtime_ns);
         // Sync share grows with thread count (barrier + serialized locks).

@@ -110,10 +110,13 @@ impl DramSystem {
                     stats.row_misses += 1;
                 }
 
-                let start = issue_cycle.max(bank.ready_cycle).max(channel_busy[loc.channel]);
+                let start = issue_cycle
+                    .max(bank.ready_cycle)
+                    .max(channel_busy[loc.channel]);
                 let done = start + latency;
                 // The data bus is occupied for the burst at the tail of the access.
-                channel_busy[loc.channel] = done - timings.burst_cycles + timings.t_ccd.min(timings.burst_cycles);
+                channel_busy[loc.channel] =
+                    done - timings.burst_cycles + timings.t_ccd.min(timings.burst_cycles);
                 bank.ready_cycle = done;
                 bank.open_row = Some(loc.row);
                 req_completion = req_completion.max(done);
@@ -163,7 +166,11 @@ mod tests {
     fn sequential_same_row_accesses_hit_the_row_buffer() {
         let stats = system().replay(&sequential_reads(64, 64), ReplayWindow::default());
         // First access opens the row; the rest of the 8 KB page hits.
-        assert!(stats.row_hit_rate() > 0.9, "hit rate {}", stats.row_hit_rate());
+        assert!(
+            stats.row_hit_rate() > 0.9,
+            "hit rate {}",
+            stats.row_hit_rate()
+        );
         assert_eq!(stats.read_lines, 64);
         assert_eq!(stats.read_bytes, 64 * 64);
     }
@@ -180,11 +187,17 @@ mod tests {
         let reqs = sequential_reads(2_000, 4096);
         let narrow = system().replay(
             &reqs,
-            ReplayWindow { max_outstanding: 1, issue_gap_cycles: 0 },
+            ReplayWindow {
+                max_outstanding: 1,
+                issue_gap_cycles: 0,
+            },
         );
         let wide = system().replay(
             &reqs,
-            ReplayWindow { max_outstanding: 64, issue_gap_cycles: 0 },
+            ReplayWindow {
+                max_outstanding: 64,
+                issue_gap_cycles: 0,
+            },
         );
         assert!(wide.elapsed_ns <= narrow.elapsed_ns);
         assert!(wide.bandwidth_utilization() >= narrow.bandwidth_utilization());
@@ -198,11 +211,17 @@ mod tests {
             .collect();
         let narrow = system().replay(
             &reqs,
-            ReplayWindow { max_outstanding: 1, issue_gap_cycles: 4 },
+            ReplayWindow {
+                max_outstanding: 1,
+                issue_gap_cycles: 4,
+            },
         );
         let wide = system().replay(
             &reqs,
-            ReplayWindow { max_outstanding: 256, issue_gap_cycles: 1 },
+            ReplayWindow {
+                max_outstanding: 256,
+                issue_gap_cycles: 1,
+            },
         );
         assert!(
             wide.bandwidth_utilization() > 4.0 * narrow.bandwidth_utilization(),
@@ -214,10 +233,7 @@ mod tests {
 
     #[test]
     fn writes_are_accounted_separately() {
-        let reqs = vec![
-            MemRequest::read(0, 256, 0),
-            MemRequest::write(4096, 128, 1),
-        ];
+        let reqs = vec![MemRequest::read(0, 256, 0), MemRequest::write(4096, 128, 1)];
         let stats = system().replay(&reqs, ReplayWindow::default());
         assert_eq!(stats.read_bytes, 256);
         assert_eq!(stats.write_bytes, 128);

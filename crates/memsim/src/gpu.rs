@@ -146,7 +146,10 @@ mod tests {
                     .collect(),
                 transfers: vec![],
                 updates: (0..nodes / 3)
-                    .map(|i| UpdateEvent { dest_slot: i * 3 + 1, size_bytes: 300 })
+                    .map(|i| UpdateEvent {
+                        dest_slot: i * 3 + 1,
+                        size_bytes: 300,
+                    })
                     .collect(),
             });
         }
@@ -193,14 +196,20 @@ mod tests {
             &trace,
             &layout,
             &dram,
-            &GpuConfig { irregular_efficiency: 0.05, ..GpuConfig::default() },
+            &GpuConfig {
+                irregular_efficiency: 0.05,
+                ..GpuConfig::default()
+            },
             1 << 30,
         );
         let fast = simulate_gpu_compaction(
             &trace,
             &layout,
             &dram,
-            &GpuConfig { irregular_efficiency: 0.5, ..GpuConfig::default() },
+            &GpuConfig {
+                irregular_efficiency: 0.5,
+                ..GpuConfig::default()
+            },
             1 << 30,
         );
         assert!(fast.runtime_ns < slow.runtime_ns);

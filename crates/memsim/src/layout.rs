@@ -113,12 +113,20 @@ impl NodeLayout {
 
     /// Builds the read requests for accessing `bytes` of the node in `slot`.
     pub fn node_read(&self, slot: usize, bytes: usize) -> MemRequest {
-        MemRequest::read(self.addresses[slot], clamp_bytes(bytes, self.line_bytes), slot)
+        MemRequest::read(
+            self.addresses[slot],
+            clamp_bytes(bytes, self.line_bytes),
+            slot,
+        )
     }
 
     /// Builds the write request for writing `bytes` of the node in `slot`.
     pub fn node_write(&self, slot: usize, bytes: usize) -> MemRequest {
-        MemRequest::write(self.addresses[slot], clamp_bytes(bytes, self.line_bytes), slot)
+        MemRequest::write(
+            self.addresses[slot],
+            clamp_bytes(bytes, self.line_bytes),
+            slot,
+        )
     }
 }
 
@@ -175,7 +183,9 @@ mod tests {
             let dimm = layout.dimm_of(slot) as u64;
             let addr = layout.address_of(slot);
             assert!(addr >= dimm * layout.dimm_capacity());
-            assert!(addr + layout.allocated_size(slot) as u64 <= (dimm + 1) * layout.dimm_capacity());
+            assert!(
+                addr + layout.allocated_size(slot) as u64 <= (dimm + 1) * layout.dimm_capacity()
+            );
         }
     }
 

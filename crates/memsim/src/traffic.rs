@@ -161,14 +161,32 @@ mod tests {
     fn sample_iteration() -> IterationTrace {
         IterationTrace {
             checks: vec![
-                NodeCheck { slot: 0, size_bytes: 256, invalidated: false },
-                NodeCheck { slot: 1, size_bytes: 512, invalidated: true },
-                NodeCheck { slot: 2, size_bytes: 128, invalidated: false },
+                NodeCheck {
+                    slot: 0,
+                    size_bytes: 256,
+                    invalidated: false,
+                },
+                NodeCheck {
+                    slot: 1,
+                    size_bytes: 512,
+                    invalidated: true,
+                },
+                NodeCheck {
+                    slot: 2,
+                    size_bytes: 128,
+                    invalidated: false,
+                },
             ],
             transfers: vec![],
             updates: vec![
-                UpdateEvent { dest_slot: 0, size_bytes: 300 },
-                UpdateEvent { dest_slot: 2, size_bytes: 160 },
+                UpdateEvent {
+                    dest_slot: 0,
+                    size_bytes: 300,
+                },
+                UpdateEvent {
+                    dest_slot: 2,
+                    size_bytes: 160,
+                },
             ],
         }
     }
@@ -211,7 +229,11 @@ mod tests {
         let mut opt = TrafficSummary::default();
         opt.add_requests(&build_iteration_requests(&it, &l, ProcessFlow::Optimized));
         let mut fwd = TrafficSummary::default();
-        fwd.add_requests(&build_iteration_requests(&it, &l, ProcessFlow::IdealForwarding));
+        fwd.add_requests(&build_iteration_requests(
+            &it,
+            &l,
+            ProcessFlow::IdealForwarding,
+        ));
         assert!(fwd.read_bytes < opt.read_bytes);
         assert_eq!(fwd.write_bytes, opt.write_bytes);
     }
@@ -219,10 +241,7 @@ mod tests {
     #[test]
     fn traffic_summary_totals() {
         let mut summary = TrafficSummary::default();
-        summary.add_requests(&[
-            MemRequest::read(0, 128, 0),
-            MemRequest::write(64, 64, 1),
-        ]);
+        summary.add_requests(&[MemRequest::read(0, 128, 0), MemRequest::write(64, 64, 1)]);
         assert_eq!(summary.reads, 1);
         assert_eq!(summary.writes, 1);
         assert_eq!(summary.total_bytes(), 192);

@@ -67,13 +67,21 @@ impl AreaPowerModel {
     /// Area of one PE in mm² (the paper's 0.110 mm², including its crossbar share).
     pub fn pe_area_mm2(&self) -> f64 {
         self.pe_components.iter().map(|c| c.area_mm2).sum::<f64>()
-            + self.shared_components.iter().map(|c| c.area_mm2).sum::<f64>()
+            + self
+                .shared_components
+                .iter()
+                .map(|c| c.area_mm2)
+                .sum::<f64>()
     }
 
     /// Power of one PE in mW (the paper's 30.6 mW).
     pub fn pe_power_mw(&self) -> f64 {
         self.pe_components.iter().map(|c| c.power_mw).sum::<f64>()
-            + self.shared_components.iter().map(|c| c.power_mw).sum::<f64>()
+            + self
+                .shared_components
+                .iter()
+                .map(|c| c.power_mw)
+                .sum::<f64>()
     }
 
     /// Area of `pes` PEs in one buffer chip, in mm².
@@ -165,8 +173,16 @@ mod tests {
     #[test]
     fn per_pe_totals_match_table3() {
         let model = AreaPowerModel::default();
-        assert!((model.pe_area_mm2() - 0.109).abs() < 0.005, "{}", model.pe_area_mm2());
-        assert!((model.pe_power_mw() - 30.3).abs() < 0.5, "{}", model.pe_power_mw());
+        assert!(
+            (model.pe_area_mm2() - 0.109).abs() < 0.005,
+            "{}",
+            model.pe_area_mm2()
+        );
+        assert!(
+            (model.pe_power_mw() - 30.3).abs() < 0.5,
+            "{}",
+            model.pe_power_mw()
+        );
     }
 
     #[test]
@@ -174,7 +190,7 @@ mod tests {
         let model = AreaPowerModel::default();
         // Table 3: 1.763 mm² and 489.3 mW for 16 PEs.
         assert!((model.chip_area_mm2(16) - 1.763).abs() < 0.1);
-        assert!((model.chip_power_mw(16) - 489.3) .abs() < 10.0);
+        assert!((model.chip_power_mw(16) - 489.3).abs() < 10.0);
     }
 
     #[test]
@@ -207,7 +223,11 @@ mod tests {
         // 300 W-class boards; 400 W SXM boards here) and 4130 mm².
         let cmp = GpuComparison::new(&model, &NmpConfig::sixteen_pes(), 8, &gpu, 379 << 30);
         assert_eq!(cmp.gpus_needed, 5);
-        assert!(cmp.power_ratio() > 100.0, "power ratio {}", cmp.power_ratio());
+        assert!(
+            cmp.power_ratio() > 100.0,
+            "power ratio {}",
+            cmp.power_ratio()
+        );
         assert!(cmp.area_ratio() > 100.0, "area ratio {}", cmp.area_ratio());
     }
 }

@@ -125,8 +125,18 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(NmpConfig { pes_per_channel: 0, ..NmpConfig::default() }.validate().is_err());
-        assert!(NmpConfig { pe_freq_ghz: 0.0, ..NmpConfig::default() }.validate().is_err());
+        assert!(NmpConfig {
+            pes_per_channel: 0,
+            ..NmpConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(NmpConfig {
+            pe_freq_ghz: 0.0,
+            ..NmpConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(NmpConfig {
             macronode_buffer_bytes: 512,
             ..NmpConfig::default()

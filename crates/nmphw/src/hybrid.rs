@@ -75,7 +75,11 @@ mod tests {
             checks: sizes
                 .iter()
                 .enumerate()
-                .map(|(slot, &size_bytes)| NodeCheck { slot, size_bytes, invalidated: false })
+                .map(|(slot, &size_bytes)| NodeCheck {
+                    slot,
+                    size_bytes,
+                    invalidated: false,
+                })
                 .collect(),
             transfers: vec![],
             updates: vec![],
@@ -84,7 +88,9 @@ mod tests {
 
     #[test]
     fn split_respects_the_threshold() {
-        let scheduler = HybridScheduler { threshold_bytes: 1024 };
+        let scheduler = HybridScheduler {
+            threshold_bytes: 1024,
+        };
         let schedule = scheduler.split(&iteration_with_sizes(&[256, 800, 1024, 1500, 40_000]));
         assert_eq!(schedule.nmp_slots, vec![0, 1, 2]);
         assert_eq!(schedule.cpu_slots, vec![3, 4]);
@@ -99,7 +105,9 @@ mod tests {
         // the paper's analysis (only nodes > 1 KB, ≤ 7.4 % of the population).
         let mut sizes = vec![400usize; 990];
         sizes.extend(vec![4_000usize; 10]);
-        let scheduler = HybridScheduler { threshold_bytes: 1024 };
+        let scheduler = HybridScheduler {
+            threshold_bytes: 1024,
+        };
         let schedule = scheduler.split(&iteration_with_sizes(&sizes));
         assert!(schedule.cpu_node_fraction() < 0.02);
         assert_eq!(schedule.cpu_slots.len(), 10);
@@ -113,7 +121,9 @@ mod tests {
 
     #[test]
     fn empty_iteration_is_safe() {
-        let scheduler = HybridScheduler { threshold_bytes: 1024 };
+        let scheduler = HybridScheduler {
+            threshold_bytes: 1024,
+        };
         let schedule = scheduler.split(&iteration_with_sizes(&[]));
         assert_eq!(schedule.cpu_node_fraction(), 0.0);
         assert!(schedule.nmp_slots.is_empty());

@@ -81,8 +81,7 @@ impl PeCycleModel {
             PeVariant::Ideal => 1,
             PeVariant::Pipelined => {
                 self.fixed_cycles_per_stage
-                    + self.cycles_per_word
-                        * ((transfer_bytes + dest_bytes / 4) as u64).div_ceil(8)
+                    + self.cycles_per_word * ((transfer_bytes + dest_bytes / 4) as u64).div_ceil(8)
             }
         }
     }
@@ -92,7 +91,11 @@ impl PeCycleModel {
     pub fn node_cycles(&self, node_bytes: usize, invalidated: bool) -> StageCycles {
         StageCycles {
             p1: self.p1_cycles(node_bytes),
-            p2: if invalidated { self.p2_cycles(node_bytes) } else { 0 },
+            p2: if invalidated {
+                self.p2_cycles(node_bytes)
+            } else {
+                0
+            },
             p3: 0,
         }
     }

@@ -153,7 +153,9 @@ impl NmpSystem {
                 let dimm = layout.dimm_of(check.slot);
                 let pe = layout.pe_of(check.slot, pes);
                 channel_bytes[dimm] += check.size_bytes as u64;
-                pe_cycles[dimm][pe] += pe_model.node_cycles(check.size_bytes, check.invalidated).total();
+                pe_cycles[dimm][pe] += pe_model
+                    .node_cycles(check.size_bytes, check.invalidated)
+                    .total();
             }
 
             // Destination updates: read-modify-write in the destination's DIMM, plus
@@ -196,7 +198,11 @@ impl NmpSystem {
             let mut nmp_time_ns = 0.0f64;
             for ch in 0..channels {
                 let stream_ns = channel_bytes[ch] as f64 / channel_bandwidth_gbps
-                    + if channel_bytes[ch] > 0 { self.nmp.near_memory_latency_ns } else { 0.0 };
+                    + if channel_bytes[ch] > 0 {
+                        self.nmp.near_memory_latency_ns
+                    } else {
+                        0.0
+                    };
                 let compute_ns = pe_cycles[ch]
                     .iter()
                     .map(|&c| pe_model.cycles_to_ns(c))
@@ -277,7 +283,13 @@ mod tests {
     /// destinations, like real compaction behaviour.
     fn synthetic_trace(nodes: usize, iterations: usize) -> (CompactionTrace, NodeLayout) {
         let sizes: Vec<usize> = (0..nodes)
-            .map(|i| if i % 97 == 0 { 6_000 } else { 200 + (i % 9) * 90 })
+            .map(|i| {
+                if i % 97 == 0 {
+                    6_000
+                } else {
+                    200 + (i % 9) * 90
+                }
+            })
             .collect();
         let mut trace = CompactionTrace::new(nodes, sizes.clone());
         for it in 0..iterations {
@@ -296,16 +308,31 @@ mod tests {
                     let d1 = (c.slot.wrapping_mul(7919) + 3) % alive.max(1);
                     let d2 = (c.slot.wrapping_mul(104_729) + 11) % alive.max(1);
                     [
-                        TransferEvent { source_slot: c.slot, dest_slot: d1, size_bytes: 48 },
-                        TransferEvent { source_slot: c.slot, dest_slot: d2, size_bytes: 48 },
+                        TransferEvent {
+                            source_slot: c.slot,
+                            dest_slot: d1,
+                            size_bytes: 48,
+                        },
+                        TransferEvent {
+                            source_slot: c.slot,
+                            dest_slot: d2,
+                            size_bytes: 48,
+                        },
                     ]
                 })
                 .collect();
             let updates: Vec<UpdateEvent> = transfers
                 .iter()
-                .map(|t| UpdateEvent { dest_slot: t.dest_slot, size_bytes: sizes[t.dest_slot] + 32 })
+                .map(|t| UpdateEvent {
+                    dest_slot: t.dest_slot,
+                    size_bytes: sizes[t.dest_slot] + 32,
+                })
                 .collect();
-            trace.iterations.push(IterationTrace { checks, transfers, updates });
+            trace.iterations.push(IterationTrace {
+                checks,
+                transfers,
+                updates,
+            });
         }
         let layout = NodeLayout::new(&sizes, &DramConfig::default());
         (trace, layout)
@@ -367,9 +394,15 @@ mod tests {
         let mut last = f64::INFINITY;
         let mut runtimes = Vec::new();
         for pes in [1usize, 2, 4, 8, 16, 32, 64] {
-            let cfg = NmpConfig { pes_per_channel: pes, ..NmpConfig::default() };
+            let cfg = NmpConfig {
+                pes_per_channel: pes,
+                ..NmpConfig::default()
+            };
             let r = system(cfg).simulate(&trace, &layout);
-            assert!(r.runtime_ns <= last * 1.001, "{pes} PEs slower than previous");
+            assert!(
+                r.runtime_ns <= last * 1.001,
+                "{pes} PEs slower than previous"
+            );
             last = r.runtime_ns;
             runtimes.push(r.runtime_ns);
         }
@@ -400,7 +433,11 @@ mod tests {
     fn hybrid_offload_fraction_is_small_and_overlapped() {
         let (trace, layout) = synthetic_trace(4_000, 4);
         let result = system(NmpConfig::default()).simulate(&trace, &layout);
-        assert!(result.cpu_offload_fraction < 0.05, "{}", result.cpu_offload_fraction);
+        assert!(
+            result.cpu_offload_fraction < 0.05,
+            "{}",
+            result.cpu_offload_fraction
+        );
         assert!(result.cpu_bound_iteration_fraction < 0.5);
     }
 

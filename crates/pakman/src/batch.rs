@@ -39,7 +39,7 @@ impl BatchPlan {
                 message: "cannot plan batches over zero reads".to_string(),
             });
         }
-        if !(batch_fraction > 0.0) {
+        if batch_fraction.is_nan() || batch_fraction <= 0.0 {
             return Err(PakmanError::InvalidConfig {
                 message: format!("batch fraction {batch_fraction} must be positive"),
             });
@@ -201,7 +201,7 @@ fn dedup_contigs(mut contigs: Vec<Contig>, k: usize) -> Vec<Contig> {
     use std::collections::HashSet;
 
     let k = k.clamp(2, 31);
-    contigs.sort_by(|a, b| b.len().cmp(&a.len()));
+    contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
     let mut seen: HashSet<u64> = HashSet::new();
     let mut kept = Vec::with_capacity(contigs.len());
     for contig in contigs {
@@ -226,21 +226,23 @@ fn dedup_contigs(mut contigs: Vec<Contig>, k: usize) -> Vec<Contig> {
 }
 
 fn merge_nodes(nodes: Vec<crate::macronode::MacroNode>, k: usize) -> PakGraph {
-    use std::collections::BTreeMap;
-    let mut by_k1mer: BTreeMap<nmp_pak_genome::Kmer, crate::macronode::MacroNode> = BTreeMap::new();
+    // Sort-and-scan merge of duplicate (k-1)-mers: the stable sort keeps batch
+    // order among duplicates, so the merged node carries its paths in the same
+    // order a map-based merge would have produced — without per-entry allocation.
+    let mut nodes = nodes;
+    nodes.sort_by_key(crate::macronode::MacroNode::k1mer);
+    let mut merged: Vec<crate::macronode::MacroNode> = Vec::with_capacity(nodes.len());
     for node in nodes {
-        match by_k1mer.get_mut(&node.k1mer()) {
-            Some(existing) => {
+        match merged.last_mut() {
+            Some(last) if last.k1mer() == node.k1mer() => {
                 for path in node.paths() {
-                    existing.push_path(path.clone());
+                    last.push_path(path.clone());
                 }
             }
-            None => {
-                by_k1mer.insert(node.k1mer(), node);
-            }
+            _ => merged.push(node),
         }
     }
-    PakGraph::from_nodes(by_k1mer.into_values().collect(), k)
+    PakGraph::from_nodes(merged, k)
 }
 
 #[cfg(test)]
@@ -345,8 +347,7 @@ mod tests {
         let reads = reads_for(4_000, 15.0, 77);
         let unbatched = PakmanAssembler::new(cfg(17)).assemble(&reads).unwrap();
         let single_batch = BatchAssembler::new(cfg(17), 1.0).assemble(&reads).unwrap();
-        let ratio =
-            single_batch.stats.total_length as f64 / unbatched.stats.total_length as f64;
+        let ratio = single_batch.stats.total_length as f64 / unbatched.stats.total_length as f64;
         // The containment dedup drops reverse-strand / repeat duplicates, so the
         // single-batch total is bounded by the unbatched total but stays the same
         // order of magnitude, and the longest contig is identical.

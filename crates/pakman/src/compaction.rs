@@ -21,7 +21,6 @@ use crate::macronode::MacroNode;
 use crate::trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
 use crate::transfer::{TransferNode, TransferSide};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Histogram of MacroNode sizes with the power-of-two buckets of Fig. 7
 /// (≤256 B, 512 B, 1 KB, 2 KB, 4 KB, 8 KB, 16 KB, 32 KB, >32 KB).
@@ -73,7 +72,11 @@ impl SizeHistogram {
         }
         let mut exceeding = 0usize;
         for (i, &count) in self.counts.iter().enumerate() {
-            let lower = if i == 0 { 0 } else { Self::BUCKET_BOUNDS[i - 1] };
+            let lower = if i == 0 {
+                0
+            } else {
+                Self::BUCKET_BOUNDS[i - 1]
+            };
             if lower >= threshold {
                 exceeding += count;
             }
@@ -213,8 +216,13 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
         }
 
         // ---- Stage P3: routing and destination update ----
+        // Destinations are resolved through the graph's sorted-rank index (binary
+        // search over the packed (k-1)-mer layout) — no hashing per TransferNode.
+        // Touched destinations are tracked with a plain per-slot bitmap in
+        // first-touch order, which also makes the recorded trace deterministic.
         let mut transfer_events = Vec::with_capacity(transfers.len());
-        let mut touched: HashMap<usize, ()> = HashMap::new();
+        let mut touched = vec![false; graph.slot_count()];
+        let mut touched_order: Vec<usize> = Vec::new();
         let mut unmatched = 0usize;
         for (source_slot, transfer) in &transfers {
             match graph.index_of(&transfer.destination) {
@@ -226,7 +234,10 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
                     });
                     let dest = graph.node_mut(dest_slot).expect("destination is alive");
                     if apply_transfer(dest, transfer) {
-                        touched.insert(dest_slot, ());
+                        if !touched[dest_slot] {
+                            touched[dest_slot] = true;
+                            touched_order.push(dest_slot);
+                        }
                     } else {
                         unmatched += 1;
                     }
@@ -235,11 +246,14 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
             }
         }
 
-        let updates: Vec<UpdateEvent> = touched
-            .keys()
+        let updates: Vec<UpdateEvent> = touched_order
+            .iter()
             .map(|&dest_slot| UpdateEvent {
                 dest_slot,
-                size_bytes: graph.node(dest_slot).map(MacroNode::size_bytes).unwrap_or(0),
+                size_bytes: graph
+                    .node(dest_slot)
+                    .map(MacroNode::size_bytes)
+                    .unwrap_or(0),
             })
             .collect();
 
@@ -265,7 +279,7 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
     if graph.alive_count() <= config.compaction_node_threshold {
         stats.converged = true;
     }
-    CompactionOutcome { stats, trace: trace.map(|t| t) }
+    CompactionOutcome { stats, trace }
 }
 
 /// Runs the invalidation check for every alive node, in parallel.
@@ -273,10 +287,7 @@ fn run_invalidation_checks(graph: &PakGraph, threads: usize) -> Vec<NodeCheck> {
     let slots = graph.alive_slots();
     let threads = threads.max(1).min(slots.len().max(1));
     if threads <= 1 || slots.len() < 64 {
-        return slots
-            .iter()
-            .map(|&slot| check_one(graph, slot))
-            .collect();
+        return slots.iter().map(|&slot| check_one(graph, slot)).collect();
     }
 
     let chunk = slots.len().div_ceil(threads);
@@ -285,7 +296,9 @@ fn run_invalidation_checks(graph: &PakGraph, threads: usize) -> Vec<NodeCheck> {
         let mut handles = Vec::new();
         for part in slots.chunks(chunk) {
             handles.push(scope.spawn(move || {
-                part.iter().map(|&slot| check_one(graph, slot)).collect::<Vec<_>>()
+                part.iter()
+                    .map(|&slot| check_one(graph, slot))
+                    .collect::<Vec<_>>()
             }));
         }
         for handle in handles {
@@ -395,10 +408,14 @@ mod tests {
             .collect();
         let (counted, _) = count_kmers(
             &reads,
-            KmerCounterConfig { k, min_count: 1, threads: 1 },
+            KmerCounterConfig {
+                k,
+                min_count: 1,
+                threads: 1,
+            },
         )
         .unwrap();
-        PakGraph::from_counted_kmers(&counted, k)
+        PakGraph::from_counted_kmers(&counted, k, 1)
     }
 
     fn compact_config(threshold: usize) -> PakmanConfig {
@@ -448,7 +465,10 @@ mod tests {
         assert!(
             contigs.iter().any(|c| c.sequence.to_string() == read),
             "expected contig {read}, got {:?}",
-            contigs.iter().map(|c| c.sequence.to_string()).collect::<Vec<_>>()
+            contigs
+                .iter()
+                .map(|c| c.sequence.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -490,8 +510,12 @@ mod tests {
         // GTTA is larger than both of its neighbours (CGTT and TTAC), so it is the
         // invalidation target; CGTT is not (its successor GTTA is larger).
         let graph = graph_from_reads(&["ACGTTAC"], 5);
-        let gtta = graph.node_by_k1mer(&Kmer::from_ascii("GTTA").unwrap()).unwrap();
-        let cgtt = graph.node_by_k1mer(&Kmer::from_ascii("CGTT").unwrap()).unwrap();
+        let gtta = graph
+            .node_by_k1mer(&Kmer::from_ascii("GTTA").unwrap())
+            .unwrap();
+        let cgtt = graph
+            .node_by_k1mer(&Kmer::from_ascii("CGTT").unwrap())
+            .unwrap();
         assert!(is_invalidation_target(&graph, gtta));
         assert!(!is_invalidation_target(&graph, cgtt));
 
@@ -505,7 +529,9 @@ mod tests {
         assert_eq!(graph.alive_count(), 3);
         assert!(!graph.contains(&Kmer::from_ascii("GTTA").unwrap()));
         // CGTT's suffix grew from "A" to "AC".
-        let cgtt = graph.node_by_k1mer(&Kmer::from_ascii("CGTT").unwrap()).unwrap();
+        let cgtt = graph
+            .node_by_k1mer(&Kmer::from_ascii("CGTT").unwrap())
+            .unwrap();
         assert_eq!(cgtt.suffix_extensions()[0].0.to_string(), "AC");
     }
 

@@ -89,9 +89,24 @@ mod tests {
 
     #[test]
     fn invalid_values_are_rejected() {
-        assert!(PakmanConfig { k: 1, ..PakmanConfig::default() }.validate().is_err());
-        assert!(PakmanConfig { k: 33, ..PakmanConfig::default() }.validate().is_err());
-        assert!(PakmanConfig { threads: 0, ..PakmanConfig::default() }.validate().is_err());
+        assert!(PakmanConfig {
+            k: 1,
+            ..PakmanConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PakmanConfig {
+            k: 33,
+            ..PakmanConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PakmanConfig {
+            threads: 0,
+            ..PakmanConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(PakmanConfig {
             max_compaction_iterations: 0,
             ..PakmanConfig::default()
@@ -108,7 +123,11 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let cfg = PakmanConfig { k: 21, threads: 8, ..PakmanConfig::default() };
+        let cfg = PakmanConfig {
+            k: 21,
+            threads: 8,
+            ..PakmanConfig::default()
+        };
         let json = serde_json_like(&cfg);
         assert!(json.contains("21"));
     }

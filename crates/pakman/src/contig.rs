@@ -62,7 +62,7 @@ impl AssemblyStats {
             total_length,
             n50: n50(lengths),
             largest_contig: lengths.iter().copied().max().unwrap_or(0),
-            mean_length: if contig_count == 0 { 0 } else { total_length / contig_count },
+            mean_length: total_length.checked_div(contig_count).unwrap_or(0),
         }
     }
 }

@@ -3,10 +3,74 @@
 
 use crate::kmer_count::CountedKmer;
 use crate::macronode::MacroNode;
-use std::collections::BTreeMap;
-use std::collections::HashMap;
+use crate::par::{parallel_merge_round, radix_sort_pairs};
 
 use nmp_pak_genome::{Base, Kmer};
+
+/// Sorted-rank slot index: maps a packed (k-1)-mer to its slot by binary search
+/// over the ascending slot order the graph layout already guarantees, instead of
+/// hashing every lookup (the seed paid SipHash on every TransferNode delivery).
+///
+/// A radix prefix table over the top bits of the packed key narrows each binary
+/// search to one bucket — the "static MacroNode→DIMM mapping table" of §4.2 in
+/// miniature. The structure is immutable after construction (invalidation clears
+/// slots, never moves them), so lookups are lock-free and `Sync` for the parallel
+/// compaction stages.
+#[derive(Debug, Clone, Default)]
+struct RankIndex {
+    /// Packed (k-1)-mer of every slot, ascending; the position *is* the slot index.
+    keys: Vec<u64>,
+    /// `starts[p]..starts[p + 1]` is the key range whose top `bits` bits equal `p`.
+    starts: Vec<u32>,
+    /// Number of leading key bits indexing the prefix table.
+    bits: u32,
+    /// Total significant bits of a packed key (`2 * (k-1)`).
+    key_bits: u32,
+}
+
+impl RankIndex {
+    /// Builds the index over `keys`, which must be ascending packed (k-1)-mers of
+    /// `k1_len` bases each.
+    fn build(keys: Vec<u64>, k1_len: usize) -> RankIndex {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let key_bits = (2 * k1_len) as u32;
+        // Size the prefix table to roughly one entry per key, capped at 2^16
+        // buckets (256 KiB of u32s) and at the key width itself.
+        let log2_len = usize::BITS - keys.len().leading_zeros();
+        let bits = key_bits.min(16).min(log2_len);
+        let mut starts = vec![0u32; (1usize << bits) + 1];
+        for &key in &keys {
+            starts[(key >> (key_bits - bits)) as usize + 1] += 1;
+        }
+        for p in 1..starts.len() {
+            starts[p] += starts[p - 1];
+        }
+        RankIndex {
+            keys,
+            starts,
+            bits,
+            key_bits,
+        }
+    }
+
+    /// The slot whose key equals `packed`, if present.
+    #[inline]
+    fn rank_of(&self, packed: u64) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        // Callers guarantee `packed` is a (k-1)-mer of the graph's own length, so
+        // it fits in `key_bits` bits (index_of's length guard enforces this).
+        debug_assert_eq!(packed >> self.key_bits, 0);
+        let bucket = (packed >> (self.key_bits - self.bits)) as usize;
+        let lo = self.starts[bucket] as usize;
+        let hi = self.starts[bucket + 1] as usize;
+        self.keys[lo..hi]
+            .binary_search(&packed)
+            .ok()
+            .map(|off| lo + off)
+    }
+}
 
 /// The PaK-graph: every MacroNode keyed by its (k-1)-mer.
 ///
@@ -17,76 +81,121 @@ use nmp_pak_genome::{Base, Kmer};
 /// compaction completes, §4.5), so slot indices are stable identifiers that the memory
 /// traces and the hardware model can use as addresses.
 ///
-/// Following §4.5's "efficient memory management", nodes are boxed so the map stores
-/// pointers rather than values, avoiding struct copies when nodes are moved.
+/// Because the layout is sorted, the slot of a (k-1)-mer is its *rank*: lookups are
+/// a bucketed binary search over packed `u64` keys ([`RankIndex`]) — no hashing and
+/// no per-entry heap allocation on the compaction routing path. See `DESIGN.md`.
+///
+/// Nodes live inline in the slot vector (a `MacroNode` is one `Kmer` plus a `Vec`
+/// handle, 40 bytes): there is no per-node pointer allocation to pay during
+/// construction and no pointer chase during the parallel invalidation scan, which
+/// is this implementation's reading of §4.5's "efficient memory management".
 #[derive(Debug, Clone, Default)]
 pub struct PakGraph {
-    slots: Vec<Option<Box<MacroNode>>>,
-    index: HashMap<Kmer, usize>,
+    slots: Vec<Option<MacroNode>>,
+    index: RankIndex,
     k: usize,
 }
 
 impl PakGraph {
-    /// Builds the PaK-graph from counted k-mers (MacroNode construction and wiring).
+    /// Builds the PaK-graph from counted k-mers (MacroNode construction and wiring),
+    /// parallelized over `threads` worker threads.
     ///
     /// Every k-mer `b₀ b₁ … b_{k-1}` with count `c` contributes:
     /// * prefix `b₀` (count `c`) to the node of its suffix (k-1)-mer `b₁ … b_{k-1}`, and
     /// * suffix `b_{k-1}` (count `c`) to the node of its prefix (k-1)-mer `b₀ … b_{k-2}`
     ///
     /// exactly as in Fig. 3(b).
-    pub fn from_counted_kmers(counted: &[CountedKmer], k: usize) -> PakGraph {
-        // Accumulate single-base extensions per (k-1)-mer.
-        #[derive(Default)]
-        struct Pending {
-            prefixes: Vec<(Base, u32)>,
-            suffixes: Vec<(Base, u32)>,
-        }
-        fn bump(list: &mut Vec<(Base, u32)>, base: Base, count: u32) {
-            match list.iter_mut().find(|(b, _)| *b == base) {
-                Some((_, c)) => *c += count,
-                None => list.push((base, count)),
+    ///
+    /// The build is a linear single pass over the sorted counted k-mers: the
+    /// suffix-extension stream is consumed in place (its node key `packed >> 2`
+    /// inherits the input order), the prefix-extension stream is materialized into
+    /// per-thread vectors, sorted, and merged, and one merge-scan over both streams
+    /// emits the MacroNodes in ascending (k-1)-mer order. The output is bit-identical
+    /// at every thread count.
+    pub fn from_counted_kmers(counted: &[CountedKmer], k: usize, threads: usize) -> PakGraph {
+        debug_assert!(k >= 2, "k = {k} must be at least 2 to form (k-1)-mers");
+        let k1_len = k - 1;
+        let threads = threads.clamp(1, counted.len().max(1));
+
+        // The prefix-extension stream: one record per k-mer, its suffix (k-1)-mer
+        // key and first base packed into a single machine word (`key << 2 | base`,
+        // unique per record) with the count as payload. Built per thread into
+        // pre-allocated vectors (§4.5 (a)+(b)), radix-sorted, then merged pairwise
+        // in parallel.
+        let k1_shift = 2 * k1_len;
+        let k1_mask = (1u64 << k1_shift) - 1;
+        let chunk_size = counted.len().div_ceil(threads).max(1);
+        let mut runs: Vec<Vec<(u64, u64)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for chunk in counted.chunks(chunk_size) {
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(u64, u64)> = Vec::with_capacity(chunk.len());
+                    for ck in chunk {
+                        let packed = ck.kmer.packed();
+                        let first_base = packed >> k1_shift;
+                        local.push((((packed & k1_mask) << 2) | first_base, ck.count as u64));
+                    }
+                    radix_sort_pairs(&mut local, k1_shift as u32 + 2);
+                    local
+                }));
             }
+            for handle in handles {
+                runs.push(handle.join().expect("prefix-record worker panicked"));
+            }
+        });
+        while runs.len() > 1 {
+            runs = parallel_merge_round(runs);
         }
+        let prefix_records = runs.pop().unwrap_or_default();
 
-        let mut pending: BTreeMap<Kmer, Pending> = BTreeMap::new();
-        for ck in counted {
-            let kmer = ck.kmer;
-            let prefix_node = kmer.prefix_k1();
-            let suffix_node = kmer.suffix_k1();
-            bump(
-                &mut pending.entry(suffix_node).or_default().prefixes,
-                kmer.first_base(),
-                ck.count,
-            );
-            bump(
-                &mut pending.entry(prefix_node).or_default().suffixes,
-                kmer.last_base(),
-                ck.count,
-            );
-        }
+        // Merge-scan both streams into nodes, split across threads at node-key
+        // boundaries so each segment builds a disjoint, contiguous slot range.
+        let cuts = node_split_points(&prefix_records, counted, threads);
+        let mut segments: Vec<(Vec<u64>, Vec<Option<MacroNode>>)> =
+            Vec::with_capacity(cuts.len() - 1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cuts.len() - 1);
+            for w in cuts.windows(2) {
+                let pr = &prefix_records[w[0].0..w[1].0];
+                let sf = &counted[w[0].1..w[1].1];
+                handles.push(scope.spawn(move || build_segment(pr, sf, k1_len)));
+            }
+            for handle in handles {
+                segments.push(handle.join().expect("node-build worker panicked"));
+            }
+        });
 
-        // BTreeMap iteration order is ascending (k-1)-mer order: slot index == rank.
-        let mut slots = Vec::with_capacity(pending.len());
-        let mut index = HashMap::with_capacity(pending.len());
-        for (k1mer, p) in pending {
-            let node = MacroNode::from_extensions(k1mer, p.prefixes, p.suffixes);
-            index.insert(k1mer, slots.len());
-            slots.push(Some(Box::new(node)));
+        let total: usize = segments.iter().map(|(keys, _)| keys.len()).sum();
+        let mut keys = Vec::with_capacity(total);
+        let mut slots = Vec::with_capacity(total);
+        for (seg_keys, seg_slots) in segments {
+            keys.extend(seg_keys);
+            slots.extend(seg_slots);
         }
-        PakGraph { slots, index, k }
+        PakGraph {
+            slots,
+            index: RankIndex::build(keys, k1_len),
+            k,
+        }
     }
 
     /// Builds a graph from already-constructed MacroNodes (used when merging batches).
     /// Nodes are re-sorted into ascending (k-1)-mer order.
     pub fn from_nodes(mut nodes: Vec<MacroNode>, k: usize) -> PakGraph {
+        debug_assert!(k >= 2, "k = {k} must be at least 2 to form (k-1)-mers");
         nodes.sort_by_key(MacroNode::k1mer);
+        let mut keys = Vec::with_capacity(nodes.len());
         let mut slots = Vec::with_capacity(nodes.len());
-        let mut index = HashMap::with_capacity(nodes.len());
         for node in nodes {
-            index.insert(node.k1mer(), slots.len());
-            slots.push(Some(Box::new(node)));
+            keys.push(node.k1mer().packed());
+            slots.push(Some(node));
         }
-        PakGraph { slots, index, k }
+        PakGraph {
+            slots,
+            index: RankIndex::build(keys, k - 1),
+            k,
+        }
     }
 
     /// The k-mer length this graph was built for (the (k-1)-mers are one shorter).
@@ -111,7 +220,10 @@ impl PakGraph {
 
     /// The slot index of the node with the given (k-1)-mer, if it is alive.
     pub fn index_of(&self, k1mer: &Kmer) -> Option<usize> {
-        let idx = *self.index.get(k1mer)?;
+        if k1mer.k() + 1 != self.k {
+            return None;
+        }
+        let idx = self.index.rank_of(k1mer.packed())?;
         self.slots[idx].as_ref().map(|_| idx)
     }
 
@@ -122,12 +234,12 @@ impl PakGraph {
 
     /// The alive node at `slot`, if any.
     pub fn node(&self, slot: usize) -> Option<&MacroNode> {
-        self.slots.get(slot)?.as_deref()
+        self.slots.get(slot)?.as_ref()
     }
 
     /// Mutable access to the alive node at `slot`, if any.
     pub fn node_mut(&mut self, slot: usize) -> Option<&mut MacroNode> {
-        self.slots.get_mut(slot)?.as_deref_mut()
+        self.slots.get_mut(slot)?.as_mut()
     }
 
     /// The alive node with the given (k-1)-mer.
@@ -137,7 +249,7 @@ impl PakGraph {
 
     /// Invalidates (removes) the node at `slot`, returning it. The slot is left empty;
     /// physical deletion is deferred, matching §4.5.
-    pub fn invalidate(&mut self, slot: usize) -> Option<Box<MacroNode>> {
+    pub fn invalidate(&mut self, slot: usize) -> Option<MacroNode> {
         self.slots.get_mut(slot)?.take()
     }
 
@@ -146,7 +258,7 @@ impl PakGraph {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_deref().map(|n| (i, n)))
+            .filter_map(|(i, s)| s.as_ref().map(|n| (i, n)))
     }
 
     /// Slot indices of all alive nodes.
@@ -165,7 +277,7 @@ impl PakGraph {
 
     /// Collects the alive nodes into a vector (consuming the graph).
     pub fn into_nodes(self) -> Vec<MacroNode> {
-        self.slots.into_iter().flatten().map(|b| *b).collect()
+        self.slots.into_iter().flatten().collect()
     }
 
     /// Total number of graph edges (distinct suffix extensions over alive nodes).
@@ -174,6 +286,134 @@ impl PakGraph {
             .map(|(_, n)| n.suffix_extensions().len())
             .sum()
     }
+}
+
+/// Splits the node-build merge-scan over `prefix_records` (keyed by `.0 >> 2`)
+/// and the suffix stream `counted` (keyed by `kmer.packed() >> 2`) into up to
+/// `parts` segments cut at node-key boundaries, so no (k-1)-mer's records straddle
+/// two segments and concatenating the per-segment outputs in order reproduces the
+/// serial scan exactly, whatever the thread count.
+fn node_split_points(
+    prefix_records: &[(u64, u64)],
+    counted: &[CountedKmer],
+    parts: usize,
+) -> Vec<(usize, usize)> {
+    let suffix_key = |ck: &CountedKmer| ck.kmer.packed() >> 2;
+    let mut cuts = vec![(0usize, 0usize)];
+    if parts > 1 {
+        let splitters: Vec<u64> = if prefix_records.len() >= counted.len() {
+            (1..parts)
+                .map(|s| s * prefix_records.len() / parts)
+                .filter(|&i| i > 0 && i < prefix_records.len())
+                .map(|i| prefix_records[i].0 >> 2)
+                .collect()
+        } else {
+            (1..parts)
+                .map(|s| s * counted.len() / parts)
+                .filter(|&i| i > 0 && i < counted.len())
+                .map(|i| suffix_key(&counted[i]))
+                .collect()
+        };
+        let mut last = None;
+        for key in splitters {
+            if last == Some(key) {
+                continue;
+            }
+            last = Some(key);
+            let cut = (
+                prefix_records.partition_point(|r| r.0 >> 2 < key),
+                counted.partition_point(|ck| suffix_key(ck) < key),
+            );
+            if cut != *cuts.last().expect("cuts is non-empty") {
+                cuts.push(cut);
+            }
+        }
+    }
+    cuts.push((prefix_records.len(), counted.len()));
+    cuts
+}
+
+/// Builds the MacroNodes of one node-key segment: a linear merge-scan over the
+/// sorted prefix-extension records and the suffix-extension stream, accumulating
+/// per-base counts in fixed `[u32; 4]` arrays (no map, no per-entry allocation).
+fn build_segment(
+    prefix_records: &[(u64, u64)],
+    counted: &[CountedKmer],
+    k1_len: usize,
+) -> (Vec<u64>, Vec<Option<MacroNode>>) {
+    let suffix_key = |ck: &CountedKmer| ck.kmer.packed() >> 2;
+    let mut keys = Vec::with_capacity(prefix_records.len().max(counted.len()));
+    let mut slots: Vec<Option<MacroNode>> = Vec::with_capacity(keys.capacity());
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prefix_records.len() || j < counted.len() {
+        let key = match (prefix_records.get(i), counted.get(j)) {
+            (Some(&(rec, _)), Some(ck)) => (rec >> 2).min(suffix_key(ck)),
+            (Some(&(rec, _)), None) => rec >> 2,
+            (None, Some(ck)) => suffix_key(ck),
+            (None, None) => unreachable!("loop condition guarantees one side remains"),
+        };
+
+        let mut prefixes = [0u32; 4];
+        while let Some(&(rec, count)) = prefix_records.get(i) {
+            if rec >> 2 != key {
+                break;
+            }
+            prefixes[(rec & 0b11) as usize] += count as u32;
+            i += 1;
+        }
+        let mut suffixes = [0u32; 4];
+        while let Some(ck) = counted.get(j) {
+            if suffix_key(ck) != key {
+                break;
+            }
+            suffixes[(ck.kmer.packed() & 0b11) as usize] += ck.count;
+            j += 1;
+        }
+
+        let nonzero = |counts: &[u32; 4]| counts.iter().filter(|&&c| c > 0).count();
+        let node = if nonzero(&prefixes) == 1 && nonzero(&suffixes) == 1 {
+            // 1-in / 1-out chain node: skip the general wiring machinery.
+            let (pb, pc) = first_extension(prefixes);
+            let (sb, sc) = first_extension(suffixes);
+            MacroNode::single_through(Kmer::from_packed(key, k1_len), pb, pc, sb, sc)
+        } else {
+            MacroNode::from_extensions(
+                Kmer::from_packed(key, k1_len),
+                extension_list(prefixes),
+                extension_list(suffixes),
+            )
+        };
+        keys.push(key);
+        slots.push(Some(node));
+    }
+    (keys, slots)
+}
+
+/// The single nonzero entry of a per-base accumulator (caller guarantees there is
+/// exactly one).
+fn first_extension(counts: [u32; 4]) -> (Base, u32) {
+    for (code, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            return (Base::from_code(code as u8), count);
+        }
+    }
+    unreachable!("caller checked for exactly one nonzero extension")
+}
+
+/// Converts per-base accumulator counts into the `(Base, count)` list
+/// [`MacroNode::from_extensions`] expects, in ascending base-code order — the same
+/// order the k-mers contributing each extension appear in the sorted counted
+/// stream, which keeps the wiring (and therefore the whole pipeline) bit-identical
+/// to a one-kmer-at-a-time build.
+fn extension_list(counts: [u32; 4]) -> Vec<(Base, u32)> {
+    let mut out = Vec::with_capacity(counts.iter().filter(|&&c| c > 0).count());
+    for (code, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            out.push((Base::from_code(code as u8), count));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -190,10 +430,14 @@ mod tests {
             .collect();
         let (counted, _) = count_kmers(
             &reads,
-            KmerCounterConfig { k, min_count: 1, threads: 1 },
+            KmerCounterConfig {
+                k,
+                min_count: 1,
+                threads: 1,
+            },
         )
         .unwrap();
-        PakGraph::from_counted_kmers(&counted, k)
+        PakGraph::from_counted_kmers(&counted, k, 1)
     }
 
     #[test]
@@ -235,6 +479,48 @@ mod tests {
         for (slot, node) in graph.iter_alive() {
             assert_eq!(graph.index_of(&node.k1mer()), Some(slot));
         }
+    }
+
+    #[test]
+    fn construction_is_identical_across_thread_counts() {
+        let reads = &[
+            "ACGTACCTGATCAGTTGCAACGGTTACCAGT",
+            "GGGCCCAAATTTACGTAGACGTACCTGATCA",
+        ];
+        let reads: Vec<SequencingRead> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
+            .collect();
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k: 7,
+                min_count: 1,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let reference = PakGraph::from_counted_kmers(&counted, 7, 1);
+        for threads in [2, 3, 4, 8] {
+            let parallel = PakGraph::from_counted_kmers(&counted, 7, threads);
+            assert_eq!(parallel.slot_count(), reference.slot_count());
+            for slot in 0..reference.slot_count() {
+                assert_eq!(
+                    parallel.node(slot),
+                    reference.node(slot),
+                    "threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_reject_wrong_length_k1mers() {
+        let graph = graph_from_reads(&["ACGTACCTG"], 5);
+        // A 3-mer that prefixes an existing 4-mer key must not alias it.
+        assert!(!graph.contains(&Kmer::from_ascii("ACG").unwrap()));
+        assert!(!graph.contains(&Kmer::from_ascii("ACGTA").unwrap()));
     }
 
     #[test]
@@ -282,5 +568,23 @@ mod tests {
         assert!(graph.total_size_bytes() > 0);
         assert!(graph.edge_count() > 0);
         assert!(!graph.is_empty());
+    }
+
+    #[test]
+    fn rank_index_handles_empty_and_dense_key_sets() {
+        let empty = RankIndex::build(Vec::new(), 4);
+        assert_eq!(empty.rank_of(0), None);
+        assert!(empty.keys.is_empty());
+
+        // Every even 2-mer key: buckets are dense and misses sit between hits.
+        let keys: Vec<u64> = (0..16).filter(|k| k % 2 == 0).collect();
+        let index = RankIndex::build(keys, 2);
+        for key in 0..16u64 {
+            if key % 2 == 0 {
+                assert_eq!(index.rank_of(key), Some(key as usize / 2));
+            } else {
+                assert_eq!(index.rank_of(key), None);
+            }
+        }
     }
 }

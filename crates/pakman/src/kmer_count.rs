@@ -9,11 +9,20 @@
 //! * **(c) parallel sorting** — per-thread vectors are sorted independently and merged,
 //!   replacing the serial global sort of the original PaKman implementation.
 //!
-//! After sorting, duplicate k-mers are counted and k-mers below the error threshold are
-//! pruned.
+//! The whole phase is *bucket-major*: the top bits of the packed k-mer statically
+//! partition the value space (the same ascending-order discipline the paper uses to
+//! lay MacroNodes out across DIMMs, §4.2), every thread scatters into its own copy
+//! of those buckets while extracting, and each bucket is then finished
+//! independently — per-thread runs sorted while cache-resident, merged pairwise,
+//! and the *final* merge fused with the duplicate run-length count and the
+//! error-threshold prune, emitting [`CountedKmer`]s directly from the packed `u64`
+//! stream via [`Kmer::from_packed`]. Concatenating the buckets in order *is* the
+//! globally sorted output: no phase of step B unpacks a base, materializes a
+//! monolithic merged vector, or re-scans the full stream.
 
 use crate::config::PakmanConfig;
 use crate::error::PakmanError;
+use crate::par::merge_two;
 use nmp_pak_genome::{Kmer, SequencingRead};
 
 /// Configuration subset used by the k-mer counter.
@@ -83,36 +92,28 @@ pub fn count_kmers(
 
     let threads = config.threads.min(reads.len().max(1));
     let chunk_size = reads.len().div_ceil(threads).max(1);
+    let kmer_bits = 2 * config.k as u32;
+    let capacity_total: usize = reads
+        .iter()
+        .map(|r| r.len().saturating_sub(config.k - 1))
+        .sum();
+    // Bucket count: aim for per-(thread, bucket) runs of a few hundred elements so
+    // every sort in phase 1 stays cache-resident. Shared by all threads — bucket
+    // boundaries are a pure function of the k-mer value, never of the chunking.
+    let bucket_bits = (usize::BITS - (capacity_total / (512 * threads)).leading_zeros())
+        .min(kmer_bits - 1)
+        .min(12);
+    let buckets = 1usize << bucket_bits;
 
-    // (a)+(b): per-thread extraction into pre-allocated, thread-local vectors,
-    // (c): per-thread sort. std::thread::scope keeps this dependency-free.
-    let mut per_thread: Vec<Vec<u64>> = Vec::with_capacity(threads);
+    // Phase 1 — §4.5 (a)+(b)+(c): per-thread extraction over the packed read
+    // bytes, scattering into per-thread buckets, each bucket sorted independently.
+    let mut per_thread: Vec<Vec<Vec<u64>>> = Vec::with_capacity(threads);
     let mut skipped_total = 0usize;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for chunk in reads.chunks(chunk_size) {
             let k = config.k;
-            handles.push(scope.spawn(move || {
-                let capacity: usize = chunk
-                    .iter()
-                    .map(|r| r.len().saturating_sub(k - 1))
-                    .sum();
-                let mut local: Vec<u64> = Vec::with_capacity(capacity);
-                let mut skipped = 0usize;
-                for read in chunk {
-                    if read.len() < k {
-                        skipped += 1;
-                        continue;
-                    }
-                    for kmer in Kmer::iter_windows(read.sequence(), k)
-                        .expect("read length checked above")
-                    {
-                        local.push(kmer.packed());
-                    }
-                }
-                local.sort_unstable();
-                (local, skipped)
-            }));
+            handles.push(scope.spawn(move || extract_sorted_buckets(chunk, k, bucket_bits)));
         }
         for handle in handles {
             let (local, skipped) = handle.join().expect("k-mer counting worker panicked");
@@ -121,40 +122,66 @@ pub fn count_kmers(
         }
     });
 
-    let total_kmers: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+    let total_kmers: u64 = per_thread
+        .iter()
+        .flat_map(|t| t.iter())
+        .map(|b| b.len() as u64)
+        .sum();
     if total_kmers == 0 {
         return Err(PakmanError::EmptyInput {
             message: format!("no read is at least k = {} bases long", config.k),
         });
     }
 
-    // Merge the pre-sorted per-thread runs. The final vector is pre-allocated to the
-    // exact total size (§4.5 (b)).
-    let merged = merge_sorted_runs(per_thread, total_kmers as usize);
-
-    // Run-length count duplicates and prune low-count k-mers.
-    let mut counted = Vec::new();
-    let mut pruned = 0usize;
-    let mut distinct = 0usize;
-    let mut i = 0usize;
-    while i < merged.len() {
-        let value = merged[i];
-        let mut j = i + 1;
-        while j < merged.len() && merged[j] == value {
-            j += 1;
+    // Regroup the sorted runs bucket-major (moves vector handles, not data).
+    let mut bucket_runs: Vec<Vec<Vec<u64>>> =
+        (0..buckets).map(|_| Vec::with_capacity(threads)).collect();
+    for thread_buckets in per_thread {
+        for (b, run) in thread_buckets.into_iter().enumerate() {
+            if !run.is_empty() {
+                bucket_runs[b].push(run);
+            }
         }
-        let count = (j - i) as u32;
-        distinct += 1;
-        if count >= config.min_count {
-            counted.push(CountedKmer {
-                kmer: kmer_from_packed(value, config.k),
-                count,
-            });
-        } else {
-            pruned += 1;
-        }
-        i = j;
     }
+
+    // Phase 2: per bucket, merge the per-thread runs pairwise and fuse the
+    // run-length count + prune into the final merge. Buckets are distributed over
+    // scoped threads in contiguous ranges, so concatenating the worker outputs in
+    // order yields the ascending counted stream whatever the thread count.
+    let per_worker = buckets.div_ceil(threads);
+    let mut worker_outputs: Vec<(Vec<CountedKmer>, usize, usize)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for group in bucket_runs.chunks_mut(per_worker) {
+            let k = config.k;
+            let min_count = config.min_count;
+            handles.push(scope.spawn(move || {
+                let mut counted = Vec::new();
+                let (mut distinct, mut pruned) = (0usize, 0usize);
+                for runs in group.iter_mut() {
+                    let runs = std::mem::take(runs);
+                    let (c, d, p) = merge_count_bucket(runs, k, min_count);
+                    counted.extend(c);
+                    distinct += d;
+                    pruned += p;
+                }
+                (counted, distinct, pruned)
+            }));
+        }
+        for handle in handles {
+            worker_outputs.push(handle.join().expect("merge-count worker panicked"));
+        }
+    });
+
+    let surviving: usize = worker_outputs.iter().map(|(c, _, _)| c.len()).sum();
+    let mut counted = Vec::with_capacity(surviving);
+    let (mut distinct, mut pruned) = (0usize, 0usize);
+    for (c, d, p) in worker_outputs {
+        counted.extend(c);
+        distinct += d;
+        pruned += p;
+    }
+    debug_assert!(counted.windows(2).all(|w| w[0].kmer < w[1].kmer));
 
     let stats = KmerCountStats {
         total_kmers,
@@ -165,26 +192,18 @@ pub fn count_kmers(
     Ok((counted, stats))
 }
 
-/// Reconstructs a [`Kmer`] from its packed representation.
-fn kmer_from_packed(packed: u64, k: usize) -> Kmer {
-    use nmp_pak_genome::Base;
-    let bases = (0..k).map(|i| {
-        let shift = 2 * (k - 1 - i);
-        Base::from_code(((packed >> shift) & 0b11) as u8)
-    });
-    Kmer::from_bases(bases).expect("k validated by caller")
-}
-
-/// K-way merge of pre-sorted runs into one sorted vector.
-fn merge_sorted_runs(mut runs: Vec<Vec<u64>>, total: usize) -> Vec<u64> {
-    runs.retain(|r| !r.is_empty());
+/// Finishes one bucket: merges its pre-sorted runs pairwise until two remain and
+/// fuses the run-length count into the final merge.
+fn merge_count_bucket(
+    mut runs: Vec<Vec<u64>>,
+    k: usize,
+    min_count: u32,
+) -> (Vec<CountedKmer>, usize, usize) {
     match runs.len() {
-        0 => Vec::new(),
-        1 => runs.pop().expect("one run present"),
+        0 => (Vec::new(), 0, 0),
+        1 => run_length_count(&runs[0], k, min_count),
         _ => {
-            // Repeated pairwise merging: O(n log r), simple and cache-friendly for the
-            // small run counts used here (≤ thread count).
-            while runs.len() > 1 {
+            while runs.len() > 2 {
                 let mut next = Vec::with_capacity(runs.len().div_ceil(2));
                 let mut iter = runs.into_iter();
                 while let Some(a) = iter.next() {
@@ -195,28 +214,171 @@ fn merge_sorted_runs(mut runs: Vec<Vec<u64>>, total: usize) -> Vec<u64> {
                 }
                 runs = next;
             }
-            let out = runs.pop().expect("one run remains");
-            debug_assert_eq!(out.len(), total);
-            out
+            let b = runs.pop().expect("two runs remain");
+            let a = runs.pop().expect("two runs remain");
+            merge_count_segment(&a, &b, k, min_count)
         }
     }
 }
 
-fn merge_two(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
+/// Extracts the packed k-mers of one read chunk into `2^bucket_bits` sorted
+/// buckets (bucket = top bits of the packed k-mer, so buckets partition the value
+/// space in ascending order).
+///
+/// The sliding window works on the raw 2-bit codes of the packed read bytes
+/// ([`nmp_pak_genome::DnaString::codes`]) — no per-base enum round-trips — and
+/// scatters while extracting; each bucket is then sorted independently, small
+/// enough to stay cache-resident, unlike one monolithic sort of the whole chunk.
+/// Returns the buckets and the number of reads shorter than `k`.
+fn extract_sorted_buckets(
+    chunk: &[SequencingRead],
+    k: usize,
+    bucket_bits: u32,
+) -> (Vec<Vec<u64>>, usize) {
+    let capacity: usize = chunk.iter().map(|r| r.len().saturating_sub(k - 1)).sum();
+    let mut skipped = 0usize;
+    let kmer_bits = 2 * k as u32;
+    let mask = if kmer_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << kmer_bits) - 1
+    };
+
+    if bucket_bits == 0 {
+        let mut local = Vec::with_capacity(capacity);
+        extract_into(chunk, k, mask, &mut skipped, |packed| local.push(packed));
+        local.sort_unstable();
+        return (vec![local], skipped);
+    }
+
+    let shift = kmer_bits - bucket_bits;
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); 1 << bucket_bits];
+    let reserve = capacity / buckets.len() + 8;
+    for bucket in &mut buckets {
+        bucket.reserve(reserve);
+    }
+    extract_into(chunk, k, mask, &mut skipped, |packed| {
+        buckets[(packed >> shift) as usize].push(packed)
+    });
+
+    for bucket in &mut buckets {
+        bucket.sort_unstable();
+    }
+    (buckets, skipped)
+}
+
+/// Slides the k-window over every usable read of `chunk`, feeding each packed
+/// k-mer to `sink`.
+fn extract_into(
+    chunk: &[SequencingRead],
+    k: usize,
+    mask: u64,
+    skipped: &mut usize,
+    mut sink: impl FnMut(u64),
+) {
+    for read in chunk {
+        if read.len() < k {
+            *skipped += 1;
+            continue;
+        }
+        let mut packed = 0u64;
+        let mut filled = 0usize;
+        for code in read.sequence().codes() {
+            packed = ((packed << 2) | code as u64) & mask;
+            filled += 1;
+            if filled >= k {
+                sink(packed);
+            }
         }
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
+}
+
+/// Merges one value-aligned segment of the two runs while run-length counting it,
+/// emitting surviving k-mers straight from the packed representation.
+fn merge_count_segment(
+    a: &[u64],
+    b: &[u64],
+    k: usize,
+    min_count: u32,
+) -> (Vec<CountedKmer>, usize, usize) {
+    if a.is_empty() || b.is_empty() {
+        // Degenerate merge (single surviving run — always the case at one thread):
+        // a plain run-length scan, no two-pointer bookkeeping.
+        return run_length_count(if a.is_empty() { b } else { a }, k, min_count);
+    }
+
+    let total = a.len() + b.len();
+    let mut counted = Vec::with_capacity(total / min_count.max(1) as usize + 1);
+    let (mut distinct, mut pruned) = (0usize, 0usize);
+    let mut current: Option<(u64, u32)> = None;
+
+    let mut flush = |run: Option<(u64, u32)>, distinct: &mut usize, pruned: &mut usize| {
+        if let Some((value, count)) = run {
+            *distinct += 1;
+            if count >= min_count {
+                counted.push(CountedKmer {
+                    kmer: Kmer::from_packed(value, k),
+                    count,
+                });
+            } else {
+                *pruned += 1;
+            }
+        }
+    };
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let value = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x <= y => {
+                i += 1;
+                x
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (_, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!("loop condition guarantees one side remains"),
+        };
+        match current {
+            Some((v, c)) if v == value => current = Some((v, c + 1)),
+            other => {
+                flush(other, &mut distinct, &mut pruned);
+                current = Some((value, 1));
+            }
+        }
+    }
+    flush(current, &mut distinct, &mut pruned);
+    (counted, distinct, pruned)
+}
+
+/// Run-length counts one sorted run, pruning below `min_count`.
+fn run_length_count(run: &[u64], k: usize, min_count: u32) -> (Vec<CountedKmer>, usize, usize) {
+    let mut counted = Vec::with_capacity(run.len() / min_count.max(1) as usize + 1);
+    let (mut distinct, mut pruned) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < run.len() {
+        let value = run[i];
+        let mut j = i + 1;
+        while j < run.len() && run[j] == value {
+            j += 1;
+        }
+        distinct += 1;
+        let count = (j - i) as u32;
+        if count >= min_count {
+            counted.push(CountedKmer {
+                kmer: Kmer::from_packed(value, k),
+                count,
+            });
+        } else {
+            pruned += 1;
+        }
+        i = j;
+    }
+    (counted, distinct, pruned)
 }
 
 #[cfg(test)]
@@ -237,7 +399,11 @@ mod tests {
         let reads = reads_from(&["ACGTAC", "ACGTAC"]);
         let (counted, stats) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 4, min_count: 1, threads: 2 },
+            KmerCounterConfig {
+                k: 4,
+                min_count: 1,
+                threads: 2,
+            },
         )
         .unwrap();
         assert_eq!(stats.total_kmers, 6);
@@ -251,11 +417,20 @@ mod tests {
         let reads = reads_from(&["TTTTGGGGCCCCAAAA", "GATTACAGATTACA"]);
         let (counted, _) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 5, min_count: 1, threads: 3 },
+            KmerCounterConfig {
+                k: 5,
+                min_count: 1,
+                threads: 3,
+            },
         )
         .unwrap();
         for pair in counted.windows(2) {
-            assert!(pair[0].kmer < pair[1].kmer, "{:?} !< {:?}", pair[0], pair[1]);
+            assert!(
+                pair[0].kmer < pair[1].kmer,
+                "{:?} !< {:?}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 
@@ -264,7 +439,11 @@ mod tests {
         let reads = reads_from(&["ACGTACGT", "ACGTACGT", "TTTTTTTT"]);
         let (counted, stats) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 6, min_count: 2, threads: 2 },
+            KmerCounterConfig {
+                k: 6,
+                min_count: 2,
+                threads: 2,
+            },
         )
         .unwrap();
         // The TTTTTT k-mer appears 3 times (windows of the single poly-T read), the
@@ -278,12 +457,20 @@ mod tests {
         let reads = reads_from(&["ACGTACGTAC", "GGGGGGGGGG"]);
         let (with_singletons, _) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 8, min_count: 1, threads: 1 },
+            KmerCounterConfig {
+                k: 8,
+                min_count: 1,
+                threads: 1,
+            },
         )
         .unwrap();
         let (without_singletons, stats) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 8, min_count: 2, threads: 1 },
+            KmerCounterConfig {
+                k: 8,
+                min_count: 2,
+                threads: 1,
+            },
         )
         .unwrap();
         assert!(without_singletons.len() < with_singletons.len());
@@ -300,14 +487,22 @@ mod tests {
         ]);
         let single = count_kmers(
             &reads,
-            KmerCounterConfig { k: 7, min_count: 1, threads: 1 },
+            KmerCounterConfig {
+                k: 7,
+                min_count: 1,
+                threads: 1,
+            },
         )
         .unwrap()
         .0;
         for threads in [2, 3, 8] {
             let multi = count_kmers(
                 &reads,
-                KmerCounterConfig { k: 7, min_count: 1, threads },
+                KmerCounterConfig {
+                    k: 7,
+                    min_count: 1,
+                    threads,
+                },
             )
             .unwrap()
             .0;
@@ -320,7 +515,11 @@ mod tests {
         let reads = reads_from(&["ACG", "ACGTACGT"]);
         let (_, stats) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 5, min_count: 1, threads: 2 },
+            KmerCounterConfig {
+                k: 5,
+                min_count: 1,
+                threads: 2,
+            },
         )
         .unwrap();
         assert_eq!(stats.skipped_reads, 1);
@@ -330,7 +529,14 @@ mod tests {
     fn all_short_reads_is_an_error() {
         let reads = reads_from(&["ACG", "TT"]);
         assert!(matches!(
-            count_kmers(&reads, KmerCounterConfig { k: 5, min_count: 1, threads: 2 }),
+            count_kmers(
+                &reads,
+                KmerCounterConfig {
+                    k: 5,
+                    min_count: 1,
+                    threads: 2
+                }
+            ),
             Err(PakmanError::EmptyInput { .. })
         ));
     }
@@ -338,9 +544,33 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let reads = reads_from(&["ACGTACGT"]);
-        assert!(count_kmers(&reads, KmerCounterConfig { k: 1, min_count: 1, threads: 1 }).is_err());
-        assert!(count_kmers(&reads, KmerCounterConfig { k: 40, min_count: 1, threads: 1 }).is_err());
-        assert!(count_kmers(&reads, KmerCounterConfig { k: 5, min_count: 1, threads: 0 }).is_err());
+        assert!(count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k: 1,
+                min_count: 1,
+                threads: 1
+            }
+        )
+        .is_err());
+        assert!(count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k: 40,
+                min_count: 1,
+                threads: 1
+            }
+        )
+        .is_err());
+        assert!(count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k: 5,
+                min_count: 1,
+                threads: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -349,7 +579,11 @@ mod tests {
         let expected_total: u64 = reads.iter().map(|r| (r.len() - 6 + 1) as u64).sum();
         let (counted, stats) = count_kmers(
             &reads,
-            KmerCounterConfig { k: 6, min_count: 1, threads: 2 },
+            KmerCounterConfig {
+                k: 6,
+                min_count: 1,
+                threads: 2,
+            },
         )
         .unwrap();
         assert_eq!(stats.total_kmers, expected_total);

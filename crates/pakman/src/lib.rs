@@ -54,6 +54,7 @@ pub mod graph;
 pub mod kmer_count;
 pub mod macronode;
 pub mod memory;
+pub(crate) mod par;
 pub mod pipeline;
 pub mod trace;
 pub mod transfer;

@@ -51,11 +51,8 @@ impl ThroughPath {
 
     /// Approximate heap bytes used by this path (packed extensions plus bookkeeping).
     pub fn size_bytes(&self) -> usize {
-        let ext_bytes = |e: &Option<DnaString>| {
-            e.as_ref()
-                .map(|s| s.len().div_ceil(4) + 16)
-                .unwrap_or(1)
-        };
+        let ext_bytes =
+            |e: &Option<DnaString>| e.as_ref().map(|s| s.len().div_ceil(4) + 16).unwrap_or(1);
         // count (4) + two Option discriminants (2) + vector bookkeeping share (8)
         14 + ext_bytes(&self.prefix) + ext_bytes(&self.suffix)
     }
@@ -110,6 +107,37 @@ impl MacroNode {
         node
     }
 
+    /// Fast-path constructor for the by-far most common node shape: exactly one
+    /// prefix extension and one suffix extension (an interior chain node).
+    ///
+    /// Produces exactly what [`MacroNode::from_extensions`] would for the same
+    /// input — a single through-path carrying `max(prefix_count, suffix_count)`
+    /// flow (the count-imbalance folding of [`MacroNode::wire`][Self::from_extensions]
+    /// collapses to `max` when each side has one extension) — without allocating
+    /// the intermediate extension lists. Construction calls this for every 1-in /
+    /// 1-out node, which is the overwhelming majority of the graph.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert both counts are nonzero (a zero count would make the
+    /// node terminal, which this constructor cannot express).
+    pub fn single_through(
+        k1mer: Kmer,
+        prefix: Base,
+        prefix_count: u32,
+        suffix: Base,
+        suffix_count: u32,
+    ) -> Self {
+        debug_assert!(prefix_count > 0 && suffix_count > 0);
+        let mut node = MacroNode::new(k1mer);
+        node.paths.push(ThroughPath::through(
+            std::iter::once(prefix).collect(),
+            std::iter::once(suffix).collect(),
+            prefix_count.max(suffix_count),
+        ));
+        node
+    }
+
     fn wire(&mut self, prefixes: Vec<(Base, u32)>, suffixes: Vec<(Base, u32)>) {
         let mut ps: Vec<(DnaString, u32)> = prefixes
             .into_iter()
@@ -121,15 +149,16 @@ impl MacroNode {
             .filter(|(_, c)| *c > 0)
             .map(|(b, c)| (std::iter::once(b).collect(), c))
             .collect();
-        ps.sort_by(|a, b| b.1.cmp(&a.1));
-        ss.sort_by(|a, b| b.1.cmp(&a.1));
+        ps.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        ss.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
         let best_prefix = ps.first().map(|(e, _)| e.clone());
         let best_suffix = ss.first().map(|(e, _)| e.clone());
 
         let (mut i, mut j) = (0usize, 0usize);
         while i < ps.len() && j < ss.len() {
             let flow = ps[i].1.min(ss[j].1);
-            self.paths.push(ThroughPath::through(ps[i].0.clone(), ss[j].0.clone(), flow));
+            self.paths
+                .push(ThroughPath::through(ps[i].0.clone(), ss[j].0.clone(), flow));
             ps[i].1 -= flow;
             ss[j].1 -= flow;
             if ps[i].1 == 0 {
@@ -154,7 +183,8 @@ impl MacroNode {
             {
                 path.count += count;
             } else if let Some(suffix) = &best_suffix {
-                self.paths.push(ThroughPath::through(prefix, suffix.clone(), count));
+                self.paths
+                    .push(ThroughPath::through(prefix, suffix.clone(), count));
             } else {
                 self.paths.push(ThroughPath {
                     prefix: Some(prefix),
@@ -171,7 +201,8 @@ impl MacroNode {
             {
                 path.count += count;
             } else if let Some(prefix) = &best_prefix {
-                self.paths.push(ThroughPath::through(prefix.clone(), suffix, count));
+                self.paths
+                    .push(ThroughPath::through(prefix.clone(), suffix, count));
             } else {
                 self.paths.push(ThroughPath {
                     prefix: None,
@@ -204,16 +235,20 @@ impl MacroNode {
 
     /// Distinct prefix extensions with aggregated counts.
     pub fn prefix_extensions(&self) -> Vec<(DnaString, u32)> {
-        aggregate(self.paths.iter().filter_map(|p| {
-            p.prefix.as_ref().map(|e| (e.clone(), p.count))
-        }))
+        aggregate(
+            self.paths
+                .iter()
+                .filter_map(|p| p.prefix.as_ref().map(|e| (e.clone(), p.count))),
+        )
     }
 
     /// Distinct suffix extensions with aggregated counts.
     pub fn suffix_extensions(&self) -> Vec<(DnaString, u32)> {
-        aggregate(self.paths.iter().filter_map(|p| {
-            p.suffix.as_ref().map(|e| (e.clone(), p.count))
-        }))
+        aggregate(
+            self.paths
+                .iter()
+                .filter_map(|p| p.suffix.as_ref().map(|e| (e.clone(), p.count))),
+        )
     }
 
     /// Total incoming (prefix-side) flow, excluding terminal starts.
@@ -307,7 +342,12 @@ impl MacroNode {
     /// per-path extension storage.
     pub fn size_bytes(&self) -> usize {
         const HEADER_BYTES: usize = 64;
-        HEADER_BYTES + self.paths.iter().map(ThroughPath::size_bytes).sum::<usize>()
+        HEADER_BYTES
+            + self
+                .paths
+                .iter()
+                .map(ThroughPath::size_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -340,7 +380,10 @@ fn aggregate<I: Iterator<Item = (DnaString, u32)>>(items: I) -> Vec<(DnaString, 
             None => out.push((ext, count)),
         }
     }
-    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+    out.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
     out
 }
 
@@ -376,6 +419,16 @@ mod tests {
     }
 
     #[test]
+    fn single_through_matches_general_wiring() {
+        for (pc, sc) in [(1, 1), (7, 7), (2, 5), (9, 3)] {
+            let fast = MacroNode::single_through(k("GTCA"), Base::A, pc, Base::T, sc);
+            let general =
+                MacroNode::from_extensions(k("GTCA"), vec![(Base::A, pc)], vec![(Base::T, sc)]);
+            assert_eq!(fast, general, "pc={pc} sc={sc}");
+        }
+    }
+
+    #[test]
     fn wiring_conserves_counts() {
         let node = MacroNode::from_extensions(
             k("ACGT"),
@@ -394,11 +447,7 @@ mod tests {
 
     #[test]
     fn imbalance_with_flow_on_both_sides_is_wired_through() {
-        let node = MacroNode::from_extensions(
-            k("ACGT"),
-            vec![(Base::A, 2)],
-            vec![(Base::G, 5)],
-        );
+        let node = MacroNode::from_extensions(k("ACGT"), vec![(Base::A, 2)], vec![(Base::G, 5)]);
         // The 3 extra suffix observations are wired through the dominant prefix.
         assert_eq!(node.terminal_start_count(), 0);
         assert_eq!(node.incoming_count(), 5);
@@ -436,8 +485,16 @@ mod tests {
             vec![(Base::A, 1), (Base::C, 1)],
             vec![(Base::T, 1), (Base::G, 1)],
         );
-        let preds: Vec<String> = node.predecessor_k1mers().iter().map(Kmer::to_string).collect();
-        let succs: Vec<String> = node.successor_k1mers().iter().map(Kmer::to_string).collect();
+        let preds: Vec<String> = node
+            .predecessor_k1mers()
+            .iter()
+            .map(Kmer::to_string)
+            .collect();
+        let succs: Vec<String> = node
+            .successor_k1mers()
+            .iter()
+            .map(Kmer::to_string)
+            .collect();
         assert!(preds.contains(&"AGTC".to_string()));
         assert!(preds.contains(&"CGTC".to_string()));
         assert!(succs.contains(&"TCAT".to_string()));

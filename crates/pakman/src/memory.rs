@@ -148,7 +148,10 @@ mod tests {
         // 1.4× (software) × 10× (batching) ≈ 14×.
         let fp = sample();
         let reduction = fp.reduction_factor_vs_unoptimized(0.1);
-        assert!(reduction > 12.0 && reduction < 16.0, "reduction = {reduction}");
+        assert!(
+            reduction > 12.0 && reduction < 16.0,
+            "reduction = {reduction}"
+        );
     }
 
     #[test]

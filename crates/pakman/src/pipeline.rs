@@ -151,7 +151,7 @@ impl PakmanAssembler {
 
         // Step C: MacroNode construction and wiring.
         let t2 = Instant::now();
-        let mut graph = PakGraph::from_counted_kmers(&counted, self.config.k);
+        let mut graph = PakGraph::from_counted_kmers(&counted, self.config.k, self.config.threads);
         let macronode_construction = t2.elapsed();
         let macronode_bytes = graph.total_size_bytes() as u64;
 
@@ -196,7 +196,11 @@ mod tests {
     use super::*;
     use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
 
-    fn simulated_reads(length: usize, coverage: f64, seed: u64) -> (ReferenceGenome, Vec<SequencingRead>) {
+    fn simulated_reads(
+        length: usize,
+        coverage: f64,
+        seed: u64,
+    ) -> (ReferenceGenome, Vec<SequencingRead>) {
         let genome = ReferenceGenome::builder()
             .length(length)
             .no_repeats()
@@ -228,7 +232,9 @@ mod tests {
     #[test]
     fn assembles_error_free_reads_into_long_contigs() {
         let (genome, reads) = simulated_reads(8_000, 30.0, 11);
-        let output = PakmanAssembler::new(test_config(21)).assemble(&reads).unwrap();
+        let output = PakmanAssembler::new(test_config(21))
+            .assemble(&reads)
+            .unwrap();
         // The assembly should recover most of the genome with few contigs.
         assert!(
             output.stats.total_length as f64 > 0.8 * genome.len() as f64,
@@ -255,7 +261,9 @@ mod tests {
     #[test]
     fn compaction_dominates_macronode_count_reduction() {
         let (_, reads) = simulated_reads(4_000, 20.0, 5);
-        let output = PakmanAssembler::new(test_config(17)).assemble(&reads).unwrap();
+        let output = PakmanAssembler::new(test_config(17))
+            .assemble(&reads)
+            .unwrap();
         assert!(output.compaction.initial_nodes > output.compaction.final_nodes);
         assert!(output.compaction.reduction_factor() > 2.0);
     }
@@ -263,7 +271,9 @@ mod tests {
     #[test]
     fn trace_is_recorded_when_requested() {
         let (_, reads) = simulated_reads(2_000, 15.0, 9);
-        let output = PakmanAssembler::new(test_config(15)).assemble(&reads).unwrap();
+        let output = PakmanAssembler::new(test_config(15))
+            .assemble(&reads)
+            .unwrap();
         let trace = output.trace.expect("trace requested");
         assert!(trace.iteration_count() > 0);
         assert!(trace.total_transfers() > 0);
@@ -277,7 +287,9 @@ mod tests {
     #[test]
     fn timings_cover_all_phases() {
         let (_, reads) = simulated_reads(2_000, 10.0, 3);
-        let output = PakmanAssembler::new(test_config(15)).assemble(&reads).unwrap();
+        let output = PakmanAssembler::new(test_config(15))
+            .assemble(&reads)
+            .unwrap();
         let shares = output.timings.shares();
         let sum: f64 = shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -296,7 +308,10 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let (_, reads) = simulated_reads(1_000, 5.0, 2);
-        let assembler = PakmanAssembler::new(PakmanConfig { k: 1, ..PakmanConfig::default() });
+        let assembler = PakmanAssembler::new(PakmanConfig {
+            k: 1,
+            ..PakmanConfig::default()
+        });
         assert!(matches!(
             assembler.assemble(&reads),
             Err(PakmanError::InvalidConfig { .. })
@@ -307,8 +322,12 @@ mod tests {
     fn footprint_reflects_workload_size() {
         let (_, reads_small) = simulated_reads(2_000, 10.0, 7);
         let (_, reads_large) = simulated_reads(8_000, 10.0, 7);
-        let small = PakmanAssembler::new(test_config(17)).assemble(&reads_small).unwrap();
-        let large = PakmanAssembler::new(test_config(17)).assemble(&reads_large).unwrap();
+        let small = PakmanAssembler::new(test_config(17))
+            .assemble(&reads_small)
+            .unwrap();
+        let large = PakmanAssembler::new(test_config(17))
+            .assemble(&reads_large)
+            .unwrap();
         assert!(large.footprint.peak_bytes() > small.footprint.peak_bytes());
         assert!(large.footprint.expansion_factor() > 1.0);
     }

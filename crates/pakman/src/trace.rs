@@ -113,7 +113,10 @@ impl CompactionTrace {
 
     /// Total nodes invalidated across the whole run.
     pub fn total_invalidated(&self) -> usize {
-        self.iterations.iter().map(IterationTrace::invalidated_count).sum()
+        self.iterations
+            .iter()
+            .map(IterationTrace::invalidated_count)
+            .sum()
     }
 
     /// Total bytes read (checks) plus written (updates), a first-order traffic figure.
@@ -133,17 +136,43 @@ mod tests {
         let mut trace = CompactionTrace::new(4, vec![100, 200, 300, 400]);
         trace.iterations.push(IterationTrace {
             checks: vec![
-                NodeCheck { slot: 0, size_bytes: 100, invalidated: false },
-                NodeCheck { slot: 1, size_bytes: 200, invalidated: true },
-                NodeCheck { slot: 2, size_bytes: 300, invalidated: false },
+                NodeCheck {
+                    slot: 0,
+                    size_bytes: 100,
+                    invalidated: false,
+                },
+                NodeCheck {
+                    slot: 1,
+                    size_bytes: 200,
+                    invalidated: true,
+                },
+                NodeCheck {
+                    slot: 2,
+                    size_bytes: 300,
+                    invalidated: false,
+                },
             ],
             transfers: vec![
-                TransferEvent { source_slot: 1, dest_slot: 0, size_bytes: 32 },
-                TransferEvent { source_slot: 1, dest_slot: 2, size_bytes: 32 },
+                TransferEvent {
+                    source_slot: 1,
+                    dest_slot: 0,
+                    size_bytes: 32,
+                },
+                TransferEvent {
+                    source_slot: 1,
+                    dest_slot: 2,
+                    size_bytes: 32,
+                },
             ],
             updates: vec![
-                UpdateEvent { dest_slot: 0, size_bytes: 120 },
-                UpdateEvent { dest_slot: 2, size_bytes: 320 },
+                UpdateEvent {
+                    dest_slot: 0,
+                    size_bytes: 120,
+                },
+                UpdateEvent {
+                    dest_slot: 2,
+                    size_bytes: 320,
+                },
             ],
         });
         trace

@@ -152,15 +152,17 @@ mod tests {
     fn transfers_preserve_spelled_sequence() {
         // The predecessor update and successor update must describe the same
         // spelled path e + X.k1mer + f.
-        let node = MacroNode::from_extensions(
-            k("GTCA"),
-            vec![(Base::C, 4)],
-            vec![(Base::G, 4)],
-        );
+        let node = MacroNode::from_extensions(k("GTCA"), vec![(Base::C, 4)], vec![(Base::G, 4)]);
         let full_spell = "CGTCAG"; // e + k1mer + f
         let transfers = TransferNode::extract_all(&node);
-        let pred = transfers.iter().find(|t| t.side == TransferSide::Predecessor).unwrap();
-        let succ = transfers.iter().find(|t| t.side == TransferSide::Successor).unwrap();
+        let pred = transfers
+            .iter()
+            .find(|t| t.side == TransferSide::Predecessor)
+            .unwrap();
+        let succ = transfers
+            .iter()
+            .find(|t| t.side == TransferSide::Successor)
+            .unwrap();
         // predecessor: P.k1mer + new_ext == full spell
         assert_eq!(format!("{}{}", pred.destination, pred.new_ext), full_spell);
         // successor: new_ext + S.k1mer == full spell
@@ -172,11 +174,17 @@ mod tests {
         let mut node = MacroNode::new(k("GTCA"));
         node.push_path(ThroughPath::through(d("CA"), d("TG"), 3));
         let transfers = TransferNode::extract_all(&node);
-        let pred = transfers.iter().find(|t| t.side == TransferSide::Predecessor).unwrap();
+        let pred = transfers
+            .iter()
+            .find(|t| t.side == TransferSide::Predecessor)
+            .unwrap();
         assert_eq!(pred.destination.to_string(), "CAGT");
         assert_eq!(pred.match_ext.to_string(), "CA");
         assert_eq!(pred.new_ext.to_string(), "CATG");
-        let succ = transfers.iter().find(|t| t.side == TransferSide::Successor).unwrap();
+        let succ = transfers
+            .iter()
+            .find(|t| t.side == TransferSide::Successor)
+            .unwrap();
         assert_eq!(succ.destination.to_string(), "CATG");
         assert_eq!(succ.match_ext.to_string(), "GT");
         assert_eq!(succ.new_ext.to_string(), "CAGT");
@@ -206,7 +214,11 @@ mod tests {
         let node = MacroNode::from_extensions(k("GTCA"), vec![(Base::A, 1)], vec![(Base::T, 1)]);
         let small = &TransferNode::extract_all(&node)[0];
         let mut long_node = MacroNode::new(k("GTCA"));
-        long_node.push_path(ThroughPath::through(d(&"A".repeat(100)), d(&"T".repeat(100)), 1));
+        long_node.push_path(ThroughPath::through(
+            d(&"A".repeat(100)),
+            d(&"T".repeat(100)),
+            1,
+        ));
         let large = &TransferNode::extract_all(&long_node)[0];
         assert!(large.size_bytes() > small.size_bytes());
     }

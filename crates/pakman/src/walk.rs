@@ -57,9 +57,7 @@ pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
 
     // Pass 3: isolated nodes with only terminal flow still carry their (k-1)-mer.
     for (slot, node) in graph.iter_alive() {
-        if node.paths().iter().all(|p| p.suffix.is_none())
-            && used[slot].iter().all(|u| !u)
-        {
+        if node.paths().iter().all(|p| p.suffix.is_none()) && used[slot].iter().all(|u| !u) {
             contigs.push(Contig::new(node.k1mer().to_dna_string()));
             for flag in &mut used[slot] {
                 *flag = true;
@@ -71,7 +69,7 @@ pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
         .into_iter()
         .filter(|c| c.len() >= min_length)
         .collect();
-    contigs.sort_by(|a, b| b.len().cmp(&a.len()));
+    contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
     contigs
 }
 
@@ -124,9 +122,7 @@ fn walk_from(
             .paths()
             .iter()
             .enumerate()
-            .filter(|(i, p)| {
-                !used[next_slot][*i] && p.prefix.as_ref() == Some(&incoming)
-            })
+            .filter(|(i, p)| !used[next_slot][*i] && p.prefix.as_ref() == Some(&incoming))
             .max_by_key(|(_, p)| p.count)
             .map(|(i, _)| i);
         // Compaction can leave the two sides of an edge at different extension lengths
@@ -186,16 +182,18 @@ mod tests {
         let reads: Vec<SequencingRead> = reads
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap())
-            })
+            .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
             .collect();
         let (counted, _) = count_kmers(
             &reads,
-            KmerCounterConfig { k, min_count: 1, threads: 1 },
+            KmerCounterConfig {
+                k,
+                min_count: 1,
+                threads: 1,
+            },
         )
         .unwrap();
-        PakGraph::from_counted_kmers(&counted, k)
+        PakGraph::from_counted_kmers(&counted, k, 1)
     }
 
     #[test]
@@ -240,8 +238,14 @@ mod tests {
         let graph = graph_from_reads(&[a, b], 5);
         let contigs = generate_contigs(&graph, 0);
         let spelled: Vec<String> = contigs.iter().map(|c| c.sequence.to_string()).collect();
-        assert!(spelled.contains(&a.to_string()), "missing {a} in {spelled:?}");
-        assert!(spelled.contains(&b.to_string()), "missing {b} in {spelled:?}");
+        assert!(
+            spelled.contains(&a.to_string()),
+            "missing {a} in {spelled:?}"
+        );
+        assert!(
+            spelled.contains(&b.to_string()),
+            "missing {b} in {spelled:?}"
+        );
     }
 
     #[test]

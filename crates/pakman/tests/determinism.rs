@@ -1,0 +1,96 @@
+//! Pipeline-level determinism: the entire assembly — contigs, quality statistics,
+//! and compaction statistics — must be bit-identical at every thread count.
+//!
+//! The per-phase unit tests already check that k-mer counting and graph
+//! construction are thread-count-invariant in isolation; this test catches the
+//! ordering bugs those miss: a nondeterministic merge segment boundary, a
+//! first-touch trace ordering that leaks into statistics, or a wiring order that
+//! shifts with the parallel construction chunking.
+
+use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SequencingRead};
+use nmp_pak_pakman::{AssemblyOutput, PakmanAssembler, PakmanConfig};
+
+fn simulated_reads(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
+    let genome = ReferenceGenome::builder()
+        .length(length)
+        .seed(seed)
+        .build()
+        .unwrap();
+    ReadSimulator::new(SequencerConfig {
+        coverage,
+        substitution_error_rate: 0.001,
+        seed: seed + 1,
+        ..SequencerConfig::default()
+    })
+    .simulate(&genome)
+    .unwrap()
+}
+
+fn assemble(reads: &[SequencingRead], k: usize, threads: usize) -> AssemblyOutput {
+    PakmanAssembler::new(PakmanConfig {
+        k,
+        min_kmer_count: 2,
+        compaction_node_threshold: 10,
+        threads,
+        record_trace: false,
+        ..PakmanConfig::default()
+    })
+    .assemble(reads)
+    .unwrap()
+}
+
+#[test]
+fn full_pipeline_is_bit_identical_across_thread_counts() {
+    let reads = simulated_reads(10_000, 30.0, 0xD5EED);
+    let reference = assemble(&reads, 21, 1);
+    assert!(!reference.contigs.is_empty());
+
+    for threads in [2, 4, 8] {
+        let multi = assemble(&reads, 21, threads);
+        assert_eq!(
+            multi.contigs, reference.contigs,
+            "contigs diverged at threads = {threads}"
+        );
+        assert_eq!(
+            multi.stats, reference.stats,
+            "assembly stats diverged at threads = {threads}"
+        );
+        assert_eq!(
+            multi.kmer_stats, reference.kmer_stats,
+            "k-mer stats diverged at threads = {threads}"
+        );
+        assert_eq!(
+            multi.compaction, reference.compaction,
+            "compaction stats diverged at threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn recorded_traces_are_identical_across_thread_counts() {
+    // The compaction trace is replayed by the memory-system simulators, so its
+    // event streams must not depend on the thread count either.
+    let reads = simulated_reads(4_000, 20.0, 0xACE5);
+    let trace_for = |threads: usize| {
+        PakmanAssembler::new(PakmanConfig {
+            k: 17,
+            min_kmer_count: 2,
+            compaction_node_threshold: 10,
+            threads,
+            record_trace: true,
+            ..PakmanConfig::default()
+        })
+        .assemble(&reads)
+        .unwrap()
+        .trace
+        .expect("trace requested")
+    };
+    let reference = trace_for(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            trace_for(threads),
+            reference,
+            "trace diverged at threads = {threads}"
+        );
+    }
+}

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SequencerConfig::default()
     })
     .simulate(&virus)?;
-    println!("sequenced {} reads ({} bases)", reads.len(), reads.len() * 100);
+    println!(
+        "sequenced {} reads ({} bases)",
+        reads.len(),
+        reads.len() * 100
+    );
 
     // Assemble de novo: no reference genome is consulted.
     let output = PakmanAssembler::new(PakmanConfig {
@@ -55,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Grade the assembly: how much of the hidden virus genome do the contigs cover?
-    let covered = coverage_estimate(&virus, &output.contigs.iter().map(|c| c.len()).collect::<Vec<_>>());
+    let covered = coverage_estimate(
+        &virus,
+        &output.contigs.iter().map(|c| c.len()).collect::<Vec<_>>(),
+    );
     println!("estimated genome recovery: {:.1}%", covered * 100.0);
 
     // Write the contigs to FASTA, as a real pipeline would hand them to annotation.
@@ -72,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("novel_virus_contigs.fasta");
     let file = std::fs::File::create(&path)?;
     fasta::write_fasta(std::io::BufWriter::new(file), &records, 80)?;
-    println!("wrote the {} longest contigs to {}", records.len(), path.display());
+    println!(
+        "wrote the {} longest contigs to {}",
+        records.len(),
+        path.display()
+    );
     Ok(())
 }
 

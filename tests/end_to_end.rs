@@ -7,7 +7,11 @@ use nmp_pak::core::workload::Workload;
 use nmp_pak::genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
 use nmp_pak::pakman::{BatchAssembler, PakmanAssembler, PakmanConfig};
 
-fn clean_reads(genome_len: usize, coverage: f64, seed: u64) -> (ReferenceGenome, Vec<nmp_pak::genome::SequencingRead>) {
+fn clean_reads(
+    genome_len: usize,
+    coverage: f64,
+    seed: u64,
+) -> (ReferenceGenome, Vec<nmp_pak::genome::SequencingRead>) {
     let genome = ReferenceGenome::builder()
         .length(genome_len)
         .no_repeats()
@@ -76,7 +80,10 @@ fn noisy_reads_still_assemble_after_pruning() {
     .assemble(&reads)
     .expect("assembly succeeds");
     assert!(output.stats.total_length as f64 > 0.7 * genome.len() as f64);
-    assert!(output.kmer_stats.pruned_kmers > 0, "error k-mers should be pruned");
+    assert!(
+        output.kmer_stats.pruned_kmers > 0,
+        "error k-mers should be pruned"
+    );
 }
 
 #[test]

@@ -93,7 +93,7 @@ proptest! {
         let k = 6;
         let (counted, _) = count_kmers(&reads, KmerCounterConfig { k, min_count: 1, threads: 1 }).unwrap();
         let total: u64 = counted.iter().map(|c| c.count as u64).sum();
-        let graph = PakGraph::from_counted_kmers(&counted, k);
+        let graph = PakGraph::from_counted_kmers(&counted, k, 1);
         let prefix_flow: u64 = graph.iter_alive().map(|(_, n)| n.incoming_count() as u64).sum();
         let suffix_flow: u64 = graph.iter_alive().map(|(_, n)| n.outgoing_count() as u64).sum();
         // Read-boundary imbalance is wired through, so per-side flow can only grow.

@@ -11,6 +11,8 @@
 //! NMP_PAK_BENCH_SCALE=standard experiments   # the scale recorded in EXPERIMENTS.md
 //! NMP_PAK_BENCH_OUT=/tmp/b.json experiments pipeline      # report path override
 //! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
+//! NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP=1.0 experiments pipeline  # gate the streamed
+//!                                        # batch schedule's critical-path speedup
 //! ```
 
 use nmp_pak_bench::pipeline_bench::{report_to_json, run_pipeline_bench};
@@ -107,6 +109,22 @@ fn pipeline_bench() {
         report.counting_plus_construction_speedup()
     );
 
+    let streaming = &report.batch_streaming;
+    println!(
+        "batch streaming ({} batches, {} core(s)): sequential {:>9.3} ms   overlapped {:>9.3} ms   speedup {:>5.2}x",
+        streaming.batches,
+        streaming.available_cores,
+        streaming.sequential.as_secs_f64() * 1e3,
+        streaming.overlapped.as_secs_f64() * 1e3,
+        streaming.overlap_speedup()
+    );
+    println!(
+        "  critical path (non-competing halves): sequential {:>9.3} ms   overlapped {:>9.3} ms   speedup {:>5.2}x",
+        streaming.sequential_critical_path.as_secs_f64() * 1e3,
+        streaming.overlapped_critical_path.as_secs_f64() * 1e3,
+        streaming.critical_path_speedup()
+    );
+
     let path = std::env::var("NMP_PAK_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
     match std::fs::write(&path, report_to_json(&report)) {
         Ok(()) => println!("wrote {path}"),
@@ -125,6 +143,26 @@ fn pipeline_bench() {
             eprintln!(
                 "pipeline benchmark regression: counting+construction speedup \
                  {speedup:.2}x is below the required {threshold}x"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Optional streaming gate: NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP=1.0 requires the
+    // overlapped schedule's critical path to beat the sequential one. The gate
+    // uses the critical-path ratio (derived from the same measured per-batch
+    // stage times) rather than the raw wall clocks: the measured separation is a
+    // few percent and would flake on noisy shared runners, while the critical
+    // path is strictly shorter whenever there are ≥ 2 batches — on any host.
+    if let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP") {
+        let threshold: f64 = threshold
+            .parse()
+            .expect("NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP must be a number");
+        if streaming.critical_path_speedup() < threshold {
+            eprintln!(
+                "batch streaming regression: critical-path overlap speedup {:.2}x is \
+                 below the required {threshold}x",
+                streaming.critical_path_speedup()
             );
             std::process::exit(1);
         }

@@ -6,11 +6,17 @@
 //! compaction phase on the selected execution backend. The result bundles the
 //! assembly output (contigs, N50, footprint) with the hardware-simulation result
 //! (runtime, traffic, bandwidth, communication locality).
+//!
+//! Backends are selected by [`BackendId`] and resolved through the
+//! [`BackendRegistry`]; [`NmpPakAssembler::run_with`] accepts any
+//! [`CompactionBackend`] trait object directly, registered or not.
 
-use crate::backend::{simulate_backend, BackendResult, ExecutionBackend, SystemConfig};
+use crate::backend::{
+    BackendId, BackendRegistry, BackendResult, CompactionBackend, SimulationContext, SystemConfig,
+};
 use crate::workload::Workload;
 use nmp_pak_memsim::NodeLayout;
-use nmp_pak_pakman::{AssemblyOutput, PakmanAssembler, PakmanConfig, PakmanError};
+use nmp_pak_pakman::{AssemblyOutput, CompactionTrace, PakmanAssembler, PakmanConfig, PakmanError};
 
 /// The complete result of one system run.
 #[derive(Debug)]
@@ -58,29 +64,63 @@ impl NmpPakAssembler {
         NmpPakAssembler { pakman, system }
     }
 
-    /// Runs the pipeline on `workload` and simulates compaction on `backend`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration and empty-input errors from the software pipeline.
-    pub fn run(
+    /// The standard backend registry for this assembler's machine configuration
+    /// (the seven §5.3 configurations, in Fig. 12 order).
+    pub fn registry(&self) -> BackendRegistry {
+        BackendRegistry::standard(&self.system)
+    }
+
+    /// Runs the software pipeline once, returning the assembly output plus the
+    /// replay inputs every backend shares.
+    fn run_software(
         &self,
         workload: &Workload,
-        backend: ExecutionBackend,
-    ) -> Result<SystemRun, PakmanError> {
+    ) -> Result<(AssemblyOutput, CompactionTrace, NodeLayout), PakmanError> {
         let assembly = PakmanAssembler::new(self.pakman).assemble(&workload.reads)?;
         let trace = assembly
             .trace
             .clone()
             .expect("trace recording is forced on by NmpPakAssembler");
         let layout = NodeLayout::new(&trace.initial_sizes, &self.system.dram);
-        let backend_result = simulate_backend(
-            backend,
-            &trace,
-            &layout,
-            assembly.footprint.peak_bytes(),
-            &self.system,
-        );
+        Ok((assembly, trace, layout))
+    }
+
+    /// Runs the pipeline on `workload` and simulates compaction on the backend
+    /// registered under `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and empty-input errors from the software
+    /// pipeline, and returns [`PakmanError::InvalidConfig`] for an id that is not
+    /// in the standard registry (use [`NmpPakAssembler::run_with`] for custom
+    /// backends).
+    pub fn run(
+        &self,
+        workload: &Workload,
+        backend: impl Into<BackendId>,
+    ) -> Result<SystemRun, PakmanError> {
+        let id = backend.into();
+        let registry = self.registry();
+        let backend = registry.get(id).ok_or_else(|| PakmanError::InvalidConfig {
+            message: format!("backend id `{id}` is not in the standard registry"),
+        })?;
+        self.run_with(workload, backend)
+    }
+
+    /// Runs the pipeline on `workload` and simulates compaction on an explicit
+    /// backend object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and empty-input errors from the software pipeline.
+    pub fn run_with(
+        &self,
+        workload: &Workload,
+        backend: &dyn CompactionBackend,
+    ) -> Result<SystemRun, PakmanError> {
+        let (assembly, trace, layout) = self.run_software(workload)?;
+        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        let backend_result = backend.simulate(&trace, &layout, &ctx);
         Ok(SystemRun {
             assembly,
             layout,
@@ -88,8 +128,8 @@ impl NmpPakAssembler {
         })
     }
 
-    /// Runs the software pipeline once and simulates every backend on the same trace,
-    /// returning results in [`ExecutionBackend::ALL`] order.
+    /// Runs the software pipeline once and simulates every registered backend on
+    /// the same trace, returning results in registry (Fig. 12) order.
     ///
     /// # Errors
     ///
@@ -98,24 +138,9 @@ impl NmpPakAssembler {
         &self,
         workload: &Workload,
     ) -> Result<(AssemblyOutput, Vec<BackendResult>), PakmanError> {
-        let assembly = PakmanAssembler::new(self.pakman).assemble(&workload.reads)?;
-        let trace = assembly
-            .trace
-            .clone()
-            .expect("trace recording is forced on by NmpPakAssembler");
-        let layout = NodeLayout::new(&trace.initial_sizes, &self.system.dram);
-        let results = ExecutionBackend::ALL
-            .iter()
-            .map(|&backend| {
-                simulate_backend(
-                    backend,
-                    &trace,
-                    &layout,
-                    assembly.footprint.peak_bytes(),
-                    &self.system,
-                )
-            })
-            .collect();
+        let (assembly, trace, layout) = self.run_software(workload)?;
+        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        let results = self.registry().simulate_all(&trace, &layout, &ctx);
         Ok((assembly, results))
     }
 }
@@ -123,16 +148,43 @@ impl NmpPakAssembler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{GpuBackend, NmpBackend};
 
     #[test]
     fn run_produces_contigs_and_a_backend_result() {
         let workload = Workload::tiny(3).unwrap();
         let assembler = NmpPakAssembler::default();
-        let run = assembler.run(&workload, ExecutionBackend::NmpPak).unwrap();
+        let run = assembler.run(&workload, BackendId::NMP_PAK).unwrap();
         assert!(!run.assembly.contigs.is_empty());
         assert!(run.backend_result.runtime_ns > 0.0);
         assert!(run.layout.slot_count() > 0);
-        assert_eq!(run.backend_result.backend, ExecutionBackend::NmpPak);
+        assert_eq!(run.backend_result.backend, BackendId::NMP_PAK);
+        assert_eq!(run.backend_result.label, "NMP-PaK");
+    }
+
+    #[test]
+    fn unknown_backend_id_is_rejected() {
+        let workload = Workload::tiny(4).unwrap();
+        let assembler = NmpPakAssembler::default();
+        assert!(matches!(
+            assembler.run(&workload, BackendId::new("warp-drive")),
+            Err(PakmanError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_accepts_unregistered_backends() {
+        let workload = Workload::tiny(8).unwrap();
+        let assembler = NmpPakAssembler::default();
+        let custom = GpuBackend::custom(
+            BackendId::new("gpu-80gb"),
+            "GPU-80GB",
+            assembler.system.dram,
+            nmp_pak_memsim::GpuConfig::a100_80gb(),
+        );
+        let run = assembler.run_with(&workload, &custom).unwrap();
+        assert_eq!(run.backend_result.backend, BackendId::new("gpu-80gb"));
+        assert!(run.backend_result.runtime_ns > 0.0);
     }
 
     #[test]
@@ -140,16 +192,16 @@ mod tests {
         let workload = Workload::tiny(9).unwrap();
         let assembler = NmpPakAssembler::default();
         let (assembly, results) = assembler.run_all_backends(&workload).unwrap();
-        assert_eq!(results.len(), ExecutionBackend::ALL.len());
+        assert_eq!(results.len(), assembler.registry().len());
         assert!(assembly.stats.total_length > 0);
         // NMP-PaK outperforms the CPU baseline on the shared trace.
         let cpu = results
             .iter()
-            .find(|r| r.backend == ExecutionBackend::CpuBaseline)
+            .find(|r| r.backend == BackendId::CPU_BASELINE)
             .unwrap();
         let nmp = results
             .iter()
-            .find(|r| r.backend == ExecutionBackend::NmpPak)
+            .find(|r| r.backend == BackendId::NMP_PAK)
             .unwrap();
         assert!(nmp.speedup_over(cpu) > 1.0);
     }
@@ -166,5 +218,21 @@ mod tests {
             SystemConfig::default(),
         );
         assert!(assembler.pakman.record_trace);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_enum_still_selects_backends() {
+        use crate::backend::ExecutionBackend;
+        let workload = Workload::tiny(12).unwrap();
+        let assembler = NmpPakAssembler::default();
+        let via_enum = assembler.run(&workload, ExecutionBackend::NmpPak).unwrap();
+        let via_id = assembler.run(&workload, BackendId::NMP_PAK).unwrap();
+        assert_eq!(via_enum.backend_result, via_id.backend_result);
+        // And a hand-built backend object matches the registry's.
+        let direct = assembler
+            .run_with(&workload, &NmpBackend::pak(&assembler.system))
+            .unwrap();
+        assert_eq!(direct.backend_result, via_id.backend_result);
     }
 }

@@ -1,0 +1,400 @@
+//! Execution backends (§5.3 of the paper) behind the pluggable
+//! [`CompactionBackend`] trait.
+//!
+//! Iterative Compaction — the phase NMP-PaK accelerates — can be simulated on any
+//! of the paper's baseline and proposed configurations. All backends replay the
+//! same [`nmp_pak_pakman::CompactionTrace`], so they perform the same assembly
+//! work and differ only in where and how the MacroNode accesses execute.
+//!
+//! Backends are ordinary trait objects: the seven paper configurations live in
+//! [`cpu`], [`gpu`] and [`nmp`] and are registered, in Fig. 12 plot order, by
+//! [`BackendRegistry::standard`]. New execution targets (a PIM-style bitwise
+//! backend, a different GPU, a hybrid) implement [`CompactionBackend`] and are
+//! [`BackendRegistry::register`]ed next to them — no enum to extend, no dispatch
+//! `match` to edit.
+
+pub mod cpu;
+pub mod gpu;
+pub mod nmp;
+pub mod registry;
+
+pub use cpu::{CpuBackend, UnoptimizedCpuConfig};
+pub use gpu::GpuBackend;
+pub use nmp::NmpBackend;
+pub use registry::BackendRegistry;
+
+use nmp_pak_memsim::{CpuConfig, DramConfig, GpuConfig, MemoryStats, NodeLayout, TrafficSummary};
+use nmp_pak_nmphw::{CommStats, NmpConfig};
+use nmp_pak_pakman::CompactionTrace;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of an execution backend.
+///
+/// Ids name a *configuration*, not an implementation: the paper's seven
+/// configurations have the constants below, and custom backends mint their own
+/// with [`BackendId::new`]. Lookup by id (or by figure label) goes through
+/// [`BackendRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BackendId(&'static str);
+
+impl BackendId {
+    /// PaKman software before the §4.5 parallelism/memory optimizations
+    /// ("W/O SW-opt" in Fig. 12).
+    pub const CPU_BASELINE_UNOPTIMIZED: BackendId = BackendId("cpu-baseline-unoptimized");
+    /// The software-optimized PaKman on the host CPU with the original
+    /// sequential-stage process flow — the paper's **CPU baseline**.
+    pub const CPU_BASELINE: BackendId = BackendId("cpu-baseline");
+    /// The NMP-PaK software optimizations (pipelined flow, batching) executed on
+    /// the CPU — the paper's **CPU-PaK**.
+    pub const CPU_PAK: BackendId = BackendId("cpu-pak");
+    /// An A100-class GPU running the optimized flow — the paper's **GPU baseline**.
+    pub const GPU_BASELINE: BackendId = BackendId("gpu-baseline");
+    /// The proposed near-memory design — **NMP-PaK**.
+    pub const NMP_PAK: BackendId = BackendId("nmp-pak");
+    /// NMP-PaK with infinitely fast PEs (§5.3).
+    pub const NMP_IDEAL_PE: BackendId = BackendId("nmp-ideal-pe");
+    /// NMP-PaK with ideal P1→P3 forwarding logic (§5.3).
+    pub const NMP_IDEAL_FORWARDING: BackendId = BackendId("nmp-ideal-forwarding");
+
+    /// Mints an id for a custom backend.
+    pub const fn new(name: &'static str) -> BackendId {
+        BackendId(name)
+    }
+
+    /// The id as a string.
+    pub const fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for BackendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Whether a workload footprint fits a backend's memory capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityVerdict {
+    /// The footprint fits (or the backend has no hard capacity limit).
+    Fits,
+    /// The footprint exceeds the backend's capacity; the workload must be batched
+    /// down (§6.6's GPU analysis) before it can run there.
+    Exceeded {
+        /// The workload's peak footprint in bytes.
+        footprint_bytes: u64,
+        /// The backend's memory capacity in bytes.
+        capacity_bytes: u64,
+    },
+}
+
+impl CapacityVerdict {
+    /// `true` if the workload fits.
+    pub fn fits(&self) -> bool {
+        matches!(self, CapacityVerdict::Fits)
+    }
+}
+
+/// Workload-level context shared by every backend simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SimulationContext {
+    /// The workload's peak memory footprint (used for capacity checks).
+    pub footprint_bytes: u64,
+}
+
+impl SimulationContext {
+    /// Creates a context for a workload with the given peak footprint.
+    pub fn new(footprint_bytes: u64) -> SimulationContext {
+        SimulationContext { footprint_bytes }
+    }
+}
+
+/// An execution configuration that can simulate Iterative Compaction.
+///
+/// Implementations own their machine parameters (DRAM organization, core model,
+/// device config): a backend is a *fully configured* target, so
+/// [`CompactionBackend::simulate`] is straight-line — no per-call configuration
+/// dispatch on the hot path.
+pub trait CompactionBackend: std::fmt::Debug + Send + Sync {
+    /// Stable identifier (registry lookup key).
+    fn id(&self) -> BackendId;
+
+    /// The label used by the paper's figures.
+    fn label(&self) -> &'static str;
+
+    /// Checks whether a workload footprint fits this backend's memory.
+    ///
+    /// The default is [`CapacityVerdict::Fits`]: host-memory backends are bounded
+    /// by DIMM count, not device capacity.
+    fn capacity_check(&self, footprint_bytes: u64) -> CapacityVerdict {
+        let _ = footprint_bytes;
+        CapacityVerdict::Fits
+    }
+
+    /// Simulates Iterative Compaction by replaying `trace` over `layout`.
+    fn simulate(
+        &self,
+        trace: &CompactionTrace,
+        layout: &NodeLayout,
+        ctx: &SimulationContext,
+    ) -> BackendResult;
+}
+
+/// Machine configuration shared by every standard backend.
+///
+/// Per-backend knobs (e.g. the unoptimized software's limited thread count) live
+/// with their backend — see [`UnoptimizedCpuConfig`] — not here.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Main-memory organization (shared by the CPU host and the NMP DIMMs).
+    pub dram: DramConfig,
+    /// Host CPU parameters.
+    pub cpu: CpuConfig,
+    /// GPU baseline parameters.
+    pub gpu: GpuConfig,
+    /// NMP configuration for the proposed design.
+    pub nmp: NmpConfig,
+}
+
+/// The outcome of simulating Iterative Compaction on one backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendResult {
+    /// Which backend produced this result.
+    pub backend: BackendId,
+    /// The backend's figure label (denormalized for row printing).
+    pub label: &'static str,
+    /// Simulated compaction runtime in nanoseconds.
+    pub runtime_ns: f64,
+    /// Read/write traffic.
+    pub traffic: TrafficSummary,
+    /// Memory statistics (achieved bandwidth over the run).
+    pub memory: MemoryStats,
+    /// Stall breakdown, for CPU backends.
+    pub stall: Option<nmp_pak_memsim::StallBreakdown>,
+    /// TransferNode routing locality, for NMP backends.
+    pub comm: Option<CommStats>,
+    /// `true` if the workload footprint exceeded the backend's memory capacity
+    /// (GPU baseline only among the standard backends).
+    pub capacity_exceeded: bool,
+}
+
+impl BackendResult {
+    /// Fraction of peak memory bandwidth achieved (Fig. 13).
+    pub fn bandwidth_utilization(&self) -> f64 {
+        self.memory.bandwidth_utilization()
+    }
+
+    /// Speedup of this backend over `baseline` (Fig. 12's normalization).
+    pub fn speedup_over(&self, baseline: &BackendResult) -> f64 {
+        if self.runtime_ns <= 0.0 {
+            return 0.0;
+        }
+        baseline.runtime_ns / self.runtime_ns
+    }
+}
+
+/// The closed enum of the paper's execution configurations.
+///
+/// Deprecated shim kept for one release: the open [`CompactionBackend`] /
+/// [`BackendRegistry`] API replaces it.
+#[deprecated(
+    since = "0.2.0",
+    note = "use BackendId constants with BackendRegistry::standard instead"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionBackend {
+    /// See [`BackendId::CPU_BASELINE_UNOPTIMIZED`].
+    CpuBaselineUnoptimized,
+    /// See [`BackendId::CPU_BASELINE`].
+    CpuBaseline,
+    /// See [`BackendId::CPU_PAK`].
+    CpuPak,
+    /// See [`BackendId::GPU_BASELINE`].
+    GpuBaseline,
+    /// See [`BackendId::NMP_PAK`].
+    NmpPak,
+    /// See [`BackendId::NMP_IDEAL_PE`].
+    NmpIdealPe,
+    /// See [`BackendId::NMP_IDEAL_FORWARDING`].
+    NmpIdealForwarding,
+}
+
+#[allow(deprecated)]
+impl ExecutionBackend {
+    /// All backends, in the order Fig. 12 plots them.
+    pub const ALL: [ExecutionBackend; 7] = [
+        ExecutionBackend::CpuBaselineUnoptimized,
+        ExecutionBackend::CpuBaseline,
+        ExecutionBackend::GpuBaseline,
+        ExecutionBackend::CpuPak,
+        ExecutionBackend::NmpPak,
+        ExecutionBackend::NmpIdealPe,
+        ExecutionBackend::NmpIdealForwarding,
+    ];
+
+    /// The registry id of this configuration.
+    pub fn id(self) -> BackendId {
+        match self {
+            ExecutionBackend::CpuBaselineUnoptimized => BackendId::CPU_BASELINE_UNOPTIMIZED,
+            ExecutionBackend::CpuBaseline => BackendId::CPU_BASELINE,
+            ExecutionBackend::CpuPak => BackendId::CPU_PAK,
+            ExecutionBackend::GpuBaseline => BackendId::GPU_BASELINE,
+            ExecutionBackend::NmpPak => BackendId::NMP_PAK,
+            ExecutionBackend::NmpIdealPe => BackendId::NMP_IDEAL_PE,
+            ExecutionBackend::NmpIdealForwarding => BackendId::NMP_IDEAL_FORWARDING,
+        }
+    }
+
+    /// The label used by the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionBackend::CpuBaselineUnoptimized => "W/O SW-opt",
+            ExecutionBackend::CpuBaseline => "CPU-baseline",
+            ExecutionBackend::CpuPak => "CPU-PaK",
+            ExecutionBackend::GpuBaseline => "GPU-baseline",
+            ExecutionBackend::NmpPak => "NMP-PaK",
+            ExecutionBackend::NmpIdealPe => "NMP-PaK+ideal-PE",
+            ExecutionBackend::NmpIdealForwarding => "NMP-PaK+ideal-fwd",
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ExecutionBackend> for BackendId {
+    fn from(backend: ExecutionBackend) -> BackendId {
+        backend.id()
+    }
+}
+
+/// Simulates Iterative Compaction on `backend`.
+///
+/// Deprecated shim kept for one release: build a [`BackendRegistry`] and call
+/// [`CompactionBackend::simulate`] instead. The unoptimized-CPU configuration
+/// uses [`UnoptimizedCpuConfig::default`] (the knob now lives with its backend).
+#[deprecated(
+    since = "0.2.0",
+    note = "use BackendRegistry::standard(config) and CompactionBackend::simulate"
+)]
+#[allow(deprecated)]
+pub fn simulate_backend(
+    backend: ExecutionBackend,
+    trace: &CompactionTrace,
+    layout: &NodeLayout,
+    footprint_bytes: u64,
+    config: &SystemConfig,
+) -> BackendResult {
+    let registry = BackendRegistry::standard(config);
+    registry
+        .get(backend.id())
+        .expect("the standard registry contains every paper configuration")
+        .simulate(trace, layout, &SimulationContext::new(footprint_bytes))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nmp_pak_pakman::trace::{IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
+
+    pub(crate) fn synthetic() -> (CompactionTrace, NodeLayout) {
+        let nodes = 3_000usize;
+        let sizes: Vec<usize> = (0..nodes)
+            .map(|i| {
+                if i % 89 == 0 {
+                    5_000
+                } else {
+                    220 + (i % 8) * 100
+                }
+            })
+            .collect();
+        let mut trace = CompactionTrace::new(nodes, sizes.clone());
+        for it in 0..5 {
+            let alive = nodes - it * 400;
+            let checks: Vec<NodeCheck> = (0..alive)
+                .map(|slot| NodeCheck {
+                    slot,
+                    size_bytes: sizes[slot] + it * 24,
+                    invalidated: slot % 5 == 3,
+                })
+                .collect();
+            let transfers: Vec<TransferEvent> = checks
+                .iter()
+                .filter(|c| c.invalidated)
+                .flat_map(|c| {
+                    [
+                        TransferEvent {
+                            source_slot: c.slot,
+                            dest_slot: (c.slot * 7919 + 3) % alive,
+                            size_bytes: 48,
+                        },
+                        TransferEvent {
+                            source_slot: c.slot,
+                            dest_slot: (c.slot * 104_729 + 11) % alive,
+                            size_bytes: 48,
+                        },
+                    ]
+                })
+                .collect();
+            let updates: Vec<UpdateEvent> = transfers
+                .iter()
+                .map(|t| UpdateEvent {
+                    dest_slot: t.dest_slot,
+                    size_bytes: sizes[t.dest_slot] + 48,
+                })
+                .collect();
+            trace.iterations.push(IterationTrace {
+                checks,
+                transfers,
+                updates,
+            });
+        }
+        let layout = NodeLayout::new(&sizes, &DramConfig::default());
+        (trace, layout)
+    }
+
+    #[test]
+    fn backend_ids_are_unique_and_stable() {
+        let ids = [
+            BackendId::CPU_BASELINE_UNOPTIMIZED,
+            BackendId::CPU_BASELINE,
+            BackendId::GPU_BASELINE,
+            BackendId::CPU_PAK,
+            BackendId::NMP_PAK,
+            BackendId::NMP_IDEAL_PE,
+            BackendId::NMP_IDEAL_FORWARDING,
+        ];
+        let set: std::collections::HashSet<BackendId> = ids.iter().copied().collect();
+        assert_eq!(set.len(), ids.len());
+        assert_eq!(BackendId::NMP_PAK.as_str(), "nmp-pak");
+        assert_eq!(BackendId::new("nmp-pak"), BackendId::NMP_PAK);
+        assert_eq!(format!("{}", BackendId::CPU_PAK), "cpu-pak");
+    }
+
+    #[test]
+    fn capacity_verdict_reports_fit() {
+        assert!(CapacityVerdict::Fits.fits());
+        assert!(!CapacityVerdict::Exceeded {
+            footprint_bytes: 2,
+            capacity_bytes: 1
+        }
+        .fits());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_enum_shim_maps_onto_registry_ids() {
+        let (trace, layout) = synthetic();
+        let cfg = SystemConfig::default();
+        let registry = BackendRegistry::standard(&cfg);
+        let ctx = SimulationContext::new(1 << 30);
+        for backend in ExecutionBackend::ALL {
+            let via_shim = simulate_backend(backend, &trace, &layout, 1 << 30, &cfg);
+            let via_registry = registry
+                .get(backend.id())
+                .unwrap()
+                .simulate(&trace, &layout, &ctx);
+            assert_eq!(via_shim, via_registry);
+            assert_eq!(via_shim.label, backend.label());
+        }
+    }
+}

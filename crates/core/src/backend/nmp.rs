@@ -1,0 +1,146 @@
+//! The near-memory execution backends: **NMP-PaK** and its ideal-PE /
+//! ideal-forwarding ablations (§5.3).
+//!
+//! Each variant is a fully configured [`NmpBackend`] — the ideal variants bake
+//! their idealization into the owned [`NmpConfig`] at construction, so
+//! simulation is straight-line trait dispatch with no per-call variant `match`.
+
+use super::{BackendId, BackendResult, CompactionBackend, SimulationContext, SystemConfig};
+use nmp_pak_memsim::{CpuConfig, DramConfig, NodeLayout};
+use nmp_pak_nmphw::{NmpConfig, NmpSystem, PeVariant};
+use nmp_pak_pakman::CompactionTrace;
+
+/// A near-memory execution backend.
+#[derive(Debug, Clone, Copy)]
+pub struct NmpBackend {
+    id: BackendId,
+    label: &'static str,
+    nmp: NmpConfig,
+    dram: DramConfig,
+    cpu: CpuConfig,
+}
+
+impl NmpBackend {
+    /// The proposed design — **NMP-PaK**.
+    pub fn pak(config: &SystemConfig) -> NmpBackend {
+        NmpBackend {
+            id: BackendId::NMP_PAK,
+            label: "NMP-PaK",
+            nmp: config.nmp,
+            dram: config.dram,
+            cpu: config.cpu,
+        }
+    }
+
+    /// NMP-PaK with infinitely fast PEs (§5.3's ideal-PE ablation).
+    pub fn ideal_pe(config: &SystemConfig) -> NmpBackend {
+        NmpBackend {
+            id: BackendId::NMP_IDEAL_PE,
+            label: "NMP-PaK+ideal-PE",
+            nmp: NmpConfig {
+                pe_variant: PeVariant::Ideal,
+                ..config.nmp
+            },
+            dram: config.dram,
+            cpu: config.cpu,
+        }
+    }
+
+    /// NMP-PaK with ideal P1→P3 forwarding logic (§5.3).
+    pub fn ideal_forwarding(config: &SystemConfig) -> NmpBackend {
+        NmpBackend {
+            id: BackendId::NMP_IDEAL_FORWARDING,
+            label: "NMP-PaK+ideal-fwd",
+            nmp: NmpConfig {
+                ideal_forwarding: true,
+                ..config.nmp
+            },
+            dram: config.dram,
+            cpu: config.cpu,
+        }
+    }
+
+    /// An NMP backend with an explicit hardware configuration (PE-count sweeps
+    /// and other ablations).
+    pub fn with_config(
+        id: BackendId,
+        label: &'static str,
+        nmp: NmpConfig,
+        config: &SystemConfig,
+    ) -> NmpBackend {
+        NmpBackend {
+            id,
+            label,
+            nmp,
+            dram: config.dram,
+            cpu: config.cpu,
+        }
+    }
+
+    /// The hardware configuration this backend simulates with.
+    pub fn nmp_config(&self) -> &NmpConfig {
+        &self.nmp
+    }
+}
+
+impl CompactionBackend for NmpBackend {
+    fn id(&self) -> BackendId {
+        self.id
+    }
+
+    fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn simulate(
+        &self,
+        trace: &CompactionTrace,
+        layout: &NodeLayout,
+        _ctx: &SimulationContext,
+    ) -> BackendResult {
+        let system = NmpSystem::new(self.nmp, self.dram, self.cpu);
+        let r = system.simulate(trace, layout);
+        BackendResult {
+            backend: self.id,
+            label: self.label,
+            runtime_ns: r.runtime_ns,
+            traffic: r.traffic,
+            memory: r.memory,
+            stall: None,
+            comm: Some(r.comm),
+            capacity_exceeded: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::synthetic;
+    use super::*;
+
+    #[test]
+    fn ideal_variants_bake_their_configuration() {
+        let system = SystemConfig::default();
+        assert_eq!(
+            NmpBackend::ideal_pe(&system).nmp_config().pe_variant,
+            PeVariant::Ideal
+        );
+        assert!(
+            NmpBackend::ideal_forwarding(&system)
+                .nmp_config()
+                .ideal_forwarding
+        );
+        assert!(!NmpBackend::pak(&system).nmp_config().ideal_forwarding);
+    }
+
+    #[test]
+    fn nmp_reports_communication_stats() {
+        let (trace, layout) = synthetic();
+        let system = SystemConfig::default();
+        let ctx = SimulationContext::new(1 << 30);
+        let result = NmpBackend::pak(&system).simulate(&trace, &layout, &ctx);
+        assert!(result.comm.is_some());
+        assert!(result.stall.is_none());
+        assert!(result.runtime_ns > 0.0);
+    }
+}

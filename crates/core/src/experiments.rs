@@ -6,11 +6,11 @@
 //! with these drivers on the scaled synthetic workloads.
 
 use crate::assembler::NmpPakAssembler;
-use crate::backend::{simulate_backend, BackendResult, ExecutionBackend};
+use crate::backend::{BackendId, BackendResult, CompactionBackend, NmpBackend, SimulationContext};
 use crate::workload::Workload;
 use nmp_pak_memsim::{NodeLayout, StallBreakdown};
 use nmp_pak_nmphw::area_power::GpuComparison;
-use nmp_pak_nmphw::{AreaPowerModel, CommStats, NmpConfig, NmpSystem};
+use nmp_pak_nmphw::{AreaPowerModel, CommStats, NmpConfig};
 use nmp_pak_pakman::{AssemblyOutput, BatchAssembler, CompactionTrace, PakmanError, SizeHistogram};
 
 /// A label/value pair, the common row format of the figure drivers.
@@ -45,7 +45,7 @@ pub struct Experiments {
     pub trace: CompactionTrace,
     /// The MacroNode layout.
     pub layout: NodeLayout,
-    /// Per-backend simulation results in [`ExecutionBackend::ALL`] order.
+    /// Per-backend simulation results in registry (Fig. 12) order.
     pub backends: Vec<BackendResult>,
 }
 
@@ -72,7 +72,7 @@ impl Experiments {
         })
     }
 
-    fn result(&self, backend: ExecutionBackend) -> &BackendResult {
+    fn result(&self, backend: BackendId) -> &BackendResult {
         self.backends
             .iter()
             .find(|r| r.backend == backend)
@@ -98,7 +98,7 @@ impl Experiments {
 
     /// **Fig. 6** — Iterative Compaction stall-time breakdown on the CPU baseline.
     pub fn fig6_stall_breakdown(&self) -> StallBreakdown {
-        self.result(ExecutionBackend::CpuBaseline)
+        self.result(BackendId::CPU_BASELINE)
             .stall
             .expect("CPU backends report a stall breakdown")
     }
@@ -159,25 +159,30 @@ impl Experiments {
     }
 
     /// **Fig. 12** — performance of every backend normalized to the CPU baseline.
+    ///
+    /// Rows follow the registry (plot) order; the baseline's own row is 1.0.
     pub fn fig12_normalized_performance(&self) -> Vec<Row> {
-        let baseline = self.result(ExecutionBackend::CpuBaseline);
-        ExecutionBackend::ALL
+        let baseline = self.result(BackendId::CPU_BASELINE);
+        self.backends
             .iter()
-            .map(|&b| Row::new(b.label(), self.result(b).speedup_over(baseline)))
+            .map(|r| Row::new(r.label, r.speedup_over(baseline)))
             .collect()
     }
 
     /// **Fig. 13** — memory-bandwidth utilization per backend (fraction of peak).
     pub fn fig13_bandwidth_utilization(&self) -> Vec<Row> {
         [
-            ExecutionBackend::CpuBaseline,
-            ExecutionBackend::CpuPak,
-            ExecutionBackend::NmpPak,
-            ExecutionBackend::NmpIdealPe,
-            ExecutionBackend::NmpIdealForwarding,
+            BackendId::CPU_BASELINE,
+            BackendId::CPU_PAK,
+            BackendId::NMP_PAK,
+            BackendId::NMP_IDEAL_PE,
+            BackendId::NMP_IDEAL_FORWARDING,
         ]
         .iter()
-        .map(|&b| Row::new(b.label(), self.result(b).bandwidth_utilization()))
+        .map(|&id| {
+            let r = self.result(id);
+            Row::new(r.label, r.bandwidth_utilization())
+        })
         .collect()
     }
 
@@ -185,24 +190,24 @@ impl Experiments {
     /// Returns `(label, normalized reads, normalized writes)`.
     pub fn fig14_traffic(&self) -> Vec<(String, f64, f64)> {
         let baseline_reads = self
-            .result(ExecutionBackend::CpuBaseline)
+            .result(BackendId::CPU_BASELINE)
             .traffic
             .read_bytes
             .max(1) as f64;
         [
-            ExecutionBackend::CpuBaseline,
-            ExecutionBackend::CpuPak,
-            ExecutionBackend::NmpPak,
-            ExecutionBackend::NmpIdealPe,
-            ExecutionBackend::NmpIdealForwarding,
+            BackendId::CPU_BASELINE,
+            BackendId::CPU_PAK,
+            BackendId::NMP_PAK,
+            BackendId::NMP_IDEAL_PE,
+            BackendId::NMP_IDEAL_FORWARDING,
         ]
         .iter()
-        .map(|&b| {
-            let t = &self.result(b).traffic;
+        .map(|&id| {
+            let r = self.result(id);
             (
-                b.label().to_string(),
-                t.read_bytes as f64 / baseline_reads,
-                t.write_bytes as f64 / baseline_reads,
+                r.label.to_string(),
+                r.traffic.read_bytes as f64 / baseline_reads,
+                r.traffic.write_bytes as f64 / baseline_reads,
             )
         })
         .collect()
@@ -211,7 +216,8 @@ impl Experiments {
     /// **Fig. 15** — NMP-PaK performance (normalized to the CPU baseline) as the
     /// number of PEs per channel varies.
     pub fn fig15_pe_sweep(&self, pe_counts: &[usize]) -> Vec<Row> {
-        let baseline = self.result(ExecutionBackend::CpuBaseline);
+        let baseline = self.result(BackendId::CPU_BASELINE);
+        let ctx = SimulationContext::new(self.assembly.footprint.peak_bytes());
         pe_counts
             .iter()
             .map(|&pes| {
@@ -219,23 +225,21 @@ impl Experiments {
                     pes_per_channel: pes,
                     ..self.assembler.system.nmp
                 };
-                let result = NmpSystem::new(
+                let backend = NmpBackend::with_config(
+                    BackendId::new("nmp-pe-sweep"),
+                    "NMP-PaK (PE sweep)",
                     config,
-                    self.assembler.system.dram,
-                    self.assembler.system.cpu,
-                )
-                .simulate(&self.trace, &self.layout);
-                Row::new(
-                    format!("{pes} PE/ch"),
-                    baseline.runtime_ns / result.runtime_ns,
-                )
+                    &self.assembler.system,
+                );
+                let result = backend.simulate(&self.trace, &self.layout, &ctx);
+                Row::new(format!("{pes} PE/ch"), result.speedup_over(baseline))
             })
             .collect()
     }
 
     /// **§6.3** — intra- vs inter-DIMM TransferNode communication.
     pub fn comm_breakdown(&self) -> CommStats {
-        self.result(ExecutionBackend::NmpPak)
+        self.result(BackendId::NMP_PAK)
             .comm
             .expect("NMP backends report communication statistics")
     }
@@ -260,7 +264,7 @@ impl Experiments {
 
     /// **§6.4** — throughput comparison against the PaKman supercomputer run.
     pub fn supercomputer_comparison(&self) -> SupercomputerComparison {
-        let nmp = self.result(ExecutionBackend::NmpPak);
+        let nmp = self.result(BackendId::NMP_PAK);
         // Scale the measured compaction speedup to a full-assembly speedup using the
         // paper's single-node numbers, then apply the paper's published
         // supercomputer result (39 s on 1 024 nodes / 16 384 cores).
@@ -294,14 +298,16 @@ impl Experiments {
 
     /// Re-simulates the NMP backend with a custom configuration (used by ablations).
     pub fn simulate_nmp_variant(&self, config: NmpConfig) -> BackendResult {
-        let mut system = self.assembler.system;
-        system.nmp = config;
-        simulate_backend(
-            ExecutionBackend::NmpPak,
+        let backend = NmpBackend::with_config(
+            BackendId::NMP_PAK,
+            "NMP-PaK",
+            config,
+            &self.assembler.system,
+        );
+        backend.simulate(
             &self.trace,
             &self.layout,
-            self.assembly.footprint.peak_bytes(),
-            &system,
+            &SimulationContext::new(self.assembly.footprint.peak_bytes()),
         )
     }
 }

@@ -9,21 +9,22 @@
 //! * [`assembler`] — [`assembler::NmpPakAssembler`], the top-level API: run the
 //!   software pipeline, record the compaction trace, and simulate Iterative
 //!   Compaction on a chosen execution backend,
-//! * [`backend`] — the execution backends of §5.3 (CPU baseline with and without
-//!   software optimizations, CPU-PaK, GPU baseline, NMP-PaK, ideal-PE and
-//!   ideal-forwarding variants),
+//! * [`backend`] — the pluggable [`backend::CompactionBackend`] trait, the
+//!   [`backend::BackendRegistry`], and the seven §5.3 configurations (CPU
+//!   baseline with and without software optimizations, CPU-PaK, GPU baseline,
+//!   NMP-PaK, ideal-PE and ideal-forwarding variants) as registrable backends,
 //! * [`experiments`] — one driver per table/figure of the evaluation (Figs. 5–15,
 //!   Tables 1 and 3, §6.3, §6.4, §6.6).
 //!
 //! ```
 //! use nmp_pak_core::workload::Workload;
 //! use nmp_pak_core::assembler::NmpPakAssembler;
-//! use nmp_pak_core::backend::ExecutionBackend;
+//! use nmp_pak_core::backend::BackendId;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let workload = Workload::tiny(7)?;
 //! let assembler = NmpPakAssembler::default();
-//! let run = assembler.run(&workload, ExecutionBackend::NmpPak)?;
+//! let run = assembler.run(&workload, BackendId::NMP_PAK)?;
 //! assert!(run.backend_result.runtime_ns > 0.0);
 //! # Ok(())
 //! # }
@@ -38,5 +39,10 @@ pub mod experiments;
 pub mod workload;
 
 pub use assembler::{NmpPakAssembler, SystemRun};
-pub use backend::{BackendResult, ExecutionBackend, SystemConfig};
+#[allow(deprecated)]
+pub use backend::ExecutionBackend;
+pub use backend::{
+    BackendId, BackendRegistry, BackendResult, CapacityVerdict, CompactionBackend,
+    SimulationContext, SystemConfig,
+};
 pub use workload::Workload;

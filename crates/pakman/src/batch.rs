@@ -1,12 +1,27 @@
-//! Customized batch processing (§4.4 of the paper).
+//! Customized batch processing (§4.4 of the paper) with overlapped batch
+//! streaming (§4.5, Fig. 2).
 //!
-//! The input read set is partitioned into batches that are assembled sequentially;
-//! each batch's compacted PaK-graph is kept (they are small — tens of MB in the
-//! paper) and all of them are merged before the final graph walk. This trades a
-//! lower peak memory footprint against contig quality: very small batches fragment
-//! the graph (k-mers split across batches fall below the pruning threshold, and the
+//! The input read set is partitioned into batches; each batch's compacted
+//! PaK-graph is kept (they are small — tens of MB in the paper) and all of them
+//! are merged before the final graph walk. This trades a lower peak memory
+//! footprint against contig quality: very small batches fragment the graph
+//! (k-mers split across batches fall below the pruning threshold, and the
 //! per-batch compaction takes divergent routes), which is the N50-vs-batch-size
 //! trade-off of Table 1.
+//!
+//! Batches flow through the staged pipeline ([`crate::stage::AssemblyPipeline`])
+//! under a [`BatchSchedule`]:
+//!
+//! * [`BatchSchedule::Sequential`] runs each batch A→E before starting the next —
+//!   the original PaKman process flow.
+//! * [`BatchSchedule::Overlapped`] (the default) executes the paper's pipelined
+//!   flow for real: while batch *i* runs Iterative Compaction and the walk
+//!   (stages D–E) on the calling thread, the counting and construction front
+//!   (stages A–C) of batch *i + 1* runs on its own scoped thread.
+//!
+//! Both schedules are **bit-identical**: every batch is a deterministic function
+//! of its reads alone, and per-batch outputs are merged in batch-index order
+//! regardless of completion order (the determinism contract of DESIGN.md).
 
 use crate::compaction::CompactionStats;
 use crate::config::PakmanConfig;
@@ -14,7 +29,9 @@ use crate::contig::{AssemblyStats, Contig};
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::memory::MemoryFootprint;
-use crate::pipeline::{PakmanAssembler, PhaseTimings};
+use crate::pipeline::{AssemblyOutput, PhaseTimings};
+use crate::stage::AssemblyPipeline;
+use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
 use nmp_pak_genome::SequencingRead;
 
@@ -28,6 +45,10 @@ pub struct BatchPlan {
 impl BatchPlan {
     /// Splits `read_count` reads into batches of `batch_fraction` of the input each
     /// (e.g. `0.1` → 10 batches). A fraction of 1.0 (or ≥ 1.0) yields a single batch.
+    ///
+    /// Every produced range is non-empty and the ranges cover `0..read_count`
+    /// exactly once: a fraction small enough that the rounded batch count exceeds
+    /// the read count is clamped to one read per batch.
     ///
     /// # Errors
     ///
@@ -45,19 +66,21 @@ impl BatchPlan {
             });
         }
         let fraction = batch_fraction.min(1.0);
-        let batch_count = (1.0 / fraction).round().max(1.0) as usize;
+        // Clamp to the read count: `1.0 / fraction` can round to more batches than
+        // there are reads (float→usize casts saturate, so even 1e-300 is safe),
+        // and a plan must never contain an empty batch.
+        let batch_count = ((1.0 / fraction).round().max(1.0) as usize).min(read_count);
         let base = read_count / batch_count;
         let remainder = read_count % batch_count;
         let mut ranges = Vec::with_capacity(batch_count);
         let mut start = 0usize;
         for i in 0..batch_count {
             let len = base + usize::from(i < remainder);
-            if len == 0 {
-                continue;
-            }
+            debug_assert!(len > 0, "clamped plans have no empty batches");
             ranges.push(start..start + len);
             start += len;
         }
+        debug_assert_eq!(start, read_count, "plan must cover every read exactly once");
         Ok(BatchPlan { ranges })
     }
 
@@ -72,6 +95,19 @@ impl BatchPlan {
     }
 }
 
+/// How the batches are driven through the staged pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BatchSchedule {
+    /// Each batch runs A→E to completion before the next batch starts (the
+    /// original sequential-stage process flow).
+    Sequential,
+    /// The paper's pipelined flow: stages A–C of batch *i + 1* run on a scoped
+    /// worker thread while batch *i* runs stages D–E on the calling thread.
+    /// Output is bit-identical to [`BatchSchedule::Sequential`].
+    #[default]
+    Overlapped,
+}
+
 /// Output of a batched assembly run.
 #[derive(Debug, Clone)]
 pub struct BatchAssemblyOutput {
@@ -79,10 +115,13 @@ pub struct BatchAssemblyOutput {
     pub contigs: Vec<Contig>,
     /// Assembly-quality statistics.
     pub stats: AssemblyStats,
-    /// Per-batch compaction statistics.
+    /// Per-batch compaction statistics, in batch-index order.
     pub batch_compaction: Vec<CompactionStats>,
-    /// Per-batch phase timings.
+    /// Per-batch phase timings, in batch-index order.
     pub batch_timings: Vec<PhaseTimings>,
+    /// Per-batch compaction traces, in batch-index order (empty unless
+    /// [`PakmanConfig::record_trace`] is set).
+    pub batch_traces: Vec<CompactionTrace>,
     /// Peak footprint of the largest single batch (the batched peak, §4.4).
     pub peak_batch_footprint: MemoryFootprint,
     /// Footprint the same workload would need without batching.
@@ -107,14 +146,26 @@ impl BatchAssemblyOutput {
 pub struct BatchAssembler {
     config: PakmanConfig,
     batch_fraction: f64,
+    schedule: BatchSchedule,
 }
 
 impl BatchAssembler {
-    /// Creates a batch assembler processing `batch_fraction` of the reads at a time.
+    /// Creates a batch assembler processing `batch_fraction` of the reads at a
+    /// time, with the default [`BatchSchedule::Overlapped`] streaming schedule.
     pub fn new(config: PakmanConfig, batch_fraction: f64) -> Self {
+        BatchAssembler::with_schedule(config, batch_fraction, BatchSchedule::default())
+    }
+
+    /// Creates a batch assembler with an explicit schedule.
+    pub fn with_schedule(
+        config: PakmanConfig,
+        batch_fraction: f64,
+        schedule: BatchSchedule,
+    ) -> Self {
         BatchAssembler {
             config,
             batch_fraction,
+            schedule,
         }
     }
 
@@ -123,34 +174,49 @@ impl BatchAssembler {
         self.batch_fraction
     }
 
-    /// Runs the batched assembly.
+    /// The configured schedule.
+    pub fn schedule(&self) -> BatchSchedule {
+        self.schedule
+    }
+
+    /// Runs the batched assembly under the configured schedule.
     ///
     /// # Errors
     ///
     /// Propagates configuration and empty-input errors from the per-batch pipeline.
     pub fn assemble(&self, reads: &[SequencingRead]) -> Result<BatchAssemblyOutput, PakmanError> {
-        self.config.validate()?;
+        let pipeline = AssemblyPipeline::new(self.config)?;
         let plan = BatchPlan::by_fraction(reads.len(), self.batch_fraction)?;
-        let assembler = PakmanAssembler::new(self.config);
 
+        let outputs = match self.schedule {
+            BatchSchedule::Sequential => run_sequential(&pipeline, reads, plan.ranges())?,
+            BatchSchedule::Overlapped => run_overlapped(&pipeline, reads, plan.ranges())?,
+        };
+        self.merge(reads, &plan, outputs)
+    }
+
+    /// Merges per-batch outputs (in batch-index order) into the final result.
+    fn merge(
+        &self,
+        reads: &[SequencingRead],
+        plan: &BatchPlan,
+        outputs: Vec<Option<AssemblyOutput>>,
+    ) -> Result<BatchAssemblyOutput, PakmanError> {
         let mut merged_nodes = Vec::new();
         let mut batch_compaction = Vec::with_capacity(plan.batch_count());
         let mut batch_timings = Vec::with_capacity(plan.batch_count());
+        let mut batch_traces = Vec::new();
         let mut peak_batch_footprint = MemoryFootprint::default();
         let mut total_read_bases = 0u64;
         let mut total_kmers = 0u64;
         let mut total_macronode_bytes = 0u64;
 
-        for range in plan.ranges() {
+        for (range, output) in plan.ranges().iter().zip(outputs) {
+            // A batch that is entirely pruned away contributes nothing; this can
+            // happen for very small batches, which is precisely the quality
+            // degradation the batching trade-off studies.
+            let Some(output) = output else { continue };
             let batch = &reads[range.clone()];
-            let output = match assembler.assemble(batch) {
-                Ok(out) => out,
-                // A batch that is entirely pruned away contributes nothing; this can
-                // happen for very small batches, which is precisely the quality
-                // degradation the batching trade-off studies.
-                Err(PakmanError::EmptyInput { .. }) => continue,
-                Err(other) => return Err(other),
-            };
             total_read_bases += batch.iter().map(|r| r.len() as u64).sum::<u64>();
             total_kmers += output.kmer_stats.total_kmers;
             total_macronode_bytes += output.footprint.macronode_bytes;
@@ -159,6 +225,9 @@ impl BatchAssembler {
             }
             batch_compaction.push(output.compaction);
             batch_timings.push(output.timings);
+            if let Some(trace) = output.trace {
+                batch_traces.push(trace);
+            }
             merged_nodes.extend(output.graph.into_nodes());
         }
 
@@ -184,11 +253,83 @@ impl BatchAssembler {
             stats,
             batch_compaction,
             batch_timings,
+            batch_traces,
             peak_batch_footprint,
             unbatched_footprint,
             merged_graph,
         })
     }
+}
+
+/// Runs one batch A→E; an entirely pruned batch yields `None`.
+fn run_batch(
+    pipeline: &AssemblyPipeline,
+    batch: &[SequencingRead],
+) -> Result<Option<AssemblyOutput>, PakmanError> {
+    match pipeline.run(batch) {
+        Ok(output) => Ok(Some(output)),
+        Err(PakmanError::EmptyInput { .. }) => Ok(None),
+        Err(other) => Err(other),
+    }
+}
+
+/// Runs the front half (A–C) of one batch; an entirely pruned batch yields `None`.
+fn run_front(
+    pipeline: &AssemblyPipeline,
+    batch: &[SequencingRead],
+) -> Result<Option<crate::stage::FrontArtifact>, PakmanError> {
+    match pipeline.front(batch) {
+        Ok(front) => Ok(Some(front)),
+        Err(PakmanError::EmptyInput { .. }) => Ok(None),
+        Err(other) => Err(other),
+    }
+}
+
+/// The sequential schedule: batch *i* completes A→E before batch *i + 1* starts.
+fn run_sequential(
+    pipeline: &AssemblyPipeline,
+    reads: &[SequencingRead],
+    ranges: &[std::ops::Range<usize>],
+) -> Result<Vec<Option<AssemblyOutput>>, PakmanError> {
+    ranges
+        .iter()
+        .map(|range| run_batch(pipeline, &reads[range.clone()]))
+        .collect()
+}
+
+/// The streaming schedule: a two-deep software pipeline over the batches.
+///
+/// While batch *i* runs stages D–E on the calling thread, a scoped worker runs
+/// stages A–C of batch *i + 1*. Results are pushed in batch-index order, so the
+/// output is bit-identical to [`run_sequential`] no matter how the two threads
+/// interleave.
+fn run_overlapped(
+    pipeline: &AssemblyPipeline,
+    reads: &[SequencingRead],
+    ranges: &[std::ops::Range<usize>],
+) -> Result<Vec<Option<AssemblyOutput>>, PakmanError> {
+    let mut outputs = Vec::with_capacity(ranges.len());
+    let mut pending_front = run_front(pipeline, &reads[ranges[0].clone()])?;
+    for i in 0..ranges.len() {
+        let front = pending_front.take();
+        let (output, next_front) = std::thread::scope(|scope| -> Result<_, PakmanError> {
+            let worker = ranges.get(i + 1).map(|range| {
+                let batch = &reads[range.clone()];
+                scope.spawn(move || run_front(pipeline, batch))
+            });
+            // Back half of batch i on this thread, front of batch i + 1 on the
+            // worker — the paper's overlap of compaction with counting.
+            let output = front.map(|f| pipeline.finish(f)).transpose()?;
+            let next_front = match worker {
+                Some(handle) => handle.join().expect("front-stage worker panicked")?,
+                None => None,
+            };
+            Ok((output, next_front))
+        })?;
+        outputs.push(output);
+        pending_front = next_front;
+    }
+    Ok(outputs)
 }
 
 /// Drops contigs whose sequence content is already represented by longer contigs.
@@ -300,10 +441,50 @@ mod tests {
     }
 
     #[test]
+    fn fraction_with_zero_sized_tail_still_covers_every_read() {
+        // 10 reads at 1/3: the rounded batch count (3) does not divide the read
+        // count, so the remainder must be spread without producing an empty batch.
+        let plan = BatchPlan::by_fraction(10, 1.0 / 3.0).unwrap();
+        assert_eq!(plan.batch_count(), 3);
+        let mut covered = 0usize;
+        for range in plan.ranges() {
+            assert!(!range.is_empty(), "empty batch in {:?}", plan.ranges());
+            covered += range.len();
+        }
+        assert_eq!(covered, 10);
+        // 4 batches over 6 reads: base is 1 with remainder 2 — the naive split
+        // would leave trailing zero-read batches.
+        let plan = BatchPlan::by_fraction(6, 0.25).unwrap();
+        assert_eq!(plan.batch_count(), 4);
+        assert!(plan.ranges().iter().all(|r| !r.is_empty()));
+        assert_eq!(plan.ranges().iter().map(|r| r.len()).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn more_batches_than_reads_clamps_to_one_read_per_batch() {
+        let plan = BatchPlan::by_fraction(3, 0.1).unwrap();
+        assert_eq!(plan.batch_count(), 3);
+        assert!(plan.ranges().iter().all(|r| r.len() == 1));
+        let mut last_end = 0usize;
+        for range in plan.ranges() {
+            assert_eq!(range.start, last_end);
+            last_end = range.end;
+        }
+        assert_eq!(last_end, 3);
+
+        // Pathologically small fractions must clamp instead of allocating a
+        // billion-range plan (float→usize casts saturate, then the clamp applies).
+        let plan = BatchPlan::by_fraction(5, 1e-12).unwrap();
+        assert_eq!(plan.batch_count(), 5);
+        assert!(plan.ranges().iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
     fn invalid_plans_are_rejected() {
         assert!(BatchPlan::by_fraction(0, 0.1).is_err());
         assert!(BatchPlan::by_fraction(10, 0.0).is_err());
         assert!(BatchPlan::by_fraction(10, -0.5).is_err());
+        assert!(BatchPlan::by_fraction(10, f64::NAN).is_err());
     }
 
     #[test]
@@ -345,7 +526,9 @@ mod tests {
         // A single batch runs the same pipeline; the only difference is the final
         // contig-containment dedup, so the assembled content must agree closely.
         let reads = reads_for(4_000, 15.0, 77);
-        let unbatched = PakmanAssembler::new(cfg(17)).assemble(&reads).unwrap();
+        let unbatched = crate::pipeline::PakmanAssembler::new(cfg(17))
+            .assemble(&reads)
+            .unwrap();
         let single_batch = BatchAssembler::new(cfg(17), 1.0).assemble(&reads).unwrap();
         let ratio = single_batch.stats.total_length as f64 / unbatched.stats.total_length as f64;
         // The containment dedup drops reverse-strand / repeat duplicates, so the
@@ -353,5 +536,29 @@ mod tests {
         // order of magnitude, and the longest contig is identical.
         assert!((0.4..=1.0).contains(&ratio), "ratio = {ratio}");
         assert!(single_batch.stats.largest_contig == unbatched.stats.largest_contig);
+    }
+
+    #[test]
+    fn overlapped_schedule_matches_sequential() {
+        let reads = reads_for(6_000, 20.0, 91);
+        let mut config = cfg(17);
+        config.record_trace = true;
+        let sequential = BatchAssembler::with_schedule(config, 0.2, BatchSchedule::Sequential)
+            .assemble(&reads)
+            .unwrap();
+        let overlapped = BatchAssembler::with_schedule(config, 0.2, BatchSchedule::Overlapped)
+            .assemble(&reads)
+            .unwrap();
+        assert_eq!(overlapped.contigs, sequential.contigs);
+        assert_eq!(overlapped.stats, sequential.stats);
+        assert_eq!(overlapped.batch_compaction, sequential.batch_compaction);
+        assert_eq!(overlapped.batch_traces, sequential.batch_traces);
+        assert!(!overlapped.batch_traces.is_empty());
+    }
+
+    #[test]
+    fn default_schedule_is_overlapped() {
+        let assembler = BatchAssembler::new(cfg(17), 0.5);
+        assert_eq!(assembler.schedule(), BatchSchedule::Overlapped);
     }
 }

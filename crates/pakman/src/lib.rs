@@ -56,11 +56,12 @@ pub mod macronode;
 pub mod memory;
 pub(crate) mod par;
 pub mod pipeline;
+pub mod stage;
 pub mod trace;
 pub mod transfer;
 pub mod walk;
 
-pub use batch::{BatchAssembler, BatchPlan};
+pub use batch::{BatchAssembler, BatchAssemblyOutput, BatchPlan, BatchSchedule};
 pub use compaction::{CompactionOutcome, CompactionStats, IterationStats, SizeHistogram};
 pub use config::PakmanConfig;
 pub use contig::{AssemblyStats, Contig};
@@ -70,5 +71,6 @@ pub use kmer_count::{count_kmers, CountedKmer, KmerCounterConfig};
 pub use macronode::{MacroNode, ThroughPath};
 pub use memory::MemoryFootprint;
 pub use pipeline::{AssemblyOutput, PakmanAssembler, PhaseTimings};
+pub use stage::{AssemblyPipeline, FrontArtifact, Stage};
 pub use trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
 pub use transfer::TransferNode;

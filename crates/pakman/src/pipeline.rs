@@ -1,17 +1,23 @@
 //! The end-to-end PaKman assembly pipeline (Fig. 2 steps A–E) with per-phase timing.
+//!
+//! [`PakmanAssembler`] is the convenience facade over the staged
+//! [`crate::stage::AssemblyPipeline`]: one call runs stages A–E and returns the
+//! bundled [`AssemblyOutput`]. Callers that need stage-level control — the
+//! streaming batch scheduler in [`crate::batch`], custom schedulers, profilers —
+//! use the stage API directly.
 
-use crate::compaction::{compact, CompactionStats};
+use crate::compaction::CompactionStats;
 use crate::config::PakmanConfig;
 use crate::contig::{AssemblyStats, Contig};
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
-use crate::kmer_count::{count_kmers, KmerCountStats, KmerCounterConfig};
+use crate::kmer_count::KmerCountStats;
 use crate::memory::MemoryFootprint;
+use crate::stage::AssemblyPipeline;
 use crate::trace::CompactionTrace;
-use crate::walk::generate_contigs;
 use nmp_pak_genome::SequencingRead;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wall-clock time spent in each assembly phase (the quantities behind Fig. 5).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -116,78 +122,15 @@ impl PakmanAssembler {
         &self.config
     }
 
-    /// Runs the full pipeline on `reads`.
+    /// Runs the full pipeline on `reads` (stages A–E of the staged
+    /// [`AssemblyPipeline`]).
     ///
     /// # Errors
     ///
     /// Returns [`PakmanError::InvalidConfig`] for invalid configurations and
     /// [`PakmanError::EmptyInput`] when the reads contain no usable k-mers.
     pub fn assemble(&self, reads: &[SequencingRead]) -> Result<AssemblyOutput, PakmanError> {
-        self.config.validate()?;
-
-        // Step A: access and distribute reads. In the single-node library this is the
-        // bookkeeping pass over the read set (length census for pre-allocation).
-        let t0 = Instant::now();
-        let total_read_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
-        if total_read_bases == 0 {
-            return Err(PakmanError::EmptyInput {
-                message: "the read set is empty".to_string(),
-            });
-        }
-        let access_reads = t0.elapsed();
-
-        // Step B: k-mer counting.
-        let t1 = Instant::now();
-        let (counted, kmer_stats) = count_kmers(reads, KmerCounterConfig::from(&self.config))?;
-        let kmer_counting = t1.elapsed();
-        if counted.is_empty() {
-            return Err(PakmanError::EmptyInput {
-                message: format!(
-                    "all k-mers were pruned (min count {})",
-                    self.config.min_kmer_count
-                ),
-            });
-        }
-
-        // Step C: MacroNode construction and wiring.
-        let t2 = Instant::now();
-        let mut graph = PakGraph::from_counted_kmers(&counted, self.config.k, self.config.threads);
-        let macronode_construction = t2.elapsed();
-        let macronode_bytes = graph.total_size_bytes() as u64;
-
-        // Step D: Iterative Compaction.
-        let t3 = Instant::now();
-        let outcome = compact(&mut graph, &self.config);
-        let compaction = t3.elapsed();
-
-        // Step E: graph walk and contig generation.
-        let t4 = Instant::now();
-        let contigs = generate_contigs(&graph, self.config.min_contig_length);
-        let walk = t4.elapsed();
-
-        let stats = AssemblyStats::from_contigs(&contigs);
-        let footprint = MemoryFootprint::from_workload(
-            total_read_bases,
-            kmer_stats.total_kmers,
-            macronode_bytes,
-        );
-
-        Ok(AssemblyOutput {
-            contigs,
-            stats,
-            timings: PhaseTimings {
-                access_reads,
-                kmer_counting,
-                macronode_construction,
-                compaction,
-                walk,
-            },
-            kmer_stats,
-            compaction: outcome.stats,
-            trace: outcome.trace,
-            footprint,
-            graph,
-        })
+        AssemblyPipeline::new(self.config)?.run(reads)
     }
 }
 

@@ -1,0 +1,502 @@
+//! The staged assembly pipeline: Fig. 2's steps A–E as explicit [`Stage`] objects
+//! with typed inter-stage artifacts.
+//!
+//! The monolithic `PakmanAssembler::assemble` of earlier revisions is decomposed
+//! into five stages — [`AccessStage`] (A), [`CountStage`] (B), [`ConstructStage`]
+//! (C), [`CompactStage`] (D) and [`WalkStage`] (E) — composed by
+//! [`AssemblyPipeline`]. Each stage consumes the previous stage's artifact by
+//! value, so the hand-offs are zero-copy and the compiler enforces the A→E order.
+//!
+//! The pipeline is split into two halves at the C/D boundary:
+//!
+//! * [`AssemblyPipeline::front`] runs A–C and returns a [`FrontArtifact`];
+//! * [`AssemblyPipeline::finish`] runs D–E on a `FrontArtifact`.
+//!
+//! That split is what the streaming batch scheduler ([`crate::batch`]) exploits to
+//! execute the paper's pipelined process flow (§4.4–4.5, Fig. 2): the front half
+//! of batch *i + 1* runs on its own scoped thread while batch *i* is in Iterative
+//! Compaction. Both halves are deterministic, so overlapping them cannot change
+//! any output bit.
+
+use crate::compaction::{compact, CompactionStats};
+use crate::config::PakmanConfig;
+use crate::contig::Contig;
+use crate::error::PakmanError;
+use crate::graph::PakGraph;
+use crate::kmer_count::{count_kmers, CountedKmer, KmerCountStats, KmerCounterConfig};
+use crate::pipeline::PhaseTimings;
+use crate::trace::CompactionTrace;
+use crate::walk::generate_contigs;
+use nmp_pak_genome::SequencingRead;
+use std::time::{Duration, Instant};
+
+/// One assembly stage: a pure function from the previous stage's artifact to the
+/// next, with a stable display name.
+///
+/// `Input` is a trait parameter (not an associated type) so borrowing stages —
+/// [`AccessStage`] consumes `&[SequencingRead]` and lends it onward — can be
+/// expressed without generic associated types.
+pub trait Stage<Input> {
+    /// The artifact this stage produces.
+    type Output;
+
+    /// Stable stage name (used by logs and the Fig. 5 phase labels).
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError`] when the stage cannot produce its artifact (empty
+    /// input, invalid configuration).
+    fn run(&self, input: Input) -> Result<Self::Output, PakmanError>;
+}
+
+/// Artifact of step A: the validated read set plus its length census.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadAccess<'r> {
+    /// The reads, borrowed from the caller.
+    pub reads: &'r [SequencingRead],
+    /// Total number of bases across the reads (used by the footprint model).
+    pub total_bases: u64,
+}
+
+/// Artifact of step B: the pruned, globally sorted counted k-mer stream.
+#[derive(Debug, Clone)]
+pub struct CountedBatch {
+    /// Counted k-mers in ascending packed order.
+    pub counted: Vec<CountedKmer>,
+    /// Counting statistics (totals, distinct, pruned).
+    pub stats: KmerCountStats,
+    /// Carried forward from [`ReadAccess`] for the footprint model.
+    pub total_read_bases: u64,
+}
+
+/// Artifact of step C: the wired, uncompacted PaK-graph.
+#[derive(Debug)]
+pub struct ConstructedGraph {
+    /// The freshly built graph.
+    pub graph: PakGraph,
+    /// Total MacroNode bytes at construction time (footprint model input).
+    pub macronode_bytes: u64,
+    /// Counting statistics, carried through.
+    pub kmer_stats: KmerCountStats,
+    /// Read census, carried through.
+    pub total_read_bases: u64,
+}
+
+/// Artifact of step D: the compacted graph plus compaction telemetry.
+#[derive(Debug)]
+pub struct CompactedGraph {
+    /// The compacted graph.
+    pub graph: PakGraph,
+    /// Whole-run compaction statistics.
+    pub stats: CompactionStats,
+    /// The access trace, when [`PakmanConfig::record_trace`] was set.
+    pub trace: Option<CompactionTrace>,
+}
+
+/// Step A: access and distribute reads. In the single-node library this is the
+/// bookkeeping pass over the read set (length census for pre-allocation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessStage;
+
+impl<'r> Stage<&'r [SequencingRead]> for AccessStage {
+    type Output = ReadAccess<'r>;
+
+    fn name(&self) -> &'static str {
+        "A. access & distribute reads"
+    }
+
+    fn run(&self, reads: &'r [SequencingRead]) -> Result<ReadAccess<'r>, PakmanError> {
+        let total_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
+        if total_bases == 0 {
+            return Err(PakmanError::EmptyInput {
+                message: "the read set is empty".to_string(),
+            });
+        }
+        Ok(ReadAccess { reads, total_bases })
+    }
+}
+
+/// Step B: parallel k-mer counting (bucket-major sort/merge fused with the
+/// count + prune, see DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct CountStage {
+    config: KmerCounterConfig,
+}
+
+impl CountStage {
+    /// Builds the stage from the pipeline configuration.
+    pub fn new(config: &PakmanConfig) -> Self {
+        CountStage {
+            config: KmerCounterConfig::from(config),
+        }
+    }
+}
+
+impl<'r> Stage<ReadAccess<'r>> for CountStage {
+    type Output = CountedBatch;
+
+    fn name(&self) -> &'static str {
+        "B. k-mer counting"
+    }
+
+    fn run(&self, access: ReadAccess<'r>) -> Result<CountedBatch, PakmanError> {
+        let (counted, stats) = count_kmers(access.reads, self.config)?;
+        if counted.is_empty() {
+            return Err(PakmanError::EmptyInput {
+                message: format!(
+                    "all k-mers were pruned (min count {})",
+                    self.config.min_count
+                ),
+            });
+        }
+        Ok(CountedBatch {
+            counted,
+            stats,
+            total_read_bases: access.total_bases,
+        })
+    }
+}
+
+/// Step C: MacroNode construction and wiring (parallel single-pass build over the
+/// sorted counted stream).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstructStage {
+    k: usize,
+    threads: usize,
+}
+
+impl ConstructStage {
+    /// Builds the stage from the pipeline configuration.
+    pub fn new(config: &PakmanConfig) -> Self {
+        ConstructStage {
+            k: config.k,
+            threads: config.threads,
+        }
+    }
+}
+
+impl Stage<CountedBatch> for ConstructStage {
+    type Output = ConstructedGraph;
+
+    fn name(&self) -> &'static str {
+        "C. MacroNode construct & wiring"
+    }
+
+    fn run(&self, counted: CountedBatch) -> Result<ConstructedGraph, PakmanError> {
+        let graph = PakGraph::from_counted_kmers(&counted.counted, self.k, self.threads);
+        let macronode_bytes = graph.total_size_bytes() as u64;
+        Ok(ConstructedGraph {
+            graph,
+            macronode_bytes,
+            kmer_stats: counted.stats,
+            total_read_bases: counted.total_read_bases,
+        })
+    }
+}
+
+/// Step D: Iterative Compaction.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactStage {
+    config: PakmanConfig,
+}
+
+impl CompactStage {
+    /// Builds the stage from the pipeline configuration.
+    pub fn new(config: &PakmanConfig) -> Self {
+        CompactStage { config: *config }
+    }
+}
+
+impl Stage<ConstructedGraph> for CompactStage {
+    type Output = CompactedGraph;
+
+    fn name(&self) -> &'static str {
+        "D. iterative compaction"
+    }
+
+    fn run(&self, built: ConstructedGraph) -> Result<CompactedGraph, PakmanError> {
+        let mut graph = built.graph;
+        let outcome = compact(&mut graph, &self.config);
+        Ok(CompactedGraph {
+            graph,
+            stats: outcome.stats,
+            trace: outcome.trace,
+        })
+    }
+}
+
+/// Step E: graph walk and contig generation.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkStage {
+    min_contig_length: usize,
+}
+
+impl WalkStage {
+    /// Builds the stage from the pipeline configuration.
+    pub fn new(config: &PakmanConfig) -> Self {
+        WalkStage {
+            min_contig_length: config.min_contig_length,
+        }
+    }
+}
+
+impl Stage<&CompactedGraph> for WalkStage {
+    type Output = Vec<Contig>;
+
+    fn name(&self) -> &'static str {
+        "E. graph walk & contig gen"
+    }
+
+    fn run(&self, compacted: &CompactedGraph) -> Result<Vec<Contig>, PakmanError> {
+        Ok(generate_contigs(&compacted.graph, self.min_contig_length))
+    }
+}
+
+/// Everything the front half (stages A–C) of the pipeline produces for one batch.
+///
+/// This is the artifact handed across threads by the streaming batch scheduler:
+/// it owns the constructed graph and carries the statistics and partial timings
+/// the back half needs to complete an [`crate::pipeline::AssemblyOutput`].
+#[derive(Debug)]
+pub struct FrontArtifact {
+    /// The constructed (uncompacted) graph plus carried statistics.
+    pub built: ConstructedGraph,
+    /// Wall-clock of stage A.
+    pub access_reads: Duration,
+    /// Wall-clock of stage B.
+    pub kmer_counting: Duration,
+    /// Wall-clock of stage C.
+    pub macronode_construction: Duration,
+}
+
+/// The staged A–E assembly pipeline.
+///
+/// Validates its configuration once at construction, then exposes the whole run
+/// ([`AssemblyPipeline::run`]) and the two halves the streaming batch scheduler
+/// overlaps ([`AssemblyPipeline::front`], [`AssemblyPipeline::finish`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AssemblyPipeline {
+    config: PakmanConfig,
+    access: AccessStage,
+    count: CountStage,
+    construct: ConstructStage,
+    compact: CompactStage,
+    walk: WalkStage,
+}
+
+impl AssemblyPipeline {
+    /// Creates a pipeline for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: PakmanConfig) -> Result<AssemblyPipeline, PakmanError> {
+        config.validate()?;
+        Ok(AssemblyPipeline {
+            config,
+            access: AccessStage,
+            count: CountStage::new(&config),
+            construct: ConstructStage::new(&config),
+            compact: CompactStage::new(&config),
+            walk: WalkStage::new(&config),
+        })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PakmanConfig {
+        &self.config
+    }
+
+    /// Stage names in execution order (A–E).
+    pub fn stage_names(&self) -> [&'static str; 5] {
+        [
+            Stage::<&[SequencingRead]>::name(&self.access),
+            Stage::<ReadAccess<'_>>::name(&self.count),
+            Stage::<CountedBatch>::name(&self.construct),
+            Stage::<ConstructedGraph>::name(&self.compact),
+            Stage::<&CompactedGraph>::name(&self.walk),
+        ]
+    }
+
+    /// Runs stages A–C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::EmptyInput`] when the reads contain no usable
+    /// k-mers.
+    pub fn front(&self, reads: &[SequencingRead]) -> Result<FrontArtifact, PakmanError> {
+        let t0 = Instant::now();
+        let access = self.access.run(reads)?;
+        let access_reads = t0.elapsed();
+
+        let t1 = Instant::now();
+        let counted = self.count.run(access)?;
+        let kmer_counting = t1.elapsed();
+
+        let t2 = Instant::now();
+        let built = self.construct.run(counted)?;
+        let macronode_construction = t2.elapsed();
+
+        Ok(FrontArtifact {
+            built,
+            access_reads,
+            kmer_counting,
+            macronode_construction,
+        })
+    }
+
+    /// Runs stages D–E on a front-half artifact and assembles the final output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors (none occur for a well-formed artifact).
+    pub fn finish(
+        &self,
+        front: FrontArtifact,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        let FrontArtifact {
+            built,
+            access_reads,
+            kmer_counting,
+            macronode_construction,
+        } = front;
+        let kmer_stats = built.kmer_stats;
+        let total_read_bases = built.total_read_bases;
+        let macronode_bytes = built.macronode_bytes;
+
+        let t3 = Instant::now();
+        let compacted = self.compact.run(built)?;
+        let compaction = t3.elapsed();
+
+        let t4 = Instant::now();
+        let contigs = self.walk.run(&compacted)?;
+        let walk = t4.elapsed();
+
+        let stats = crate::contig::AssemblyStats::from_contigs(&contigs);
+        let footprint = crate::memory::MemoryFootprint::from_workload(
+            total_read_bases,
+            kmer_stats.total_kmers,
+            macronode_bytes,
+        );
+
+        Ok(crate::pipeline::AssemblyOutput {
+            contigs,
+            stats,
+            timings: PhaseTimings {
+                access_reads,
+                kmer_counting,
+                macronode_construction,
+                compaction,
+                walk,
+            },
+            kmer_stats,
+            compaction: compacted.stats,
+            trace: compacted.trace,
+            footprint,
+            graph: compacted.graph,
+        })
+    }
+
+    /// Runs the full pipeline (A–E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::EmptyInput`] when the reads contain no usable
+    /// k-mers.
+    pub fn run(
+        &self,
+        reads: &[SequencingRead],
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        self.finish(self.front(reads)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
+
+    fn reads_for(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
+        let genome = ReferenceGenome::builder()
+            .length(length)
+            .no_repeats()
+            .seed(seed)
+            .build()
+            .unwrap();
+        ReadSimulator::new(SequencerConfig {
+            coverage,
+            substitution_error_rate: 0.0,
+            seed: seed + 1,
+            ..SequencerConfig::default()
+        })
+        .simulate(&genome)
+        .unwrap()
+    }
+
+    fn cfg(k: usize) -> PakmanConfig {
+        PakmanConfig {
+            k,
+            min_kmer_count: 1,
+            compaction_node_threshold: 10,
+            threads: 2,
+            record_trace: true,
+            ..PakmanConfig::default()
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        assert!(AssemblyPipeline::new(PakmanConfig {
+            k: 1,
+            ..PakmanConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn stage_names_follow_the_paper_order() {
+        let pipeline = AssemblyPipeline::new(cfg(17)).unwrap();
+        let names = pipeline.stage_names();
+        assert!(names[0].starts_with("A."));
+        assert!(names[1].starts_with("B."));
+        assert!(names[2].starts_with("C."));
+        assert!(names[3].starts_with("D."));
+        assert!(names[4].starts_with("E."));
+    }
+
+    #[test]
+    fn front_plus_finish_equals_run() {
+        let reads = reads_for(4_000, 15.0, 101);
+        let pipeline = AssemblyPipeline::new(cfg(17)).unwrap();
+        let split = pipeline.finish(pipeline.front(&reads).unwrap()).unwrap();
+        let whole = pipeline.run(&reads).unwrap();
+        assert_eq!(split.contigs, whole.contigs);
+        assert_eq!(split.stats, whole.stats);
+        assert_eq!(split.kmer_stats, whole.kmer_stats);
+        assert_eq!(split.compaction, whole.compaction);
+        assert_eq!(split.trace, whole.trace);
+    }
+
+    #[test]
+    fn artifacts_carry_the_census_through() {
+        let reads = reads_for(2_000, 10.0, 7);
+        let pipeline = AssemblyPipeline::new(cfg(15)).unwrap();
+        let front = pipeline.front(&reads).unwrap();
+        let expected: u64 = reads.iter().map(|r| r.len() as u64).sum();
+        assert_eq!(front.built.total_read_bases, expected);
+        assert!(front.built.macronode_bytes > 0);
+        assert!(front.built.kmer_stats.total_kmers > 0);
+    }
+
+    #[test]
+    fn empty_reads_fail_in_stage_a() {
+        let pipeline = AssemblyPipeline::new(cfg(15)).unwrap();
+        assert!(matches!(
+            pipeline.front(&[]),
+            Err(PakmanError::EmptyInput { .. })
+        ));
+    }
+}

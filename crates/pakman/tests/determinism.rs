@@ -8,7 +8,10 @@
 //! shifts with the parallel construction chunking.
 
 use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SequencingRead};
-use nmp_pak_pakman::{AssemblyOutput, PakmanAssembler, PakmanConfig};
+use nmp_pak_pakman::{
+    AssemblyOutput, BatchAssembler, BatchAssemblyOutput, BatchSchedule, PakmanAssembler,
+    PakmanConfig,
+};
 
 fn simulated_reads(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
     let genome = ReferenceGenome::builder()
@@ -62,6 +65,74 @@ fn full_pipeline_is_bit_identical_across_thread_counts() {
         assert_eq!(
             multi.compaction, reference.compaction,
             "compaction stats diverged at threads = {threads}"
+        );
+    }
+}
+
+fn assemble_batched(
+    reads: &[SequencingRead],
+    threads: usize,
+    schedule: BatchSchedule,
+) -> BatchAssemblyOutput {
+    BatchAssembler::with_schedule(
+        PakmanConfig {
+            k: 21,
+            min_kmer_count: 2,
+            compaction_node_threshold: 10,
+            threads,
+            record_trace: true,
+            ..PakmanConfig::default()
+        },
+        0.25,
+        schedule,
+    )
+    .assemble(reads)
+    .unwrap()
+}
+
+fn assert_batch_outputs_identical(a: &BatchAssemblyOutput, b: &BatchAssemblyOutput, what: &str) {
+    assert_eq!(a.contigs, b.contigs, "contigs diverged: {what}");
+    assert_eq!(a.stats, b.stats, "assembly stats diverged: {what}");
+    assert_eq!(
+        a.batch_compaction, b.batch_compaction,
+        "per-batch compaction stats diverged: {what}"
+    );
+    assert_eq!(
+        a.batch_traces, b.batch_traces,
+        "per-batch traces diverged: {what}"
+    );
+}
+
+#[test]
+fn streaming_scheduler_is_bit_identical_to_the_sequential_path() {
+    // The overlapped scheduler runs stages A–C of batch i+1 concurrently with
+    // stages D–E of batch i; no interleaving may change any output bit, at any
+    // thread count, and both schedules must agree with the single-threaded
+    // sequential reference.
+    let reads = simulated_reads(10_000, 30.0, 0xBA7C);
+    let reference = assemble_batched(&reads, 1, BatchSchedule::Sequential);
+    assert!(!reference.contigs.is_empty());
+    assert!(
+        reference.batch_compaction.len() >= 2,
+        "the scheduler test needs multiple batches"
+    );
+    assert_eq!(
+        reference.batch_traces.len(),
+        reference.batch_compaction.len()
+    );
+
+    for threads in [1, 2, 4, 8] {
+        let sequential = assemble_batched(&reads, threads, BatchSchedule::Sequential);
+        let overlapped = assemble_batched(&reads, threads, BatchSchedule::Overlapped);
+        assert_batch_outputs_identical(
+            &sequential,
+            &reference,
+            &format!("sequential at threads = {threads}"),
+        );
+        assert_batch_outputs_identical(
+            &overlapped,
+            &reference,
+            &format!("overlapped at threads = {threads}"),
         );
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use nmp_pak::core::assembler::NmpPakAssembler;
-use nmp_pak::core::backend::ExecutionBackend;
+use nmp_pak::core::backend::BackendId;
 use nmp_pak::core::workload::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let baseline = results
         .iter()
-        .find(|r| r.backend == ExecutionBackend::CpuBaseline)
+        .find(|r| r.backend == BackendId::CPU_BASELINE)
         .expect("baseline simulated");
 
     println!(
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for result in &results {
         println!(
             "{:<22}{:>14.3}{:>11.2}x{:>11.1}%{:>12.3}",
-            result.backend.label(),
+            result.label,
             result.runtime_ns / 1e6,
             result.speedup_over(baseline),
             result.bandwidth_utilization() * 100.0,
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let nmp = results
         .iter()
-        .find(|r| r.backend == ExecutionBackend::NmpPak)
+        .find(|r| r.backend == BackendId::NMP_PAK)
         .expect("NMP simulated");
     if let Some(comm) = nmp.comm {
         println!(

@@ -6,7 +6,7 @@
 //! ```
 
 use nmp_pak::core::assembler::NmpPakAssembler;
-use nmp_pak::core::backend::ExecutionBackend;
+use nmp_pak::core::backend::BackendId;
 use nmp_pak::core::workload::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Run the software pipeline and simulate compaction on the NMP hardware.
     let assembler = NmpPakAssembler::default();
-    let run = assembler.run(&workload, ExecutionBackend::NmpPak)?;
+    let run = assembler.run(&workload, BackendId::NMP_PAK)?;
 
     // 3. Assembly quality.
     let stats = &run.assembly.stats;
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 5. Compare against the CPU baseline on the same trace.
-    let cpu = assembler.run(&workload, ExecutionBackend::CpuBaseline)?;
+    let cpu = assembler.run(&workload, BackendId::CPU_BASELINE)?;
     println!(
         "speedup over the CPU baseline: {:.1}x",
         cpu.backend_result.runtime_ns / hw.runtime_ns

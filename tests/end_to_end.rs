@@ -2,7 +2,7 @@
 //! simulation, exercised through the public façade.
 
 use nmp_pak::core::assembler::NmpPakAssembler;
-use nmp_pak::core::backend::ExecutionBackend;
+use nmp_pak::core::backend::BackendId;
 use nmp_pak::core::workload::Workload;
 use nmp_pak::genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
 use nmp_pak::pakman::{BatchAssembler, PakmanAssembler, PakmanConfig};
@@ -112,13 +112,13 @@ fn all_backends_simulate_the_same_workload_consistently() {
     let workload = Workload::tiny(2024).unwrap();
     let assembler = NmpPakAssembler::default();
     let (_, results) = assembler.run_all_backends(&workload).unwrap();
-    assert_eq!(results.len(), ExecutionBackend::ALL.len());
+    assert_eq!(results.len(), assembler.registry().len());
 
-    let by = |b: ExecutionBackend| results.iter().find(|r| r.backend == b).unwrap();
-    let baseline = by(ExecutionBackend::CpuBaseline);
-    let nmp = by(ExecutionBackend::NmpPak);
-    let cpu_pak = by(ExecutionBackend::CpuPak);
-    let ideal_fwd = by(ExecutionBackend::NmpIdealForwarding);
+    let by = |b: BackendId| results.iter().find(|r| r.backend == b).unwrap();
+    let baseline = by(BackendId::CPU_BASELINE);
+    let nmp = by(BackendId::NMP_PAK);
+    let cpu_pak = by(BackendId::CPU_PAK);
+    let ideal_fwd = by(BackendId::NMP_IDEAL_FORWARDING);
 
     // Headline orderings of Figs. 12–14.
     assert!(nmp.speedup_over(baseline) > cpu_pak.speedup_over(baseline));
@@ -133,8 +133,8 @@ fn all_backends_simulate_the_same_workload_consistently() {
 fn hardware_simulation_is_deterministic() {
     let workload = Workload::tiny(5).unwrap();
     let assembler = NmpPakAssembler::default();
-    let a = assembler.run(&workload, ExecutionBackend::NmpPak).unwrap();
-    let b = assembler.run(&workload, ExecutionBackend::NmpPak).unwrap();
+    let a = assembler.run(&workload, BackendId::NMP_PAK).unwrap();
+    let b = assembler.run(&workload, BackendId::NMP_PAK).unwrap();
     assert_eq!(a.backend_result.runtime_ns, b.backend_result.runtime_ns);
     assert_eq!(a.backend_result.traffic, b.backend_result.traffic);
     assert_eq!(a.assembly.stats, b.assembly.stats);

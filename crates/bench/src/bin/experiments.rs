@@ -13,6 +13,8 @@
 //! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
 //! NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP=1.0 experiments pipeline  # gate the streamed
 //!                                        # batch schedule's critical-path speedup
+//! NMP_PAK_BENCH_MIN_PIPELINED_SPEEDUP=1.0 experiments pipeline # gate the k-deep
+//!                                        # pipelined schedule the same way
 //! ```
 
 use nmp_pak_bench::pipeline_bench::{report_to_json, run_pipeline_bench};
@@ -111,18 +113,22 @@ fn pipeline_bench() {
 
     let streaming = &report.batch_streaming;
     println!(
-        "batch streaming ({} batches, {} core(s)): sequential {:>9.3} ms   overlapped {:>9.3} ms   speedup {:>5.2}x",
+        "batch streaming ({} batches, {} core(s)): sequential {:>9.3} ms   overlapped {:>9.3} ms   pipelined(d={}) {:>9.3} ms   speedup {:>5.2}x",
         streaming.batches,
         streaming.available_cores,
         streaming.sequential.as_secs_f64() * 1e3,
         streaming.overlapped.as_secs_f64() * 1e3,
+        nmp_pak_bench::pipeline_bench::BENCH_PIPELINE_DEPTH,
+        streaming.pipelined.as_secs_f64() * 1e3,
         streaming.overlap_speedup()
     );
     println!(
-        "  critical path (non-competing halves): sequential {:>9.3} ms   overlapped {:>9.3} ms   speedup {:>5.2}x",
+        "  critical path (non-competing halves): sequential {:>9.3} ms   overlapped {:>9.3} ms ({:>5.2}x)   pipelined {:>9.3} ms ({:>5.2}x)",
         streaming.sequential_critical_path.as_secs_f64() * 1e3,
         streaming.overlapped_critical_path.as_secs_f64() * 1e3,
-        streaming.critical_path_speedup()
+        streaming.critical_path_speedup(),
+        streaming.pipelined_critical_path.as_secs_f64() * 1e3,
+        streaming.pipelined_critical_path_speedup()
     );
 
     let path = std::env::var("NMP_PAK_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
@@ -163,6 +169,24 @@ fn pipeline_bench() {
                 "batch streaming regression: critical-path overlap speedup {:.2}x is \
                  below the required {threshold}x",
                 streaming.critical_path_speedup()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Optional k-deep gate: NMP_PAK_BENCH_MIN_PIPELINED_SPEEDUP requires the
+    // pipelined schedule's critical path to beat the sequential one by the given
+    // factor. The k-deep window admits fronts no later than the 1-deep overlap,
+    // so this speedup is at least the overlap speedup on any host.
+    if let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MIN_PIPELINED_SPEEDUP") {
+        let threshold: f64 = threshold
+            .parse()
+            .expect("NMP_PAK_BENCH_MIN_PIPELINED_SPEEDUP must be a number");
+        if streaming.pipelined_critical_path_speedup() < threshold {
+            eprintln!(
+                "batch streaming regression: k-deep pipelined critical-path speedup {:.2}x \
+                 is below the required {threshold}x",
+                streaming.pipelined_critical_path_speedup()
             );
             std::process::exit(1);
         }

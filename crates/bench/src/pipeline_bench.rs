@@ -25,6 +25,8 @@ pub const BENCH_K: usize = 21;
 pub const BENCH_SEED: u64 = 0xBEC4;
 /// Batch fraction of the multi-batch streaming comparison (0.25 → 4 batches).
 pub const BENCH_BATCH_FRACTION: f64 = 0.25;
+/// In-flight window depth of the benchmarked k-deep pipelined schedule.
+pub const BENCH_PIPELINE_DEPTH: usize = 3;
 
 /// One timed phase pair: optimized vs pre-refactor baseline.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +68,9 @@ pub struct BatchStreamingComparison {
     pub sequential: Duration,
     /// Measured end-to-end wall clock of [`BatchSchedule::Overlapped`].
     pub overlapped: Duration,
+    /// Measured end-to-end wall clock of [`BatchSchedule::Pipelined`] at depth
+    /// [`BENCH_PIPELINE_DEPTH`].
+    pub pipelined: Duration,
     /// Critical path of the sequential schedule: the sum of every batch's
     /// measured A–E stage times.
     pub sequential_critical_path: Duration,
@@ -73,6 +78,10 @@ pub struct BatchStreamingComparison {
     /// times: `front₀ + Σ max(backᵢ, frontᵢ₊₁) + back_{n-1}`, the two-deep
     /// software pipeline with non-competing halves.
     pub overlapped_critical_path: Duration,
+    /// Critical path of the k-deep pipelined schedule (depth
+    /// [`BENCH_PIPELINE_DEPTH`]) over the same measured stage times, with
+    /// non-competing fronts — never longer than the overlapped critical path.
+    pub pipelined_critical_path: Duration,
     /// Hardware threads the scheduler had available (the measured overlap win
     /// requires ≥ 2 — on a single-core host both schedules serialize).
     pub available_cores: usize,
@@ -98,6 +107,17 @@ impl BatchStreamingComparison {
             return f64::INFINITY;
         }
         self.sequential_critical_path.as_secs_f64() / overlapped
+    }
+
+    /// Critical-path sequential / pipelined ratio for the k-deep schedule —
+    /// at least [`BatchStreamingComparison::critical_path_speedup`], since a
+    /// deeper window can only admit fronts earlier.
+    pub fn pipelined_critical_path_speedup(&self) -> f64 {
+        let pipelined = self.pipelined_critical_path.as_secs_f64();
+        if pipelined == 0.0 {
+            return f64::INFINITY;
+        }
+        self.sequential_critical_path.as_secs_f64() / pipelined
     }
 }
 
@@ -240,17 +260,27 @@ fn run_batch_streaming_bench(
         BatchAssembler::with_schedule(config, BENCH_BATCH_FRACTION, BatchSchedule::Sequential);
     let overlapped_assembler =
         BatchAssembler::with_schedule(config, BENCH_BATCH_FRACTION, BatchSchedule::Overlapped);
+    let pipelined_assembler = BatchAssembler::with_schedule(
+        config,
+        BENCH_BATCH_FRACTION,
+        BatchSchedule::Pipelined {
+            depth: BENCH_PIPELINE_DEPTH,
+            max_inflight_bytes: None,
+        },
+    );
 
     // One untimed warm-up of each schedule: the first assembly after process
     // start pays allocator growth and page faults that would otherwise be
     // charged to whichever schedule runs first.
     let _ = sequential_assembler.assemble(reads);
     let _ = overlapped_assembler.assemble(reads);
+    let _ = pipelined_assembler.assemble(reads);
 
     let mut best_sequential = Duration::MAX;
     let mut best_overlapped = Duration::MAX;
+    let mut best_pipelined = Duration::MAX;
     let mut batches = 0usize;
-    let mut best_critical = (Duration::MAX, Duration::MAX);
+    let mut best_critical = (Duration::MAX, Duration::MAX, Duration::MAX);
     for _ in 0..reps.max(1) {
         let t = Instant::now();
         let sequential = sequential_assembler
@@ -264,14 +294,26 @@ fn run_batch_streaming_bench(
             .expect("overlapped batch assembly succeeds");
         best_overlapped = best_overlapped.min(t.elapsed());
 
+        let t = Instant::now();
+        let pipelined = pipelined_assembler
+            .assemble(reads)
+            .expect("pipelined batch assembly succeeds");
+        best_pipelined = best_pipelined.min(t.elapsed());
+
         assert_eq!(
             sequential.contigs, overlapped.contigs,
             "schedules must be bit-identical"
         );
+        assert_eq!(
+            sequential.contigs, pipelined.contigs,
+            "the k-deep schedule must be bit-identical"
+        );
         batches = sequential.batch_compaction.len();
-        let critical = critical_paths(&sequential.batch_timings);
-        if critical.0 < best_critical.0 {
-            best_critical = critical;
+        let sequential_cp = critical_paths(&sequential.batch_timings).0;
+        let overlapped_cp = pipelined_critical_path(&sequential.batch_timings, 1);
+        let pipelined_cp = pipelined_critical_path(&sequential.batch_timings, BENCH_PIPELINE_DEPTH);
+        if sequential_cp < best_critical.0 {
+            best_critical = (sequential_cp, overlapped_cp, pipelined_cp);
         }
     }
 
@@ -279,8 +321,10 @@ fn run_batch_streaming_bench(
         batches,
         sequential: best_sequential,
         overlapped: best_overlapped,
+        pipelined: best_pipelined,
         sequential_critical_path: best_critical.0,
         overlapped_critical_path: best_critical.1,
+        pipelined_critical_path: best_critical.2,
         available_cores: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -309,6 +353,49 @@ fn critical_paths(batch_timings: &[nmp_pak_pakman::PhaseTimings]) -> (Duration, 
         }
     }
     (sequential, overlapped)
+}
+
+/// Critical path of the k-deep pipelined schedule over measured stage times,
+/// assuming non-competing workers (every admitted front has a core).
+///
+/// The scheduler admits the front of batch *j* when batch *j − depth* starts
+/// finishing, which gives the recurrence
+///
+/// ```text
+/// admit[j]        = 0                       for j < depth
+///                 = finish_start[j - depth] otherwise
+/// front_done[j]   = admit[j] + front_j
+/// finish_start[j] = max(finish_done[j - 1], front_done[j])
+/// finish_done[j]  = finish_start[j] + back_j
+/// ```
+///
+/// At `depth = 1` this reproduces the overlapped closed form
+/// `front₀ + Σ max(backᵢ, frontᵢ₊₁) + back_{n-1}`; deeper windows only move
+/// admissions earlier, so the result is non-increasing in `depth`.
+pub fn pipelined_critical_path(
+    batch_timings: &[nmp_pak_pakman::PhaseTimings],
+    depth: usize,
+) -> Duration {
+    let front = |t: &nmp_pak_pakman::PhaseTimings| {
+        t.access_reads + t.kmer_counting + t.macronode_construction
+    };
+    let back = |t: &nmp_pak_pakman::PhaseTimings| t.compaction + t.walk;
+    let depth = depth.max(1);
+
+    let mut finish_starts: Vec<Duration> = Vec::with_capacity(batch_timings.len());
+    let mut finish_done = Duration::ZERO;
+    for (j, timings) in batch_timings.iter().enumerate() {
+        let admit = if j < depth {
+            Duration::ZERO
+        } else {
+            finish_starts[j - depth]
+        };
+        let front_done = admit + front(timings);
+        let finish_start = finish_done.max(front_done);
+        finish_starts.push(finish_start);
+        finish_done = finish_start + back(timings);
+    }
+    finish_done
 }
 
 /// Serializes the report as JSON (hand-rolled; the offline environment has no
@@ -353,12 +440,16 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
             "  \"batch_streaming\": {{\n",
             "    \"batches\": {batches},\n",
             "    \"available_cores\": {available_cores},\n",
+            "    \"pipeline_depth\": {pipeline_depth},\n",
             "    \"sequential_s\": {seq_s:.6},\n",
             "    \"overlapped_s\": {ovl_s:.6},\n",
+            "    \"pipelined_s\": {pip_s:.6},\n",
             "    \"overlap_speedup\": {overlap_speedup:.3},\n",
             "    \"sequential_critical_path_s\": {seq_cp_s:.6},\n",
             "    \"overlapped_critical_path_s\": {ovl_cp_s:.6},\n",
-            "    \"critical_path_speedup\": {cp_speedup:.3}\n",
+            "    \"pipelined_critical_path_s\": {pip_cp_s:.6},\n",
+            "    \"critical_path_speedup\": {cp_speedup:.3},\n",
+            "    \"pipelined_critical_path_speedup\": {pip_cp_speedup:.3}\n",
             "  }},\n",
             "  \"assembly\": {{\n",
             "    \"contigs\": {contigs},\n",
@@ -392,12 +483,16 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
         combined_speedup = report.counting_plus_construction_speedup(),
         batches = report.batch_streaming.batches,
         available_cores = report.batch_streaming.available_cores,
+        pipeline_depth = BENCH_PIPELINE_DEPTH,
         seq_s = secs(&report.batch_streaming.sequential),
         ovl_s = secs(&report.batch_streaming.overlapped),
+        pip_s = secs(&report.batch_streaming.pipelined),
         overlap_speedup = report.batch_streaming.overlap_speedup(),
         seq_cp_s = secs(&report.batch_streaming.sequential_critical_path),
         ovl_cp_s = secs(&report.batch_streaming.overlapped_critical_path),
+        pip_cp_s = secs(&report.batch_streaming.pipelined_critical_path),
         cp_speedup = report.batch_streaming.critical_path_speedup(),
+        pip_cp_speedup = report.batch_streaming.pipelined_critical_path_speedup(),
         contigs = report.assembly.contigs.len(),
         total_length = stats.total_length,
         n50 = stats.n50,
@@ -442,5 +537,47 @@ mod tests {
             report.batch_streaming.sequential_critical_path,
         );
         assert!(report.batch_streaming.critical_path_speedup() > 1.0);
+        // The k-deep window can only admit fronts earlier than the 1-deep one.
+        assert!(
+            report.batch_streaming.pipelined_critical_path
+                <= report.batch_streaming.overlapped_critical_path
+        );
+        assert!(
+            report.batch_streaming.pipelined_critical_path_speedup()
+                >= report.batch_streaming.critical_path_speedup()
+        );
+        assert!(json.contains("\"pipelined_critical_path_speedup\""));
+    }
+
+    #[test]
+    fn pipelined_critical_path_generalizes_the_overlapped_closed_form() {
+        use nmp_pak_pakman::PhaseTimings;
+        let ms = Duration::from_millis;
+        let batch = |front_ms: u64, back_ms: u64| PhaseTimings {
+            access_reads: Duration::ZERO,
+            kmer_counting: ms(front_ms),
+            macronode_construction: Duration::ZERO,
+            compaction: ms(back_ms),
+            walk: Duration::ZERO,
+        };
+        // Fronts longer than backs: a deeper window genuinely helps.
+        let timings = vec![batch(30, 10), batch(30, 10), batch(30, 10), batch(30, 10)];
+        let (sequential, overlapped_closed_form) = critical_paths(&timings);
+        assert_eq!(pipelined_critical_path(&timings, 1), overlapped_closed_form);
+        let deep = pipelined_critical_path(&timings, 3);
+        assert!(deep < overlapped_closed_form);
+        assert!(deep < sequential);
+        // Depth beyond the batch count saturates: every front starts at 0, so
+        // the bound is front₀ plus at most Σ back plus trailing stalls.
+        assert_eq!(
+            pipelined_critical_path(&timings, 8),
+            pipelined_critical_path(&timings, 4)
+        );
+        // Backs dominating: depth cannot help beyond the 1-deep overlap, and
+        // the result never regresses past it.
+        let back_heavy = vec![batch(5, 40), batch(5, 40), batch(5, 40)];
+        let (_, overlapped_bh) = critical_paths(&back_heavy);
+        assert_eq!(pipelined_critical_path(&back_heavy, 1), overlapped_bh);
+        assert!(pipelined_critical_path(&back_heavy, 3) <= overlapped_bh);
     }
 }

@@ -15,6 +15,7 @@ use crate::backend::{
     BackendId, BackendRegistry, BackendResult, CompactionBackend, SimulationContext, SystemConfig,
 };
 use crate::workload::Workload;
+use nmp_pak_genome::ReadSource;
 use nmp_pak_memsim::NodeLayout;
 use nmp_pak_pakman::{AssemblyOutput, CompactionTrace, PakmanAssembler, PakmanConfig, PakmanError};
 
@@ -77,6 +78,14 @@ impl NmpPakAssembler {
         workload: &Workload,
     ) -> Result<(AssemblyOutput, CompactionTrace, NodeLayout), PakmanError> {
         let assembly = PakmanAssembler::new(self.pakman).assemble(&workload.reads)?;
+        self.replay_inputs(assembly)
+    }
+
+    /// Extracts the trace and MacroNode layout every backend replays.
+    fn replay_inputs(
+        &self,
+        assembly: AssemblyOutput,
+    ) -> Result<(AssemblyOutput, CompactionTrace, NodeLayout), PakmanError> {
         let trace = assembly
             .trace
             .clone()
@@ -119,6 +128,37 @@ impl NmpPakAssembler {
         backend: &dyn CompactionBackend,
     ) -> Result<SystemRun, PakmanError> {
         let (assembly, trace, layout) = self.run_software(workload)?;
+        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        let backend_result = backend.simulate(&trace, &layout, &ctx);
+        Ok(SystemRun {
+            assembly,
+            layout,
+            backend_result,
+        })
+    }
+
+    /// Runs the pipeline over a streaming [`ReadSource`] (a FASTA/FASTQ file, a
+    /// synthetic generator, chunked in-memory reads) and simulates compaction on
+    /// the backend registered under `backend`. The reads stream through stage A
+    /// without a `Workload` ever being materialized by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O/parse errors and software-pipeline errors, and
+    /// returns [`PakmanError::InvalidConfig`] for an id that is not in the
+    /// standard registry.
+    pub fn run_source<'s>(
+        &self,
+        source: impl ReadSource<'s>,
+        backend: impl Into<BackendId>,
+    ) -> Result<SystemRun, PakmanError> {
+        let id = backend.into();
+        let registry = self.registry();
+        let backend = registry.get(id).ok_or_else(|| PakmanError::InvalidConfig {
+            message: format!("backend id `{id}` is not in the standard registry"),
+        })?;
+        let assembly = PakmanAssembler::new(self.pakman).assemble_source(source)?;
+        let (assembly, trace, layout) = self.replay_inputs(assembly)?;
         let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
         let backend_result = backend.simulate(&trace, &layout, &ctx);
         Ok(SystemRun {
@@ -221,15 +261,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_enum_still_selects_backends() {
-        use crate::backend::ExecutionBackend;
+    fn run_source_matches_the_workload_path() {
+        let workload = Workload::tiny(6).unwrap();
+        let assembler = NmpPakAssembler::default();
+        let via_workload = assembler.run(&workload, BackendId::NMP_PAK).unwrap();
+        let via_source = assembler
+            .run_source(workload.source(), BackendId::NMP_PAK)
+            .unwrap();
+        assert_eq!(via_source.assembly.contigs, via_workload.assembly.contigs);
+        assert_eq!(via_source.backend_result, via_workload.backend_result);
+    }
+
+    #[test]
+    fn hand_built_backend_matches_the_registry() {
         let workload = Workload::tiny(12).unwrap();
         let assembler = NmpPakAssembler::default();
-        let via_enum = assembler.run(&workload, ExecutionBackend::NmpPak).unwrap();
         let via_id = assembler.run(&workload, BackendId::NMP_PAK).unwrap();
-        assert_eq!(via_enum.backend_result, via_id.backend_result);
-        // And a hand-built backend object matches the registry's.
         let direct = assembler
             .run_with(&workload, &NmpBackend::pak(&assembler.system))
             .unwrap();

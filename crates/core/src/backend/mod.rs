@@ -16,11 +16,13 @@
 pub mod cpu;
 pub mod gpu;
 pub mod nmp;
+pub mod panda;
 pub mod registry;
 
 pub use cpu::{CpuBackend, UnoptimizedCpuConfig};
 pub use gpu::GpuBackend;
 pub use nmp::NmpBackend;
+pub use panda::{PandaBackend, PandaConfig};
 pub use registry::BackendRegistry;
 
 use nmp_pak_memsim::{CpuConfig, DramConfig, GpuConfig, MemoryStats, NodeLayout, TrafficSummary};
@@ -55,6 +57,9 @@ impl BackendId {
     pub const NMP_IDEAL_PE: BackendId = BackendId("nmp-ideal-pe");
     /// NMP-PaK with ideal P1→P3 forwarding logic (§5.3).
     pub const NMP_IDEAL_FORWARDING: BackendId = BackendId("nmp-ideal-forwarding");
+    /// PANDA-style in-DRAM bitwise-logic execution (Angizi et al.) — a research
+    /// configuration registered by [`BackendRegistry::extended`].
+    pub const PANDA: BackendId = BackendId("panda-bitwise");
 
     /// Mints an id for a custom backend.
     pub const fn new(name: &'static str) -> BackendId {
@@ -194,103 +199,6 @@ impl BackendResult {
     }
 }
 
-/// The closed enum of the paper's execution configurations.
-///
-/// Deprecated shim kept for one release: the open [`CompactionBackend`] /
-/// [`BackendRegistry`] API replaces it.
-#[deprecated(
-    since = "0.2.0",
-    note = "use BackendId constants with BackendRegistry::standard instead"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ExecutionBackend {
-    /// See [`BackendId::CPU_BASELINE_UNOPTIMIZED`].
-    CpuBaselineUnoptimized,
-    /// See [`BackendId::CPU_BASELINE`].
-    CpuBaseline,
-    /// See [`BackendId::CPU_PAK`].
-    CpuPak,
-    /// See [`BackendId::GPU_BASELINE`].
-    GpuBaseline,
-    /// See [`BackendId::NMP_PAK`].
-    NmpPak,
-    /// See [`BackendId::NMP_IDEAL_PE`].
-    NmpIdealPe,
-    /// See [`BackendId::NMP_IDEAL_FORWARDING`].
-    NmpIdealForwarding,
-}
-
-#[allow(deprecated)]
-impl ExecutionBackend {
-    /// All backends, in the order Fig. 12 plots them.
-    pub const ALL: [ExecutionBackend; 7] = [
-        ExecutionBackend::CpuBaselineUnoptimized,
-        ExecutionBackend::CpuBaseline,
-        ExecutionBackend::GpuBaseline,
-        ExecutionBackend::CpuPak,
-        ExecutionBackend::NmpPak,
-        ExecutionBackend::NmpIdealPe,
-        ExecutionBackend::NmpIdealForwarding,
-    ];
-
-    /// The registry id of this configuration.
-    pub fn id(self) -> BackendId {
-        match self {
-            ExecutionBackend::CpuBaselineUnoptimized => BackendId::CPU_BASELINE_UNOPTIMIZED,
-            ExecutionBackend::CpuBaseline => BackendId::CPU_BASELINE,
-            ExecutionBackend::CpuPak => BackendId::CPU_PAK,
-            ExecutionBackend::GpuBaseline => BackendId::GPU_BASELINE,
-            ExecutionBackend::NmpPak => BackendId::NMP_PAK,
-            ExecutionBackend::NmpIdealPe => BackendId::NMP_IDEAL_PE,
-            ExecutionBackend::NmpIdealForwarding => BackendId::NMP_IDEAL_FORWARDING,
-        }
-    }
-
-    /// The label used by the paper's figures.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ExecutionBackend::CpuBaselineUnoptimized => "W/O SW-opt",
-            ExecutionBackend::CpuBaseline => "CPU-baseline",
-            ExecutionBackend::CpuPak => "CPU-PaK",
-            ExecutionBackend::GpuBaseline => "GPU-baseline",
-            ExecutionBackend::NmpPak => "NMP-PaK",
-            ExecutionBackend::NmpIdealPe => "NMP-PaK+ideal-PE",
-            ExecutionBackend::NmpIdealForwarding => "NMP-PaK+ideal-fwd",
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<ExecutionBackend> for BackendId {
-    fn from(backend: ExecutionBackend) -> BackendId {
-        backend.id()
-    }
-}
-
-/// Simulates Iterative Compaction on `backend`.
-///
-/// Deprecated shim kept for one release: build a [`BackendRegistry`] and call
-/// [`CompactionBackend::simulate`] instead. The unoptimized-CPU configuration
-/// uses [`UnoptimizedCpuConfig::default`] (the knob now lives with its backend).
-#[deprecated(
-    since = "0.2.0",
-    note = "use BackendRegistry::standard(config) and CompactionBackend::simulate"
-)]
-#[allow(deprecated)]
-pub fn simulate_backend(
-    backend: ExecutionBackend,
-    trace: &CompactionTrace,
-    layout: &NodeLayout,
-    footprint_bytes: u64,
-    config: &SystemConfig,
-) -> BackendResult {
-    let registry = BackendRegistry::standard(config);
-    registry
-        .get(backend.id())
-        .expect("the standard registry contains every paper configuration")
-        .simulate(trace, layout, &SimulationContext::new(footprint_bytes))
-}
-
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -378,23 +286,5 @@ pub(crate) mod tests {
             capacity_bytes: 1
         }
         .fits());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_enum_shim_maps_onto_registry_ids() {
-        let (trace, layout) = synthetic();
-        let cfg = SystemConfig::default();
-        let registry = BackendRegistry::standard(&cfg);
-        let ctx = SimulationContext::new(1 << 30);
-        for backend in ExecutionBackend::ALL {
-            let via_shim = simulate_backend(backend, &trace, &layout, 1 << 30, &cfg);
-            let via_registry = registry
-                .get(backend.id())
-                .unwrap()
-                .simulate(&trace, &layout, &ctx);
-            assert_eq!(via_shim, via_registry);
-            assert_eq!(via_shim.label, backend.label());
-        }
     }
 }

@@ -7,7 +7,7 @@
 //! every sweep.
 
 use super::{
-    BackendId, BackendResult, CompactionBackend, CpuBackend, GpuBackend, NmpBackend,
+    BackendId, BackendResult, CompactionBackend, CpuBackend, GpuBackend, NmpBackend, PandaBackend,
     SimulationContext, SystemConfig, UnoptimizedCpuConfig,
 };
 use nmp_pak_memsim::NodeLayout;
@@ -44,6 +44,16 @@ impl BackendRegistry {
             .register(Box::new(NmpBackend::pak(config)))
             .register(Box::new(NmpBackend::ideal_pe(config)))
             .register(Box::new(NmpBackend::ideal_forwarding(config)));
+        registry
+    }
+
+    /// The standard registry plus the research configurations that are not part
+    /// of the paper's seven-way sweep — currently the PANDA-style in-DRAM
+    /// bitwise backend ([`PandaBackend`]), appended after the Fig. 12 order so
+    /// the figure drivers are unaffected.
+    pub fn extended(config: &SystemConfig) -> BackendRegistry {
+        let mut registry = BackendRegistry::standard(config);
+        registry.register(Box::new(PandaBackend::new(config)));
         registry
     }
 
@@ -149,6 +159,18 @@ mod tests {
                 BackendId::NMP_IDEAL_FORWARDING,
             ]
         );
+    }
+
+    #[test]
+    fn extended_registry_appends_panda_after_the_standard_seven() {
+        let registry = BackendRegistry::extended(&SystemConfig::default());
+        assert_eq!(registry.len(), 8);
+        assert_eq!(
+            registry.ids()[..7],
+            BackendRegistry::standard(&SystemConfig::default()).ids()
+        );
+        assert_eq!(*registry.ids().last().unwrap(), BackendId::PANDA);
+        assert_eq!(registry.by_label("PANDA").unwrap().id(), BackendId::PANDA);
     }
 
     #[test]

@@ -50,6 +50,22 @@ pub struct Experiments {
 }
 
 impl Experiments {
+    /// Prepares the experiment context from a streaming read source (e.g. a
+    /// FASTQ file): the source is materialized into a [`Workload`] once — every
+    /// backend replays the same trace — and [`Experiments::prepare`] runs on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O/parse errors and software-pipeline errors.
+    pub fn prepare_streamed<'s>(
+        name: impl Into<String>,
+        source: impl nmp_pak_genome::ReadSource<'s>,
+        assembler: NmpPakAssembler,
+    ) -> Result<Self, PakmanError> {
+        let workload = Workload::from_read_source(name, source).map_err(PakmanError::from)?;
+        Experiments::prepare(workload, assembler)
+    }
+
     /// Runs the software pipeline on `workload` and simulates every backend.
     ///
     /// # Errors
@@ -385,6 +401,18 @@ mod tests {
     fn prepared() -> Experiments {
         let workload = Workload::tiny(17).unwrap();
         Experiments::prepare(workload, NmpPakAssembler::default()).unwrap()
+    }
+
+    #[test]
+    fn prepare_streamed_matches_prepare() {
+        let workload = Workload::tiny(17).unwrap();
+        let streamed =
+            Experiments::prepare_streamed("tiny", workload.source(), NmpPakAssembler::default())
+                .unwrap();
+        let direct = Experiments::prepare(workload, NmpPakAssembler::default()).unwrap();
+        assert_eq!(streamed.assembly.contigs, direct.assembly.contigs);
+        assert_eq!(streamed.backends.len(), direct.backends.len());
+        assert!(streamed.workload.genome.is_none());
     }
 
     #[test]

@@ -39,8 +39,6 @@ pub mod experiments;
 pub mod workload;
 
 pub use assembler::{NmpPakAssembler, SystemRun};
-#[allow(deprecated)]
-pub use backend::ExecutionBackend;
 pub use backend::{
     BackendId, BackendRegistry, BackendResult, CapacityVerdict, CompactionBackend,
     SimulationContext, SystemConfig,

@@ -7,20 +7,26 @@
 //! difference does not change who wins.
 
 use nmp_pak_genome::{
-    GenomeError, ReadSimulator, ReferenceGenome, RepeatSpec, SequencerConfig, SequencingRead,
+    source::collect_reads, GenomeError, InMemorySource, ReadSimulator, ReadSource, ReferenceGenome,
+    RepeatSpec, SequencerConfig, SequencingRead,
 };
 
-/// A named workload: a reference genome plus the simulated reads over it.
+/// A named workload: a read set plus, for synthesized workloads, the reference
+/// genome and sequencing configuration the reads were sampled with.
+///
+/// Workloads built from a streamed [`ReadSource`] (e.g. a FASTQ file via
+/// [`Workload::from_read_source`]) carry only the reads.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Human-readable name.
     pub name: String,
-    /// The reference genome the reads were sampled from.
-    pub genome: ReferenceGenome,
-    /// The simulated short reads.
+    /// The reference genome the reads were sampled from, when known
+    /// (synthesized workloads only).
+    pub genome: Option<ReferenceGenome>,
+    /// The short reads.
     pub reads: Vec<SequencingRead>,
-    /// The sequencing configuration used.
-    pub sequencer: SequencerConfig,
+    /// The sequencing configuration used, when the reads were simulated.
+    pub sequencer: Option<SequencerConfig>,
 }
 
 impl Workload {
@@ -51,10 +57,41 @@ impl Workload {
         let reads = ReadSimulator::new(sequencer).simulate(&genome)?;
         Ok(Workload {
             name: name.into(),
-            genome,
+            genome: Some(genome),
             reads,
-            sequencer,
+            sequencer: Some(sequencer),
         })
+    }
+
+    /// Materializes a workload from any streaming [`ReadSource`] — a FASTA or
+    /// FASTQ file, a synthetic generator, chunked in-memory reads. The
+    /// experiment drivers replay the same reads across every backend, so the
+    /// source is drained once here; use the assembler's `*_source` entry points
+    /// directly when bounded-memory streaming matters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's I/O and parse errors.
+    pub fn from_read_source<'s>(
+        name: impl Into<String>,
+        source: impl ReadSource<'s>,
+    ) -> Result<Workload, GenomeError> {
+        Ok(Workload {
+            name: name.into(),
+            genome: None,
+            reads: collect_reads(source)?,
+            sequencer: None,
+        })
+    }
+
+    /// A zero-copy streaming source over this workload's reads (one chunk).
+    pub fn source(&self) -> InMemorySource<'_> {
+        InMemorySource::new(&self.reads)
+    }
+
+    /// Length of the reference genome, when known.
+    pub fn genome_length(&self) -> Option<usize> {
+        self.genome.as_ref().map(ReferenceGenome::len)
     }
 
     /// A tiny workload for unit tests (≈ 20 kbp, 20×).
@@ -89,7 +126,7 @@ mod tests {
     #[test]
     fn tiny_workload_has_expected_scale() {
         let w = Workload::tiny(1).unwrap();
-        assert_eq!(w.genome.len(), 20_000);
+        assert_eq!(w.genome_length(), Some(20_000));
         assert_eq!(w.reads.len(), 4_000);
         assert_eq!(w.total_read_bases(), 400_000);
     }
@@ -107,8 +144,32 @@ mod tests {
     #[test]
     fn synthesize_respects_parameters() {
         let w = Workload::synthesize("x", 50_000, 10.0, 0.01, 2).unwrap();
-        assert_eq!(w.genome.len(), 50_000);
+        assert_eq!(w.genome_length(), Some(50_000));
         assert_eq!(w.reads.len(), 5_000);
-        assert!((w.sequencer.substitution_error_rate - 0.01).abs() < 1e-12);
+        let sequencer = w
+            .sequencer
+            .expect("synthesized workloads record the sequencer");
+        assert!((sequencer.substitution_error_rate - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_read_source_materializes_the_stream() {
+        let synthesized = Workload::tiny(8).unwrap();
+        let streamed = Workload::from_read_source(
+            "streamed",
+            nmp_pak_genome::InMemorySource::chunked(&synthesized.reads, 100),
+        )
+        .unwrap();
+        assert_eq!(streamed.reads, synthesized.reads);
+        assert_eq!(streamed.genome_length(), None);
+        assert!(streamed.sequencer.is_none());
+        assert_eq!(streamed.total_read_bases(), synthesized.total_read_bases());
+    }
+
+    #[test]
+    fn workload_source_round_trips() {
+        let w = Workload::tiny(9).unwrap();
+        let collected = nmp_pak_genome::source::collect_reads(w.source()).unwrap();
+        assert_eq!(collected, w.reads);
     }
 }

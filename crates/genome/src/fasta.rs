@@ -1,8 +1,14 @@
-//! Minimal FASTA / FASTQ serialization.
+//! FASTA / FASTQ serialization — batch helpers and incremental record readers.
 //!
-//! The real pipeline reads tens-of-GB FASTQ files; here the formats are supported so
-//! that the examples can persist synthetic datasets and contigs, and so the test suite
-//! can round-trip sequences through the on-disk representation.
+//! The real pipeline reads tens-of-GB FASTQ files, so parsing is structured
+//! around two incremental readers — [`FastaReader`] and [`FastqReader`] — that
+//! pull one record at a time off a [`BufRead`] without materializing the file.
+//! [`crate::source::FastaFastqSource`] wraps them into a bounded-memory
+//! [`crate::source::ReadSource`]; the batch helpers [`read_fasta`] /
+//! [`read_fastq`] collect the same record streams for the examples and tests.
+//!
+//! Both readers accept CRLF line endings, blank lines between records, and
+//! (for FASTA) sequences wrapped across any number of lines.
 
 use crate::dna::DnaString;
 use crate::error::GenomeError;
@@ -40,47 +46,17 @@ pub fn write_fasta<W: Write>(
     Ok(())
 }
 
-/// Parses FASTA records from `reader`.
+/// Parses FASTA records from `reader` (collects the [`FastaReader`] stream).
 ///
 /// # Errors
 ///
 /// Returns [`GenomeError::ParseError`] for malformed input (sequence data before the
 /// first header or invalid bases) and propagates I/O errors.
 pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, GenomeError> {
-    let mut records: Vec<FastaRecord> = Vec::new();
-    let mut current: Option<(String, DnaString)> = None;
-
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(name) = line.strip_prefix('>') {
-            if let Some((n, s)) = current.take() {
-                records.push(FastaRecord {
-                    name: n,
-                    sequence: s,
-                });
-            }
-            current = Some((name.trim().to_string(), DnaString::new()));
-        } else {
-            let (_, seq) = current.as_mut().ok_or(GenomeError::ParseError {
-                line: lineno + 1,
-                message: "sequence data before the first '>' header".to_string(),
-            })?;
-            let parsed = DnaString::from_ascii(line).map_err(|e| GenomeError::ParseError {
-                line: lineno + 1,
-                message: e.to_string(),
-            })?;
-            seq.extend_from(&parsed);
-        }
-    }
-    if let Some((n, s)) = current.take() {
-        records.push(FastaRecord {
-            name: n,
-            sequence: s,
-        });
+    let mut records = Vec::new();
+    let mut fasta = FastaReader::new(reader);
+    while let Some(record) = fasta.next_record()? {
+        records.push(record);
     }
     Ok(records)
 }
@@ -112,53 +88,205 @@ pub fn write_fastq<W: Write>(mut writer: W, reads: &[SequencingRead]) -> Result<
     Ok(())
 }
 
-/// Parses reads from FASTQ text.
+/// Parses reads from FASTQ text (collects the [`FastqReader`] stream).
 ///
 /// # Errors
 ///
 /// Returns [`GenomeError::ParseError`] for truncated records or invalid bases.
 pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<SequencingRead>, GenomeError> {
-    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
     let mut reads = Vec::new();
-    let mut i = 0usize;
-    while i < lines.len() {
-        if lines[i].trim().is_empty() {
-            i += 1;
-            continue;
+    let mut fastq = FastqReader::new(reader);
+    while let Some(read) = fastq.next_record()? {
+        reads.push(read);
+    }
+    Ok(reads)
+}
+
+/// Reads one line (without the trailing `\n` / `\r\n`), returning `None` at EOF.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    lineno: &mut usize,
+) -> Result<Option<String>, GenomeError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    *lineno += 1;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Incremental FASTA parser: yields one [`FastaRecord`] per call without reading
+/// the rest of the file.
+///
+/// Sequences may be wrapped across any number of lines; blank lines and CRLF
+/// endings are accepted anywhere.
+#[derive(Debug)]
+pub struct FastaReader<R: BufRead> {
+    reader: R,
+    lineno: usize,
+    /// One line of lookahead (with its 1-based line number): a record ends at
+    /// the next `>` header, which must not be consumed.
+    peeked: Option<(usize, String)>,
+}
+
+impl<R: BufRead> FastaReader<R> {
+    /// Wraps a buffered reader positioned at the start of FASTA text.
+    pub fn new(reader: R) -> Self {
+        FastaReader {
+            reader,
+            lineno: 0,
+            peeked: None,
         }
-        if i + 3 >= lines.len() {
-            return Err(GenomeError::ParseError {
-                line: i + 1,
-                message: "truncated fastq record".to_string(),
-            });
+    }
+
+    fn take_line(&mut self) -> Result<Option<(usize, String)>, GenomeError> {
+        if let Some(peeked) = self.peeked.take() {
+            return Ok(Some(peeked));
         }
-        let id = lines[i]
+        Ok(read_line(&mut self.reader, &mut self.lineno)?.map(|line| (self.lineno, line)))
+    }
+
+    fn peek_line(&mut self) -> Result<Option<&(usize, String)>, GenomeError> {
+        if self.peeked.is_none() {
+            self.peeked =
+                read_line(&mut self.reader, &mut self.lineno)?.map(|line| (self.lineno, line));
+        }
+        Ok(self.peeked.as_ref())
+    }
+
+    /// Parses the next record, or `Ok(None)` at end of input.
+    ///
+    /// A header with no following sequence lines yields a record with an empty
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ParseError`] for sequence data before the first
+    /// header or invalid bases, and propagates I/O errors.
+    pub fn next_record(&mut self) -> Result<Option<FastaRecord>, GenomeError> {
+        let name = loop {
+            let Some((lineno, line)) = self.take_line()? else {
+                return Ok(None);
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line.strip_prefix('>') {
+                Some(name) => break name.trim().to_string(),
+                None => {
+                    return Err(GenomeError::ParseError {
+                        line: lineno,
+                        message: "sequence data before the first '>' header".to_string(),
+                    })
+                }
+            }
+        };
+
+        let mut sequence = DnaString::new();
+        loop {
+            match self.peek_line()? {
+                None => break,
+                Some((_, line)) if line.trim_start().starts_with('>') => break,
+                Some(_) => {}
+            }
+            let (lineno, line) = self.take_line()?.expect("line was just peeked");
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = DnaString::from_ascii(line).map_err(|e| GenomeError::ParseError {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+            sequence.extend_from(&parsed);
+        }
+        Ok(Some(FastaRecord { name, sequence }))
+    }
+}
+
+/// Incremental FASTQ parser: yields one read per call without reading the rest
+/// of the file.
+///
+/// Records are the standard four lines (`@id`, sequence, `+`, qualities); blank
+/// lines between records and CRLF endings are accepted. Quality scores are
+/// decoded from Phred+33 and kept on the read.
+#[derive(Debug)]
+pub struct FastqReader<R: BufRead> {
+    reader: R,
+    lineno: usize,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wraps a buffered reader positioned at the start of FASTQ text.
+    pub fn new(reader: R) -> Self {
+        FastqReader { reader, lineno: 0 }
+    }
+
+    fn next_line(&mut self) -> Result<Option<String>, GenomeError> {
+        read_line(&mut self.reader, &mut self.lineno)
+    }
+
+    fn line_or_truncated(&mut self) -> Result<String, GenomeError> {
+        self.next_line()?.ok_or(GenomeError::ParseError {
+            line: self.lineno + 1,
+            message: "truncated fastq record".to_string(),
+        })
+    }
+
+    /// Parses the next read, or `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ParseError`] for truncated records, missing
+    /// `@`/`+` markers, invalid bases, or quality strings whose length does not
+    /// match the sequence, and propagates I/O errors.
+    pub fn next_record(&mut self) -> Result<Option<SequencingRead>, GenomeError> {
+        let header = loop {
+            let Some(line) = self.next_line()? else {
+                return Ok(None);
+            };
+            if !line.trim().is_empty() {
+                break line;
+            }
+        };
+        let id = header
+            .trim()
             .strip_prefix('@')
             .ok_or(GenomeError::ParseError {
-                line: i + 1,
+                line: self.lineno,
                 message: "expected '@' header".to_string(),
             })?
             .trim()
             .to_string();
+
+        let seq_line = self.line_or_truncated()?;
         let sequence =
-            DnaString::from_ascii(lines[i + 1].trim()).map_err(|e| GenomeError::ParseError {
-                line: i + 2,
+            DnaString::from_ascii(seq_line.trim()).map_err(|e| GenomeError::ParseError {
+                line: self.lineno,
                 message: e.to_string(),
             })?;
-        if !lines[i + 2].starts_with('+') {
+
+        let plus = self.line_or_truncated()?;
+        if !plus.trim_start().starts_with('+') {
             return Err(GenomeError::ParseError {
-                line: i + 3,
+                line: self.lineno,
                 message: "expected '+' separator".to_string(),
             });
         }
-        let qualities: Vec<u8> = lines[i + 3]
+
+        let qual_line = self.line_or_truncated()?;
+        let qualities: Vec<u8> = qual_line
             .trim()
             .bytes()
             .map(|b| b.saturating_sub(33))
             .collect();
         if qualities.len() != sequence.len() {
             return Err(GenomeError::ParseError {
-                line: i + 4,
+                line: self.lineno,
                 message: format!(
                     "quality string length {} does not match sequence length {}",
                     qualities.len(),
@@ -166,13 +294,10 @@ pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<SequencingRead>, GenomeEr
                 ),
             });
         }
-        let mut read = SequencingRead::with_provenance(id, sequence, qualities, 0, false);
-        // Plain FASTQ has no provenance; strip the placeholder origin.
-        read = SequencingRead::new(read.id().to_string(), read.sequence().clone());
-        reads.push(read);
-        i += 4;
+        Ok(Some(SequencingRead::with_qualities(
+            id, sequence, qualities,
+        )))
     }
-    Ok(reads)
 }
 
 #[cfg(test)]
@@ -223,9 +348,49 @@ mod tests {
     }
 
     #[test]
-    fn fastq_round_trip_preserves_sequences() {
+    fn fasta_accepts_crlf_and_blank_lines() {
+        let text = ">first\r\nACGT\r\nTTGG\r\n\r\n>second\r\n\r\nCCCC\r\n";
+        let parsed = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "first");
+        assert_eq!(parsed[0].sequence.to_string(), "ACGTTTGG");
+        assert_eq!(parsed[1].sequence.to_string(), "CCCC");
+    }
+
+    #[test]
+    fn fasta_multi_line_sequences_concatenate() {
+        let text = ">wrapped\nAC\nGT\nAC\nGT\n";
+        let parsed = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(parsed[0].sequence.to_string(), "ACGTACGT");
+    }
+
+    #[test]
+    fn fasta_header_without_sequence_is_an_empty_record() {
+        let parsed = read_fasta(Cursor::new(">empty\n>full\nACGT\n")).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].sequence.is_empty());
+        assert_eq!(parsed[1].sequence.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn fasta_empty_input_has_no_records() {
+        assert!(read_fasta(Cursor::new("")).unwrap().is_empty());
+        assert!(read_fasta(Cursor::new("\n\n  \n")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fasta_reader_is_incremental() {
+        let mut reader = FastaReader::new(Cursor::new(">a\nAC\n>b\nGT\n"));
+        assert_eq!(reader.next_record().unwrap().unwrap().name, "a");
+        assert_eq!(reader.next_record().unwrap().unwrap().name, "b");
+        assert!(reader.next_record().unwrap().is_none());
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn fastq_round_trip_preserves_sequences_and_qualities() {
         let reads = vec![
-            SequencingRead::new("r1", "ACGTACGT".parse().unwrap()),
+            SequencingRead::with_qualities("r1", "ACGTACGT".parse().unwrap(), vec![30; 8]),
             SequencingRead::new("r2", "GGGGTTTT".parse().unwrap()),
         ];
         let mut buf = Vec::new();
@@ -234,7 +399,10 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].id(), "r1");
         assert_eq!(parsed[0].sequence(), reads[0].sequence());
+        assert_eq!(parsed[0].qualities(), &[30; 8]);
         assert_eq!(parsed[1].sequence(), reads[1].sequence());
+        // Reads without qualities are written at constant Q40.
+        assert_eq!(parsed[1].qualities(), &[40; 8]);
     }
 
     #[test]
@@ -242,5 +410,30 @@ mod tests {
         assert!(read_fastq(Cursor::new("@r1\nACGT\n+")).is_err());
         assert!(read_fastq(Cursor::new("@r1\nACGT\nX\nIIII\n")).is_err());
         assert!(read_fastq(Cursor::new("@r1\nACGT\n+\nII\n")).is_err());
+        assert!(read_fastq(Cursor::new("@r1\nACGT\n")).is_err());
+        assert!(read_fastq(Cursor::new("@r1\n")).is_err());
+    }
+
+    #[test]
+    fn fastq_rejects_missing_at_header() {
+        let err = read_fastq(Cursor::new("r1\nACGT\n+\nIIII\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::ParseError { line: 1, .. }));
+    }
+
+    #[test]
+    fn fastq_accepts_crlf_and_blank_lines_between_records() {
+        let text = "@r1\r\nACGT\r\n+\r\nIIII\r\n\r\n@r2\r\nTTGG\r\n+r2\r\nJJJJ\r\n";
+        let parsed = read_fastq(Cursor::new(text)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].sequence().to_string(), "ACGT");
+        assert_eq!(parsed[1].id(), "r2");
+        assert_eq!(parsed[1].sequence().to_string(), "TTGG");
+        assert_eq!(parsed[1].qualities(), &[41; 4]);
+    }
+
+    #[test]
+    fn fastq_empty_input_has_no_reads() {
+        assert!(read_fastq(Cursor::new("")).unwrap().is_empty());
+        assert!(read_fastq(Cursor::new("\r\n\n")).unwrap().is_empty());
     }
 }

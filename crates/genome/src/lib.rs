@@ -9,7 +9,10 @@
 //!   human genome dataset used in the paper),
 //! * [`ReadSimulator`] — an ART-like short-read simulator (100 bp reads, configurable
 //!   coverage and substitution-error rate),
-//! * FASTA/FASTQ serialization in [`fasta`].
+//! * FASTA/FASTQ serialization in [`fasta`],
+//! * [`ReadSource`] — chunked, bounded-memory streaming ingestion of reads
+//!   (in-memory slices, FASTA/FASTQ files, seeded synthetic generation) in
+//!   [`source`].
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod kmer;
 pub mod reads;
 pub mod reference;
 pub mod sequencer;
+pub mod source;
 
 pub use base::Base;
 pub use dna::DnaString;
@@ -53,3 +57,6 @@ pub use kmer::{Kmer, KmerIter};
 pub use reads::SequencingRead;
 pub use reference::{ReferenceGenome, ReferenceGenomeBuilder, RepeatSpec};
 pub use sequencer::{ReadSimulator, SequencerConfig};
+pub use source::{
+    FastaFastqSource, InMemorySource, ReadChunk, ReadSource, SequenceFileFormat, SyntheticSource,
+};

@@ -40,6 +40,18 @@ impl SequencingRead {
         }
     }
 
+    /// Creates a read with quality scores but no provenance (e.g. parsed from a
+    /// FASTQ file, where the sampling origin is unknown).
+    pub fn with_qualities(id: impl Into<String>, sequence: DnaString, qualities: Vec<u8>) -> Self {
+        SequencingRead {
+            id: id.into(),
+            sequence,
+            qualities,
+            origin: None,
+            reverse_strand: false,
+        }
+    }
+
     /// Creates a read annotated with simulation provenance.
     pub fn with_provenance(
         id: impl Into<String>,

@@ -136,40 +136,55 @@ impl ReadSimulator {
         let n_reads = self.read_count_for(seq.len());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut reads = Vec::with_capacity(n_reads);
-        let max_start = seq.len() - self.config.read_length;
-
         for idx in 0..n_reads {
-            let start = rng.gen_range(0..=max_start);
-            let reverse = rng.gen_bool(self.config.reverse_strand_probability);
-            let window = seq.slice(start, self.config.read_length);
-            let oriented = if reverse {
-                window.reverse_complement()
-            } else {
-                window
-            };
-
-            let mut bases = Vec::with_capacity(oriented.len());
-            let mut qualities = Vec::with_capacity(oriented.len());
-            for b in oriented.iter() {
-                if rng.gen_bool(self.config.substitution_error_rate) {
-                    bases.push(b.substitute(rng.gen_range(0..3u8)));
-                    qualities.push(15);
-                } else {
-                    bases.push(b);
-                    qualities.push(38);
-                }
-            }
-            let sequence: DnaString = bases.into_iter().collect();
-            reads.push(SequencingRead::with_provenance(
-                format!("{}_{idx}", genome.name()),
-                sequence,
-                qualities,
-                start,
-                reverse,
-            ));
+            reads.push(sample_read(&self.config, genome, &mut rng, idx));
         }
         Ok(reads)
     }
+}
+
+/// Samples one read from `genome` — the shared per-read step of
+/// [`ReadSimulator::simulate`] and the streaming
+/// [`crate::source::SyntheticSource`]. Both draw from the same RNG stream, so a
+/// chunked source concatenates to exactly the simulator's read set.
+///
+/// The configuration must be validated and the genome at least one read long.
+pub(crate) fn sample_read(
+    config: &SequencerConfig,
+    genome: &ReferenceGenome,
+    rng: &mut StdRng,
+    idx: usize,
+) -> SequencingRead {
+    let seq = genome.sequence();
+    let max_start = seq.len() - config.read_length;
+    let start = rng.gen_range(0..=max_start);
+    let reverse = rng.gen_bool(config.reverse_strand_probability);
+    let window = seq.slice(start, config.read_length);
+    let oriented = if reverse {
+        window.reverse_complement()
+    } else {
+        window
+    };
+
+    let mut bases = Vec::with_capacity(oriented.len());
+    let mut qualities = Vec::with_capacity(oriented.len());
+    for b in oriented.iter() {
+        if rng.gen_bool(config.substitution_error_rate) {
+            bases.push(b.substitute(rng.gen_range(0..3u8)));
+            qualities.push(15);
+        } else {
+            bases.push(b);
+            qualities.push(38);
+        }
+    }
+    let sequence: DnaString = bases.into_iter().collect();
+    SequencingRead::with_provenance(
+        format!("{}_{idx}", genome.name()),
+        sequence,
+        qualities,
+        start,
+        reverse,
+    )
 }
 
 /// Convenience helper: counts how many sampled read bases differ from the reference

@@ -1,13 +1,20 @@
 //! Customized batch processing (§4.4 of the paper) with overlapped batch
-//! streaming (§4.5, Fig. 2).
+//! streaming (§4.5, Fig. 2) over a chunked [`ReadSource`].
 //!
-//! The input read set is partitioned into batches; each batch's compacted
+//! The input read stream is partitioned into batches; each batch's compacted
 //! PaK-graph is kept (they are small — tens of MB in the paper) and all of them
 //! are merged before the final graph walk. This trades a lower peak memory
 //! footprint against contig quality: very small batches fragment the graph
 //! (k-mers split across batches fall below the pruning threshold, and the
 //! per-batch compaction takes divergent routes), which is the N50-vs-batch-size
 //! trade-off of Table 1.
+//!
+//! Ingestion is streaming: [`BatchAssembler::assemble_source`] pulls one
+//! [`ReadChunk`] per batch off any [`ReadSource`] (an in-memory slice, a
+//! FASTA/FASTQ file, a synthetic generator), so the full read set never has to
+//! be materialized. The slice-based [`BatchAssembler::assemble`] is a thin
+//! wrapper that maps a [`BatchPlan`] onto a zero-copy
+//! [`nmp_pak_genome::InMemorySource`].
 //!
 //! Batches flow through the staged pipeline ([`crate::stage::AssemblyPipeline`])
 //! under a [`BatchSchedule`]:
@@ -18,8 +25,12 @@
 //!   flow for real: while batch *i* runs Iterative Compaction and the walk
 //!   (stages D–E) on the calling thread, the counting and construction front
 //!   (stages A–C) of batch *i + 1* runs on its own scoped thread.
+//! * [`BatchSchedule::Pipelined`] generalizes the overlap to a *k*-deep
+//!   in-flight window: the fronts of batches *i + 1 … i + depth* run on worker
+//!   threads while batch *i* finishes, with the admitted read bytes bounded by
+//!   `max_inflight_bytes`.
 //!
-//! Both schedules are **bit-identical**: every batch is a deterministic function
+//! All schedules are **bit-identical**: every batch is a deterministic function
 //! of its reads alone, and per-batch outputs are merged in batch-index order
 //! regardless of completion order (the determinism contract of DESIGN.md).
 
@@ -30,10 +41,11 @@ use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::memory::MemoryFootprint;
 use crate::pipeline::{AssemblyOutput, PhaseTimings};
-use crate::stage::AssemblyPipeline;
+use crate::stage::{AssemblyPipeline, FrontArtifact};
 use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
-use nmp_pak_genome::SequencingRead;
+use nmp_pak_genome::{InMemorySource, ReadChunk, ReadSource, SequencingRead};
+use std::collections::VecDeque;
 
 /// A plan dividing a read set into batches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,9 +115,25 @@ pub enum BatchSchedule {
     Sequential,
     /// The paper's pipelined flow: stages A–C of batch *i + 1* run on a scoped
     /// worker thread while batch *i* runs stages D–E on the calling thread.
+    /// Equivalent to `Pipelined { depth: 1, max_inflight_bytes: None }`.
     /// Output is bit-identical to [`BatchSchedule::Sequential`].
     #[default]
     Overlapped,
+    /// A *k*-deep software pipeline: while batch *i* runs stages D–E on the
+    /// calling thread, the fronts (A–C) of up to `depth` later batches run
+    /// concurrently on scoped worker threads. Output is bit-identical to
+    /// [`BatchSchedule::Sequential`] at any depth, thread count, or budget.
+    Pipelined {
+        /// Maximum number of batch fronts in flight while one batch finishes
+        /// (clamped to at least 1; `1` reproduces [`BatchSchedule::Overlapped`]).
+        depth: usize,
+        /// Budget on the approximate bytes of read data admitted to the window
+        /// (see [`ReadChunk::approx_read_bytes`]). Admission of further batches
+        /// stalls while the in-flight reads exceed the budget; a single batch
+        /// larger than the budget is still admitted alone so the schedule always
+        /// makes progress. `None` leaves the window unbounded.
+        max_inflight_bytes: Option<u64>,
+    },
 }
 
 /// Output of a batched assembly run.
@@ -126,6 +154,12 @@ pub struct BatchAssemblyOutput {
     pub peak_batch_footprint: MemoryFootprint,
     /// Footprint the same workload would need without batching.
     pub unbatched_footprint: MemoryFootprint,
+    /// Peak approximate bytes of read data concurrently admitted to the batch
+    /// scheduler ([`ReadChunk::approx_read_bytes`] accounting). For a streamed
+    /// source this is the ingestion memory high-water mark — bounded by
+    /// [`BatchSchedule::Pipelined::max_inflight_bytes`] whenever every single
+    /// batch fits the budget.
+    pub peak_inflight_read_bytes: u64,
     /// The merged compacted graph.
     pub merged_graph: PakGraph,
 }
@@ -141,7 +175,16 @@ impl BatchAssemblyOutput {
     }
 }
 
-/// Assembles a read set batch-by-batch and merges the compacted graphs.
+/// Everything the scheduler records about one batch, in batch-index order.
+#[derive(Debug)]
+struct BatchOutcome {
+    /// Total read bases in the batch (the census the footprint model needs).
+    read_bases: u64,
+    /// The batch's assembly output; `None` if the batch was entirely pruned.
+    output: Option<AssemblyOutput>,
+}
+
+/// Assembles a read stream batch-by-batch and merges the compacted graphs.
 #[derive(Debug, Clone)]
 pub struct BatchAssembler {
     config: PakmanConfig,
@@ -169,7 +212,9 @@ impl BatchAssembler {
         }
     }
 
-    /// The configured batch fraction.
+    /// The configured batch fraction (used only by the slice-based
+    /// [`BatchAssembler::assemble`]; a streamed source defines its own batch
+    /// boundaries).
     pub fn batch_fraction(&self) -> f64 {
         self.batch_fraction
     }
@@ -179,45 +224,67 @@ impl BatchAssembler {
         self.schedule
     }
 
-    /// Runs the batched assembly under the configured schedule.
+    /// Runs the batched assembly over an in-memory read set: plans batches with
+    /// [`BatchPlan::by_fraction`] and streams them zero-copy through
+    /// [`BatchAssembler::assemble_source`].
     ///
     /// # Errors
     ///
     /// Propagates configuration and empty-input errors from the per-batch pipeline.
     pub fn assemble(&self, reads: &[SequencingRead]) -> Result<BatchAssemblyOutput, PakmanError> {
-        let pipeline = AssemblyPipeline::new(self.config)?;
         let plan = BatchPlan::by_fraction(reads.len(), self.batch_fraction)?;
-
-        let outputs = match self.schedule {
-            BatchSchedule::Sequential => run_sequential(&pipeline, reads, plan.ranges())?,
-            BatchSchedule::Overlapped => run_overlapped(&pipeline, reads, plan.ranges())?,
-        };
-        self.merge(reads, &plan, outputs)
+        let source = InMemorySource::with_ranges(reads, plan.ranges().to_vec())?;
+        self.assemble_source(source)
     }
 
-    /// Merges per-batch outputs (in batch-index order) into the final result.
+    /// Runs the batched assembly over a streaming source, one batch per
+    /// [`ReadChunk`]. The full read set is never materialized: under the
+    /// pipelined schedules at most the in-flight window of chunks (plus one
+    /// staged chunk when the byte budget blocks admission) is resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors, source I/O/parse errors, and
+    /// [`PakmanError::EmptyInput`] when no batch yields any MacroNodes.
+    pub fn assemble_source<'r>(
+        &self,
+        source: impl ReadSource<'r>,
+    ) -> Result<BatchAssemblyOutput, PakmanError> {
+        let pipeline = AssemblyPipeline::new(self.config)?;
+        let (outcomes, peak_inflight) = match self.schedule {
+            BatchSchedule::Sequential => run_sequential(&pipeline, source)?,
+            BatchSchedule::Overlapped => run_pipelined(&pipeline, source, 1, None)?,
+            BatchSchedule::Pipelined {
+                depth,
+                max_inflight_bytes,
+            } => run_pipelined(&pipeline, source, depth, max_inflight_bytes)?,
+        };
+        self.merge(outcomes, peak_inflight)
+    }
+
+    /// Merges per-batch outcomes (in batch-index order) into the final result.
     fn merge(
         &self,
-        reads: &[SequencingRead],
-        plan: &BatchPlan,
-        outputs: Vec<Option<AssemblyOutput>>,
+        outcomes: Vec<BatchOutcome>,
+        peak_inflight_read_bytes: u64,
     ) -> Result<BatchAssemblyOutput, PakmanError> {
         let mut merged_nodes = Vec::new();
-        let mut batch_compaction = Vec::with_capacity(plan.batch_count());
-        let mut batch_timings = Vec::with_capacity(plan.batch_count());
+        let mut batch_compaction = Vec::with_capacity(outcomes.len());
+        let mut batch_timings = Vec::with_capacity(outcomes.len());
         let mut batch_traces = Vec::new();
         let mut peak_batch_footprint = MemoryFootprint::default();
         let mut total_read_bases = 0u64;
         let mut total_kmers = 0u64;
         let mut total_macronode_bytes = 0u64;
 
-        for (range, output) in plan.ranges().iter().zip(outputs) {
+        for outcome in outcomes {
             // A batch that is entirely pruned away contributes nothing; this can
             // happen for very small batches, which is precisely the quality
             // degradation the batching trade-off studies.
-            let Some(output) = output else { continue };
-            let batch = &reads[range.clone()];
-            total_read_bases += batch.iter().map(|r| r.len() as u64).sum::<u64>();
+            let Some(output) = outcome.output else {
+                continue;
+            };
+            total_read_bases += outcome.read_bases;
             total_kmers += output.kmer_stats.total_kmers;
             total_macronode_bytes += output.footprint.macronode_bytes;
             if output.footprint.peak_bytes() > peak_batch_footprint.peak_bytes() {
@@ -256,6 +323,7 @@ impl BatchAssembler {
             batch_traces,
             peak_batch_footprint,
             unbatched_footprint,
+            peak_inflight_read_bytes,
             merged_graph,
         })
     }
@@ -273,63 +341,160 @@ fn run_batch(
     }
 }
 
-/// Runs the front half (A–C) of one batch; an entirely pruned batch yields `None`.
-fn run_front(
+/// Runs the front half (A–C) of one batch, consuming its chunk; an entirely
+/// pruned batch yields `None`.
+fn run_front_chunk(
     pipeline: &AssemblyPipeline,
-    batch: &[SequencingRead],
-) -> Result<Option<crate::stage::FrontArtifact>, PakmanError> {
-    match pipeline.front(batch) {
+    chunk: ReadChunk<'_>,
+) -> Result<Option<FrontArtifact>, PakmanError> {
+    match pipeline.front(chunk.reads()) {
         Ok(front) => Ok(Some(front)),
         Err(PakmanError::EmptyInput { .. }) => Ok(None),
         Err(other) => Err(other),
     }
 }
 
-/// The sequential schedule: batch *i* completes A→E before batch *i + 1* starts.
-fn run_sequential(
+/// The sequential schedule: batch *i* completes A→E before batch *i + 1* is
+/// even pulled from the source, so exactly one chunk is resident at a time.
+fn run_sequential<'r, S: ReadSource<'r>>(
     pipeline: &AssemblyPipeline,
-    reads: &[SequencingRead],
-    ranges: &[std::ops::Range<usize>],
-) -> Result<Vec<Option<AssemblyOutput>>, PakmanError> {
-    ranges
-        .iter()
-        .map(|range| run_batch(pipeline, &reads[range.clone()]))
-        .collect()
+    mut source: S,
+) -> Result<(Vec<BatchOutcome>, u64), PakmanError> {
+    let mut outcomes = Vec::new();
+    let mut peak_bytes = 0u64;
+    while let Some(chunk) = source.next_chunk()? {
+        if chunk.is_empty() {
+            continue;
+        }
+        peak_bytes = peak_bytes.max(chunk.approx_read_bytes());
+        let output = run_batch(pipeline, chunk.reads())?;
+        outcomes.push(BatchOutcome {
+            read_bases: chunk.total_bases(),
+            output,
+        });
+    }
+    Ok((outcomes, peak_bytes))
 }
 
-/// The streaming schedule: a two-deep software pipeline over the batches.
+/// The streaming schedule: a `depth + 1`-deep software pipeline over the batches.
 ///
-/// While batch *i* runs stages D–E on the calling thread, a scoped worker runs
-/// stages A–C of batch *i + 1*. Results are pushed in batch-index order, so the
-/// output is bit-identical to [`run_sequential`] no matter how the two threads
-/// interleave.
-fn run_overlapped(
+/// While batch *i* runs stages D–E on the calling thread, the fronts (A–C) of
+/// batches *i + 1 … i + depth* run on scoped worker threads. Chunks are pulled
+/// from the source only when admitted to the window, and admission stalls while
+/// the approximate in-flight read bytes exceed `max_inflight_bytes` (one pulled
+/// chunk may be staged while blocked; a chunk larger than the whole budget is
+/// admitted alone so the schedule cannot deadlock).
+///
+/// Fronts are joined and finished strictly in batch-index order, so the output
+/// is bit-identical to [`run_sequential`] no matter how the threads interleave.
+fn run_pipelined<'r, S: ReadSource<'r>>(
     pipeline: &AssemblyPipeline,
-    reads: &[SequencingRead],
-    ranges: &[std::ops::Range<usize>],
-) -> Result<Vec<Option<AssemblyOutput>>, PakmanError> {
-    let mut outputs = Vec::with_capacity(ranges.len());
-    let mut pending_front = run_front(pipeline, &reads[ranges[0].clone()])?;
-    for i in 0..ranges.len() {
-        let front = pending_front.take();
-        let (output, next_front) = std::thread::scope(|scope| -> Result<_, PakmanError> {
-            let worker = ranges.get(i + 1).map(|range| {
-                let batch = &reads[range.clone()];
-                scope.spawn(move || run_front(pipeline, batch))
-            });
-            // Back half of batch i on this thread, front of batch i + 1 on the
-            // worker — the paper's overlap of compaction with counting.
-            let output = front.map(|f| pipeline.finish(f)).transpose()?;
-            let next_front = match worker {
-                Some(handle) => handle.join().expect("front-stage worker panicked")?,
-                None => None,
+    mut source: S,
+    depth: usize,
+    max_inflight_bytes: Option<u64>,
+) -> Result<(Vec<BatchOutcome>, u64), PakmanError> {
+    let depth = depth.max(1);
+    std::thread::scope(|scope| {
+        let mut outcomes = Vec::new();
+        let mut window: Window<'_, 'r> = Window {
+            inflight: VecDeque::new(),
+            staged: None,
+            inflight_bytes: 0,
+            peak_bytes: 0,
+            exhausted: false,
+            depth,
+            max_inflight_bytes,
+        };
+
+        loop {
+            window.admit(scope, pipeline, &mut source)?;
+            let Some(batch) = window.inflight.pop_front() else {
+                break;
             };
-            Ok((output, next_front))
-        })?;
-        outputs.push(output);
-        pending_front = next_front;
+            let front = batch.handle.join().expect("front-stage worker panicked")?;
+            window.inflight_bytes -= batch.bytes;
+            // Admit the replacement *before* finishing, so the next fronts run
+            // while this batch compacts — the paper's overlap of compaction
+            // with counting, now `depth` batches deep.
+            window.admit(scope, pipeline, &mut source)?;
+            let output = front.map(|f| pipeline.finish(f)).transpose()?;
+            outcomes.push(BatchOutcome {
+                read_bases: batch.read_bases,
+                output,
+            });
+        }
+        Ok((outcomes, window.peak_bytes))
+    })
+}
+
+/// One spawned batch front: the worker's handle plus the admission accounting.
+struct Inflight<'scope> {
+    read_bases: u64,
+    bytes: u64,
+    handle: std::thread::ScopedJoinHandle<'scope, Result<Option<FrontArtifact>, PakmanError>>,
+}
+
+/// The pipelined scheduler's in-flight window state.
+struct Window<'scope, 'r> {
+    inflight: VecDeque<Inflight<'scope>>,
+    /// A chunk pulled from the source but blocked by the byte budget. Its bytes
+    /// already count as in-flight: it is resident.
+    staged: Option<ReadChunk<'r>>,
+    inflight_bytes: u64,
+    peak_bytes: u64,
+    exhausted: bool,
+    depth: usize,
+    max_inflight_bytes: Option<u64>,
+}
+
+impl<'scope, 'r: 'scope> Window<'scope, 'r> {
+    /// Admits batches until the window holds `depth` fronts, the byte budget
+    /// blocks, or the source runs dry.
+    fn admit<'env, S: ReadSource<'r>>(
+        &mut self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        pipeline: &'scope AssemblyPipeline,
+        source: &mut S,
+    ) -> Result<(), PakmanError> {
+        while self.inflight.len() < self.depth {
+            let chunk = match self.staged.take() {
+                Some(chunk) => chunk,
+                None => {
+                    if self.exhausted {
+                        break;
+                    }
+                    match source.next_chunk()? {
+                        Some(chunk) if chunk.is_empty() => continue,
+                        Some(chunk) => {
+                            self.inflight_bytes += chunk.approx_read_bytes();
+                            self.peak_bytes = self.peak_bytes.max(self.inflight_bytes);
+                            chunk
+                        }
+                        None => {
+                            self.exhausted = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            let over_budget = self
+                .max_inflight_bytes
+                .is_some_and(|budget| self.inflight_bytes > budget);
+            if over_budget && !self.inflight.is_empty() {
+                self.staged = Some(chunk);
+                break;
+            }
+            let bytes = chunk.approx_read_bytes();
+            let read_bases = chunk.total_bases();
+            let handle = scope.spawn(move || run_front_chunk(pipeline, chunk));
+            self.inflight.push_back(Inflight {
+                read_bases,
+                bytes,
+                handle,
+            });
+        }
+        Ok(())
     }
-    Ok(outputs)
 }
 
 /// Drops contigs whose sequence content is already represented by longer contigs.
@@ -389,24 +554,7 @@ fn merge_nodes(nodes: Vec<crate::macronode::MacroNode>, k: usize) -> PakGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
-
-    fn reads_for(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
-        let genome = ReferenceGenome::builder()
-            .length(length)
-            .no_repeats()
-            .seed(seed)
-            .build()
-            .unwrap();
-        ReadSimulator::new(SequencerConfig {
-            coverage,
-            substitution_error_rate: 0.0,
-            seed: seed + 1,
-            ..SequencerConfig::default()
-        })
-        .simulate(&genome)
-        .unwrap()
-    }
+    use crate::test_util::reads_for;
 
     fn cfg(k: usize) -> PakmanConfig {
         PakmanConfig {
@@ -554,6 +702,111 @@ mod tests {
         assert_eq!(overlapped.batch_compaction, sequential.batch_compaction);
         assert_eq!(overlapped.batch_traces, sequential.batch_traces);
         assert!(!overlapped.batch_traces.is_empty());
+    }
+
+    #[test]
+    fn pipelined_schedules_match_sequential_at_any_depth() {
+        let reads = reads_for(6_000, 20.0, 91);
+        let mut config = cfg(17);
+        config.record_trace = true;
+        let sequential = BatchAssembler::with_schedule(config, 0.1, BatchSchedule::Sequential)
+            .assemble(&reads)
+            .unwrap();
+        for depth in [0, 1, 3, 16] {
+            let pipelined = BatchAssembler::with_schedule(
+                config,
+                0.1,
+                BatchSchedule::Pipelined {
+                    depth,
+                    max_inflight_bytes: None,
+                },
+            )
+            .assemble(&reads)
+            .unwrap();
+            assert_eq!(pipelined.contigs, sequential.contigs, "depth = {depth}");
+            assert_eq!(
+                pipelined.batch_compaction, sequential.batch_compaction,
+                "depth = {depth}"
+            );
+            assert_eq!(
+                pipelined.batch_traces, sequential.batch_traces,
+                "depth = {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_inflight_window() {
+        let reads = reads_for(6_000, 20.0, 47);
+        let unbounded = BatchAssembler::with_schedule(
+            cfg(17),
+            0.1,
+            BatchSchedule::Pipelined {
+                depth: 4,
+                max_inflight_bytes: None,
+            },
+        )
+        .assemble(&reads)
+        .unwrap();
+        // Budget just above one batch: the deep window degrades gracefully to
+        // (nearly) one batch in flight, and the output does not change a bit.
+        let one_batch_bytes = ReadChunk::Borrowed(&reads[..reads.len() / 10]).approx_read_bytes();
+        let budget = one_batch_bytes * 3 / 2;
+        let bounded = BatchAssembler::with_schedule(
+            cfg(17),
+            0.1,
+            BatchSchedule::Pipelined {
+                depth: 4,
+                max_inflight_bytes: Some(budget),
+            },
+        )
+        .assemble(&reads)
+        .unwrap();
+        assert_eq!(bounded.contigs, unbounded.contigs);
+        assert_eq!(bounded.batch_compaction, unbounded.batch_compaction);
+        // One admitted batch plus at most one staged chunk can be resident.
+        assert!(
+            bounded.peak_inflight_read_bytes <= budget + one_batch_bytes + 1024,
+            "peak {} exceeds budget {budget} + one batch {one_batch_bytes}",
+            bounded.peak_inflight_read_bytes
+        );
+        assert!(bounded.peak_inflight_read_bytes < unbounded.peak_inflight_read_bytes);
+    }
+
+    #[test]
+    fn sequential_peak_is_one_batch() {
+        let reads = reads_for(4_000, 15.0, 13);
+        let output = BatchAssembler::with_schedule(cfg(17), 0.25, BatchSchedule::Sequential)
+            .assemble(&reads)
+            .unwrap();
+        let whole = ReadChunk::Borrowed(&reads[..]).approx_read_bytes();
+        assert!(output.peak_inflight_read_bytes > 0);
+        assert!(
+            output.peak_inflight_read_bytes < whole,
+            "sequential peak {} should be far below the whole read set {whole}",
+            output.peak_inflight_read_bytes
+        );
+    }
+
+    #[test]
+    fn assemble_source_uses_chunks_as_batches() {
+        let reads = reads_for(6_000, 20.0, 63);
+        // Boundary equality with the 0.25-fraction plan needs 4 equal chunks:
+        // count-based chunking only matches by_fraction's remainder-first
+        // split when 4 divides the read count.
+        assert_eq!(
+            reads.len() % 4,
+            0,
+            "pick a workload divisible into 4 batches"
+        );
+        let chunked = BatchAssembler::new(cfg(17), 1.0)
+            .assemble_source(InMemorySource::chunked(&reads, reads.len() / 4))
+            .unwrap();
+        assert_eq!(chunked.batch_compaction.len(), 4);
+        // The same boundaries through the slice API agree bit for bit.
+        let planned = BatchAssembler::new(cfg(17), 0.25).assemble(&reads).unwrap();
+        assert_eq!(chunked.contigs, planned.contigs);
+        assert_eq!(chunked.batch_compaction, planned.batch_compaction);
     }
 
     #[test]

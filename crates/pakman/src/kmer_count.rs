@@ -384,14 +384,7 @@ fn run_length_count(run: &[u64], k: usize, min_count: u32) -> (Vec<CountedKmer>,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nmp_pak_genome::DnaString;
-
-    fn reads_from(strs: &[&str]) -> Vec<SequencingRead> {
-        strs.iter()
-            .enumerate()
-            .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
-            .collect()
-    }
+    use crate::test_util::reads_from;
 
     #[test]
     fn counts_simple_overlapping_kmers() {

@@ -57,6 +57,8 @@ pub mod memory;
 pub(crate) mod par;
 pub mod pipeline;
 pub mod stage;
+#[cfg(test)]
+pub(crate) mod test_util;
 pub mod trace;
 pub mod transfer;
 pub mod walk;
@@ -71,6 +73,6 @@ pub use kmer_count::{count_kmers, CountedKmer, KmerCounterConfig};
 pub use macronode::{MacroNode, ThroughPath};
 pub use memory::MemoryFootprint;
 pub use pipeline::{AssemblyOutput, PakmanAssembler, PhaseTimings};
-pub use stage::{AssemblyPipeline, FrontArtifact, Stage};
+pub use stage::{AssemblyPipeline, DrainedReads, FrontArtifact, Stage};
 pub use trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
 pub use transfer::TransferNode;

@@ -15,7 +15,7 @@ use crate::kmer_count::KmerCountStats;
 use crate::memory::MemoryFootprint;
 use crate::stage::AssemblyPipeline;
 use crate::trace::CompactionTrace;
-use nmp_pak_genome::SequencingRead;
+use nmp_pak_genome::{ReadSource, SequencingRead};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -131,6 +131,23 @@ impl PakmanAssembler {
     /// [`PakmanError::EmptyInput`] when the reads contain no usable k-mers.
     pub fn assemble(&self, reads: &[SequencingRead]) -> Result<AssemblyOutput, PakmanError> {
         AssemblyPipeline::new(self.config)?.run(reads)
+    }
+
+    /// Runs the full pipeline over a streaming [`ReadSource`] (a FASTA/FASTQ
+    /// file, a synthetic generator, chunked in-memory reads). The unbatched
+    /// pipeline needs the whole read set for counting, so the source is drained
+    /// by stage A; use [`crate::batch::BatchAssembler::assemble_source`] for
+    /// bounded-memory streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O and parse errors plus the errors of
+    /// [`PakmanAssembler::assemble`].
+    pub fn assemble_source<'s>(
+        &self,
+        source: impl ReadSource<'s>,
+    ) -> Result<AssemblyOutput, PakmanError> {
+        AssemblyPipeline::new(self.config)?.run_source(source)
     }
 }
 

@@ -13,10 +13,14 @@
 //! * [`AssemblyPipeline::finish`] runs D–E on a `FrontArtifact`.
 //!
 //! That split is what the streaming batch scheduler ([`crate::batch`]) exploits to
-//! execute the paper's pipelined process flow (§4.4–4.5, Fig. 2): the front half
-//! of batch *i + 1* runs on its own scoped thread while batch *i* is in Iterative
+//! execute the paper's pipelined process flow (§4.4–4.5, Fig. 2): the front halves
+//! of later batches run on their own scoped threads while batch *i* is in Iterative
 //! Compaction. Both halves are deterministic, so overlapping them cannot change
 //! any output bit.
+//!
+//! Ingestion is pluggable: [`AccessStage`] consumes borrowed slices, borrowed
+//! [`ReadChunk`]s pulled from a [`ReadSource`], or (via [`AccessStage::drain`] /
+//! [`AssemblyPipeline::run_source`]) an entire streaming source.
 
 use crate::compaction::{compact, CompactionStats};
 use crate::config::PakmanConfig;
@@ -27,7 +31,7 @@ use crate::kmer_count::{count_kmers, CountedKmer, KmerCountStats, KmerCounterCon
 use crate::pipeline::PhaseTimings;
 use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
-use nmp_pak_genome::SequencingRead;
+use nmp_pak_genome::{ReadChunk, ReadSource, SequencingRead};
 use std::time::{Duration, Instant};
 
 /// One assembly stage: a pure function from the previous stage's artifact to the
@@ -96,10 +100,50 @@ pub struct CompactedGraph {
     pub trace: Option<CompactionTrace>,
 }
 
+/// Reads materialized from a streaming source by [`AccessStage::drain`]: step
+/// A's artifact when the input is an [`impl ReadSource`](ReadSource) rather
+/// than a borrowed slice.
+#[derive(Debug, Clone)]
+pub struct DrainedReads {
+    /// The materialized reads.
+    pub reads: Vec<SequencingRead>,
+    /// Total number of bases across the reads.
+    pub total_bases: u64,
+}
+
 /// Step A: access and distribute reads. In the single-node library this is the
-/// bookkeeping pass over the read set (length census for pre-allocation).
+/// bookkeeping pass over the read set (length census for pre-allocation); over
+/// a streamed source ([`AccessStage::drain`]) it is also the ingestion pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AccessStage;
+
+impl AccessStage {
+    /// Runs step A over a streaming source: pulls every chunk, materializes the
+    /// reads, and performs the length census. This is the convenience path for
+    /// running the *unbatched* pipeline off a file — counting needs the whole
+    /// batch resident, so the source is drained; bounded-memory consumers use
+    /// the batch scheduler ([`crate::batch::BatchAssembler::assemble_source`]),
+    /// which keeps at most its in-flight window of chunks alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::EmptyInput`] if the source yields no bases and
+    /// propagates source I/O and parse errors.
+    pub fn drain<'s, S: ReadSource<'s>>(&self, mut source: S) -> Result<DrainedReads, PakmanError> {
+        let mut reads = Vec::with_capacity(source.reads_hint().0);
+        while let Some(chunk) = source.next_chunk()? {
+            // Move owned chunks; only borrowed ones are copied.
+            reads.append(&mut chunk.into_reads());
+        }
+        let total_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
+        if total_bases == 0 {
+            return Err(PakmanError::EmptyInput {
+                message: "the read source produced no bases".to_string(),
+            });
+        }
+        Ok(DrainedReads { reads, total_bases })
+    }
+}
 
 impl<'r> Stage<&'r [SequencingRead]> for AccessStage {
     type Output = ReadAccess<'r>;
@@ -116,6 +160,18 @@ impl<'r> Stage<&'r [SequencingRead]> for AccessStage {
             });
         }
         Ok(ReadAccess { reads, total_bases })
+    }
+}
+
+impl<'r, 'c> Stage<&'c ReadChunk<'r>> for AccessStage {
+    type Output = ReadAccess<'c>;
+
+    fn name(&self) -> &'static str {
+        "A. access & distribute reads"
+    }
+
+    fn run(&self, chunk: &'c ReadChunk<'r>) -> Result<ReadAccess<'c>, PakmanError> {
+        Stage::<&'c [SequencingRead]>::run(self, chunk.reads())
     }
 }
 
@@ -412,29 +468,32 @@ impl AssemblyPipeline {
     ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
         self.finish(self.front(reads)?)
     }
+
+    /// Runs the full pipeline (A–E) over a streaming source, draining it via
+    /// [`AccessStage::drain`]. Ingestion time is charged to stage A's timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O and parse errors, and returns
+    /// [`PakmanError::EmptyInput`] when the source contains no usable k-mers.
+    pub fn run_source<'s>(
+        &self,
+        source: impl ReadSource<'s>,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        let t0 = Instant::now();
+        let drained = self.access.drain(source)?;
+        let ingest = t0.elapsed();
+        let mut front = self.front(&drained.reads)?;
+        front.access_reads += ingest;
+        self.finish(front)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig};
-
-    fn reads_for(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
-        let genome = ReferenceGenome::builder()
-            .length(length)
-            .no_repeats()
-            .seed(seed)
-            .build()
-            .unwrap();
-        ReadSimulator::new(SequencerConfig {
-            coverage,
-            substitution_error_rate: 0.0,
-            seed: seed + 1,
-            ..SequencerConfig::default()
-        })
-        .simulate(&genome)
-        .unwrap()
-    }
+    use crate::test_util::reads_for;
+    use nmp_pak_genome::InMemorySource;
 
     fn cfg(k: usize) -> PakmanConfig {
         PakmanConfig {
@@ -496,6 +555,40 @@ mod tests {
         let pipeline = AssemblyPipeline::new(cfg(15)).unwrap();
         assert!(matches!(
             pipeline.front(&[]),
+            Err(PakmanError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn run_source_matches_run_on_the_same_reads() {
+        let reads = reads_for(4_000, 15.0, 101);
+        let pipeline = AssemblyPipeline::new(cfg(17)).unwrap();
+        let from_slice = pipeline.run(&reads).unwrap();
+        let from_source = pipeline
+            .run_source(InMemorySource::chunked(&reads, 100))
+            .unwrap();
+        assert_eq!(from_source.contigs, from_slice.contigs);
+        assert_eq!(from_source.stats, from_slice.stats);
+        assert_eq!(from_source.kmer_stats, from_slice.kmer_stats);
+        assert_eq!(from_source.compaction, from_slice.compaction);
+    }
+
+    #[test]
+    fn access_stage_drains_sources_and_accepts_chunks() {
+        let reads = reads_for(1_000, 5.0, 9);
+        let drained = AccessStage
+            .drain(InMemorySource::chunked(&reads, 7))
+            .unwrap();
+        assert_eq!(drained.reads, reads);
+        let expected: u64 = reads.iter().map(|r| r.len() as u64).sum();
+        assert_eq!(drained.total_bases, expected);
+
+        let chunk = nmp_pak_genome::ReadChunk::Borrowed(&reads[..]);
+        let access = Stage::<&nmp_pak_genome::ReadChunk<'_>>::run(&AccessStage, &chunk).unwrap();
+        assert_eq!(access.total_bases, expected);
+
+        assert!(matches!(
+            AccessStage.drain(InMemorySource::new(&[])),
             Err(PakmanError::EmptyInput { .. })
         ));
     }

@@ -1,0 +1,33 @@
+//! Shared fixtures for the crate's unit tests (compiled only under `cfg(test)`).
+//!
+//! These used to be copy-pasted into the `batch`, `stage` and `kmer_count` test
+//! modules; any test that needs a deterministic read set builds it here.
+
+use nmp_pak_genome::{DnaString, ReadSimulator, ReferenceGenome, SequencerConfig, SequencingRead};
+
+/// Simulates an error-free read set over a fresh repeat-free genome of
+/// `length` bases at the given coverage. Deterministic per seed.
+pub(crate) fn reads_for(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
+    let genome = ReferenceGenome::builder()
+        .length(length)
+        .no_repeats()
+        .seed(seed)
+        .build()
+        .unwrap();
+    ReadSimulator::new(SequencerConfig {
+        coverage,
+        substitution_error_rate: 0.0,
+        seed: seed + 1,
+        ..SequencerConfig::default()
+    })
+    .simulate(&genome)
+    .unwrap()
+}
+
+/// Builds reads directly from ASCII sequences (ids `r0`, `r1`, …).
+pub(crate) fn reads_from(strs: &[&str]) -> Vec<SequencingRead> {
+    strs.iter()
+        .enumerate()
+        .map(|(i, s)| SequencingRead::new(format!("r{i}"), s.parse::<DnaString>().unwrap()))
+        .collect()
+}

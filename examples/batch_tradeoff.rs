@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::synthesize("batch-study", 120_000, 35.0, 0.002, 99)?;
     println!(
         "workload: genome {} bp, {} reads\n",
-        workload.genome.len(),
+        workload.genome_length().unwrap_or(0),
         workload.reads.len()
     );
 

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "workload: {} bp genome, {} reads; compaction {} iterations over {} MacroNodes\n",
-        workload.genome.len(),
+        workload.genome_length().unwrap_or(0),
         workload.reads.len(),
         assembly.compaction.iteration_count(),
         assembly.compaction.initial_nodes

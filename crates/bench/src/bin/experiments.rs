@@ -8,6 +8,8 @@
 //!                        # pipeline benchmark — overwrites ./BENCH_pipeline.json
 //! experiments fig12 tab1 # run a subset (no benchmark, no file written)
 //! experiments pipeline   # only the pipeline benchmark + BENCH_pipeline.json
+//! experiments compaction # only the Iterative Compaction engine comparison
+//!                        # (per-iteration P1/P2/P3 table, full-scan vs frontier)
 //! NMP_PAK_BENCH_SCALE=standard experiments   # the scale recorded in EXPERIMENTS.md
 //! NMP_PAK_BENCH_OUT=/tmp/b.json experiments pipeline      # report path override
 //! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
@@ -15,15 +17,26 @@
 //!                                        # batch schedule's critical-path speedup
 //! NMP_PAK_BENCH_MIN_PIPELINED_SPEEDUP=1.0 experiments pipeline # gate the k-deep
 //!                                        # pipelined schedule the same way
+//! NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP=1.2 experiments compaction # gate the
+//!                                        # frontier compactor vs the pre-refactor one
 //! ```
 
-use nmp_pak_bench::pipeline_bench::{report_to_json, run_pipeline_bench};
+use nmp_pak_bench::pipeline_bench::{
+    report_to_json, run_compaction_bench_standalone, run_pipeline_bench, CompactionComparison,
+};
 use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
 use nmp_pak_core::experiments::Experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    // The compaction engine comparison needs no prepared experiment context;
+    // when it is the only thing asked for, skip the backend simulations.
+    if !args.is_empty() && args.iter().all(|a| a == "compaction") {
+        compaction_bench();
+        return;
+    }
 
     let scale = BenchScale::from_env();
     eprintln!("# preparing workload and backend simulations ({scale:?} scale)…");
@@ -80,6 +93,82 @@ fn main() {
     if wanted("pipeline") {
         pipeline_bench();
     }
+    if wanted("compaction") && !args.is_empty() {
+        compaction_bench();
+    }
+}
+
+/// Times the three Iterative Compaction engines (pre-refactor serial, full-scan
+/// parallel, frontier parallel) on the benchmark workload, prints the frontier's
+/// per-iteration P1/P2/P3 breakdown, and applies the
+/// `NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP` gate.
+fn compaction_bench() {
+    heading("Compaction benchmark — frontier engine vs pre-refactor full scan");
+    let cmp = run_compaction_bench_standalone(3);
+    print_compaction_comparison(&cmp);
+    check_compaction_gate(&cmp);
+}
+
+fn print_compaction_comparison(cmp: &CompactionComparison) {
+    println!(
+        "engines ({} threads): baseline {:>9.3} ms   full-scan {:>9.3} ms   frontier {:>9.3} ms",
+        cmp.threads,
+        cmp.baseline.as_secs_f64() * 1e3,
+        cmp.full_scan.as_secs_f64() * 1e3,
+        cmp.frontier.as_secs_f64() * 1e3,
+    );
+    println!(
+        "speedup: {:.2}x vs baseline ({:.2}x of it from the frontier alone); \
+         checked nodes {} -> {} ({} iterations)",
+        cmp.speedup(),
+        cmp.frontier_vs_full_scan(),
+        cmp.full_scan_profile.total_checked(),
+        cmp.frontier_profile.total_checked(),
+        cmp.frontier_profile.iterations.len(),
+    );
+    println!(
+        "{:<10}{:>10}{:>10}{:>12}{:>12}{:>12}",
+        "iteration", "checked", "alive", "P1 (ms)", "P2 (ms)", "P3 (ms)"
+    );
+    for it in &cmp.frontier_profile.iterations {
+        println!(
+            "{:<10}{:>10}{:>10}{:>12.3}{:>12.3}{:>12.3}",
+            it.iteration,
+            it.checked_nodes,
+            it.alive_nodes,
+            it.p1.as_secs_f64() * 1e3,
+            it.p2.as_secs_f64() * 1e3,
+            it.p3.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+/// Optional regression gate: `NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP=1.2` fails
+/// the run when the frontier compactor's speedup over the pre-refactor engine
+/// falls below the threshold, or when the frontier stops checking strictly
+/// fewer nodes than the full scan after iteration 0.
+fn check_compaction_gate(cmp: &CompactionComparison) {
+    let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP") else {
+        return;
+    };
+    let threshold: f64 = threshold
+        .parse()
+        .expect("NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP must be a number");
+    if cmp.speedup() < threshold {
+        eprintln!(
+            "compaction benchmark regression: frontier speedup {:.2}x is below \
+             the required {threshold}x",
+            cmp.speedup()
+        );
+        std::process::exit(1);
+    }
+    if !cmp.frontier_strictly_narrower() {
+        eprintln!(
+            "compaction benchmark regression: the frontier did not check strictly \
+             fewer nodes than the full scan after iteration 0"
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Times the refactored B/C hot path against the pre-refactor baseline on the
@@ -110,6 +199,7 @@ fn pipeline_bench() {
         "counting + construction speedup: {:.2}x",
         report.counting_plus_construction_speedup()
     );
+    print_compaction_comparison(&report.compaction);
 
     let streaming = &report.batch_streaming;
     println!(
@@ -153,6 +243,11 @@ fn pipeline_bench() {
             std::process::exit(1);
         }
     }
+
+    // Optional compaction gate: requires the frontier engine to beat the
+    // pre-refactor compactor by the given factor (CI sets 1.2; quiet hardware
+    // runs well above the 1.5 acceptance target).
+    check_compaction_gate(&report.compaction);
 
     // Optional streaming gate: NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP=1.0 requires the
     // overlapped schedule's critical path to beat the sequential one. The gate

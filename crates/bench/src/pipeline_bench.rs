@@ -6,10 +6,11 @@
 //! [`crate::baseline`]. The report is written as hand-rolled JSON (no serde in the
 //! offline environment) so later PRs have a recorded perf trajectory to beat.
 
-use crate::baseline::{build_graph_baseline, count_kmers_baseline};
+use crate::baseline::{build_graph_baseline, compact_baseline, count_kmers_baseline};
 use nmp_pak_core::workload::Workload;
 use nmp_pak_pakman::{
-    count_kmers, AssemblyOutput, BatchAssembler, BatchSchedule, KmerCounterConfig, PakGraph,
+    compact_with_scratch, count_kmers, AssemblyOutput, BatchAssembler, BatchSchedule,
+    CompactionMode, CompactionProfile, CompactionScratch, KmerCounterConfig, PakGraph,
     PakmanAssembler, PakmanConfig,
 };
 use std::time::{Duration, Instant};
@@ -121,6 +122,60 @@ impl BatchStreamingComparison {
     }
 }
 
+/// Wall-clock comparison of the Iterative Compaction engines on the same
+/// constructed graph: the vendored pre-refactor serial-P2/P3 full-scan
+/// compactor ([`compact_baseline`]), the current engine forced to
+/// [`CompactionMode::FullScan`], and the current engine in its default
+/// [`CompactionMode::Frontier`]. All three produce bit-identical statistics,
+/// traces, and graphs — asserted on every run — so only the wall clock and the
+/// checked-node ledger differ.
+#[derive(Debug, Clone)]
+pub struct CompactionComparison {
+    /// Pre-refactor compactor wall clock (best of reps).
+    pub baseline: Duration,
+    /// Current engine, full-scan P1 (parallel P2/P3, allocation-free checks).
+    pub full_scan: Duration,
+    /// Current engine, frontier P1 (the shipped default).
+    pub frontier: Duration,
+    /// Per-iteration stage times and checked-node counts of the frontier run.
+    pub frontier_profile: CompactionProfile,
+    /// Per-iteration profile of the full-scan run (checked == alive).
+    pub full_scan_profile: CompactionProfile,
+    /// Worker threads used by all three engines.
+    pub threads: usize,
+}
+
+impl CompactionComparison {
+    /// baseline / frontier — the headline `speedup.compaction` (higher is better).
+    pub fn speedup(&self) -> f64 {
+        let frontier = self.frontier.as_secs_f64();
+        if frontier == 0.0 {
+            return f64::INFINITY;
+        }
+        self.baseline.as_secs_f64() / frontier
+    }
+
+    /// full-scan / frontier: the share of the win attributable to the dirty-set
+    /// tracking alone (both sides use the parallel P2/P3 and the
+    /// allocation-free checks).
+    pub fn frontier_vs_full_scan(&self) -> f64 {
+        let frontier = self.frontier.as_secs_f64();
+        if frontier == 0.0 {
+            return f64::INFINITY;
+        }
+        self.full_scan.as_secs_f64() / frontier
+    }
+
+    /// `true` when every post-iteration-0 frontier iteration evaluated strictly
+    /// fewer predicates than the alive census a full scan pays.
+    pub fn frontier_strictly_narrower(&self) -> bool {
+        self.frontier_profile.iterations.len() > 1
+            && self.frontier_profile.iterations[1..]
+                .iter()
+                .all(|it| it.checked_nodes < it.alive_nodes)
+    }
+}
+
 /// The full benchmark report behind `BENCH_pipeline.json`.
 #[derive(Debug, Clone)]
 pub struct PipelineBenchReport {
@@ -136,6 +191,8 @@ pub struct PipelineBenchReport {
     pub macronode_construction: PhaseComparison,
     /// Multi-batch streaming comparison (overlapped vs sequential schedule).
     pub batch_streaming: BatchStreamingComparison,
+    /// Step D comparison: pre-refactor vs full-scan vs frontier compaction.
+    pub compaction: CompactionComparison,
     /// Full optimized assembly output (timings of all phases, quality stats).
     pub assembly: AssemblyOutput,
 }
@@ -152,22 +209,17 @@ impl PipelineBenchReport {
     }
 }
 
-/// Runs the benchmark: `reps` repetitions, keeping the fastest time per phase per
-/// implementation (best-of filters scheduler noise without favouring either side).
-pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
-    let reps = reps.max(1);
+/// Builds the fixed-seed benchmark workload and pipeline configuration shared
+/// by every benchmark entry point, so all recorded numbers and gates measure
+/// identical inputs.
+fn bench_workload_and_config(name: &str) -> (Workload, PakmanConfig) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
-    let workload = Workload::synthesize(
-        "bench_pipeline",
-        BENCH_GENOME_LENGTH,
-        BENCH_COVERAGE,
-        0.001,
-        BENCH_SEED,
-    )
-    .expect("benchmark workload builds");
+    let workload =
+        Workload::synthesize(name, BENCH_GENOME_LENGTH, BENCH_COVERAGE, 0.001, BENCH_SEED)
+            .expect("benchmark workload builds");
     let config = PakmanConfig {
         k: BENCH_K,
         min_kmer_count: 2,
@@ -176,6 +228,15 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
         record_trace: false,
         ..PakmanConfig::default()
     };
+    (workload, config)
+}
+
+/// Runs the benchmark: `reps` repetitions, keeping the fastest time per phase per
+/// implementation (best-of filters scheduler noise without favouring either side).
+pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
+    let reps = reps.max(1);
+    let (workload, config) = bench_workload_and_config("bench_pipeline");
+    let threads = config.threads;
 
     // Shared counted input for the step C comparison.
     let (counted, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
@@ -223,6 +284,7 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
     }
 
     let batch_streaming = run_batch_streaming_bench(&workload.reads, &config, reps);
+    let compaction = run_compaction_bench(&counted, &config, reps);
 
     PipelineBenchReport {
         threads,
@@ -237,7 +299,115 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
             baseline: best_base_build,
         },
         batch_streaming,
+        compaction,
         assembly: assembly.expect("at least one repetition ran"),
+    }
+}
+
+/// Runs only the Iterative Compaction comparison on the standard benchmark
+/// workload (the `experiments compaction` subcommand).
+pub fn run_compaction_bench_standalone(reps: usize) -> CompactionComparison {
+    let (workload, config) = bench_workload_and_config("bench_compaction");
+    let (counted, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+        .expect("benchmark counting succeeds");
+    run_compaction_bench(&counted, &config, reps.max(1))
+}
+
+/// Times the three compaction engines on identical constructed graphs
+/// (best-of-`reps` each, untraced), then re-runs all three once *with* traces to
+/// assert bit-identity of statistics and access traces.
+fn run_compaction_bench(
+    counted: &[nmp_pak_pakman::CountedKmer],
+    config: &PakmanConfig,
+    reps: usize,
+) -> CompactionComparison {
+    let reference_graph = PakGraph::from_counted_kmers(counted, config.k, config.threads);
+    let full_scan_config = PakmanConfig {
+        compaction_mode: CompactionMode::FullScan,
+        record_trace: false,
+        ..*config
+    };
+    let frontier_config = PakmanConfig {
+        compaction_mode: CompactionMode::Frontier,
+        ..full_scan_config
+    };
+
+    let mut best_baseline = Duration::MAX;
+    let mut best_full_scan = Duration::MAX;
+    let mut best_frontier = Duration::MAX;
+    let mut full_scan_profile = CompactionProfile::default();
+    let mut frontier_profile = CompactionProfile::default();
+    // The scratch persists across repetitions (the `compact_with_scratch`
+    // reuse path), so steady-state runs pay no per-run buffer growth.
+    let mut scratch = CompactionScratch::new();
+
+    for _ in 0..reps.max(1) {
+        let mut graph = reference_graph.clone();
+        let t = Instant::now();
+        let _ = compact_baseline(&mut graph, &full_scan_config);
+        best_baseline = best_baseline.min(t.elapsed());
+
+        let mut graph = reference_graph.clone();
+        let t = Instant::now();
+        let outcome = compact_with_scratch(&mut graph, &full_scan_config, &mut scratch);
+        let elapsed = t.elapsed();
+        if elapsed < best_full_scan {
+            best_full_scan = elapsed;
+            full_scan_profile = outcome.profile;
+        }
+
+        let mut graph = reference_graph.clone();
+        let t = Instant::now();
+        let outcome = compact_with_scratch(&mut graph, &frontier_config, &mut scratch);
+        let elapsed = t.elapsed();
+        if elapsed < best_frontier {
+            best_frontier = elapsed;
+            frontier_profile = outcome.profile;
+        }
+    }
+
+    // Bit-identity cross-check (untimed, with traces): the baseline is only a
+    // valid speedup denominator while all three engines agree on every bit.
+    let traced = PakmanConfig {
+        record_trace: true,
+        ..full_scan_config
+    };
+    let mut baseline_graph = reference_graph.clone();
+    let (baseline_stats, baseline_trace) = compact_baseline(&mut baseline_graph, &traced);
+    for mode in [CompactionMode::FullScan, CompactionMode::Frontier] {
+        let mut graph = reference_graph.clone();
+        let outcome = compact_with_scratch(
+            &mut graph,
+            &PakmanConfig {
+                compaction_mode: mode,
+                ..traced
+            },
+            &mut scratch,
+        );
+        assert_eq!(
+            outcome.stats, baseline_stats,
+            "{mode:?} compaction stats diverged from the pre-refactor baseline"
+        );
+        assert_eq!(
+            outcome.trace, baseline_trace,
+            "{mode:?} compaction trace diverged from the pre-refactor baseline"
+        );
+        for slot in 0..reference_graph.slot_count() {
+            assert_eq!(
+                graph.node(slot),
+                baseline_graph.node(slot),
+                "{mode:?} compacted graph diverged at slot {slot}"
+            );
+        }
+    }
+
+    CompactionComparison {
+        baseline: best_baseline,
+        full_scan: best_full_scan,
+        frontier: best_frontier,
+        frontier_profile,
+        full_scan_profile,
+        threads: config.threads,
     }
 }
 
@@ -398,6 +568,28 @@ pub fn pipelined_critical_path(
     finish_done
 }
 
+/// Renders the per-iteration P1/P2/P3 wall times and checked-node counts of a
+/// compaction profile as a JSON array (one object per iteration).
+fn profile_iterations_json(profile: &CompactionProfile, indent: &str) -> String {
+    let rows: Vec<String> = profile
+        .iterations
+        .iter()
+        .map(|it| {
+            format!(
+                "{indent}{{\"iteration\": {}, \"p1_s\": {:.6}, \"p2_s\": {:.6}, \
+                 \"p3_s\": {:.6}, \"checked_nodes\": {}, \"alive_nodes\": {}}}",
+                it.iteration,
+                it.p1.as_secs_f64(),
+                it.p2.as_secs_f64(),
+                it.p3.as_secs_f64(),
+                it.checked_nodes,
+                it.alive_nodes,
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 /// Serializes the report as JSON (hand-rolled; the offline environment has no
 /// serde_json).
 pub fn report_to_json(report: &PipelineBenchReport) -> String {
@@ -435,7 +627,19 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
             "  \"speedup\": {{\n",
             "    \"kmer_counting\": {count_speedup:.3},\n",
             "    \"macronode_construction\": {build_speedup:.3},\n",
-            "    \"counting_plus_construction\": {combined_speedup:.3}\n",
+            "    \"counting_plus_construction\": {combined_speedup:.3},\n",
+            "    \"compaction\": {compaction_speedup:.3}\n",
+            "  }},\n",
+            "  \"compaction_bench\": {{\n",
+            "    \"threads\": {compaction_threads},\n",
+            "    \"baseline_s\": {compaction_baseline_s:.6},\n",
+            "    \"full_scan_s\": {compaction_full_scan_s:.6},\n",
+            "    \"frontier_s\": {compaction_frontier_s:.6},\n",
+            "    \"speedup_vs_baseline\": {compaction_speedup:.3},\n",
+            "    \"frontier_vs_full_scan\": {frontier_vs_full_scan:.3},\n",
+            "    \"checked_nodes_full_scan\": {checked_full},\n",
+            "    \"checked_nodes_frontier\": {checked_frontier},\n",
+            "    \"frontier_iterations\": [\n{frontier_iterations}\n    ]\n",
             "  }},\n",
             "  \"batch_streaming\": {{\n",
             "    \"batches\": {batches},\n",
@@ -481,6 +685,16 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
         count_speedup = report.kmer_counting.speedup(),
         build_speedup = report.macronode_construction.speedup(),
         combined_speedup = report.counting_plus_construction_speedup(),
+        compaction_speedup = report.compaction.speedup(),
+        compaction_threads = report.compaction.threads,
+        compaction_baseline_s = secs(&report.compaction.baseline),
+        compaction_full_scan_s = secs(&report.compaction.full_scan),
+        compaction_frontier_s = secs(&report.compaction.frontier),
+        frontier_vs_full_scan = report.compaction.frontier_vs_full_scan(),
+        checked_full = report.compaction.full_scan_profile.total_checked(),
+        checked_frontier = report.compaction.frontier_profile.total_checked(),
+        frontier_iterations =
+            profile_iterations_json(&report.compaction.frontier_profile, "      "),
         batches = report.batch_streaming.batches,
         available_cores = report.batch_streaming.available_cores,
         pipeline_depth = BENCH_PIPELINE_DEPTH,
@@ -518,11 +732,28 @@ mod tests {
             "\"baseline_s\"",
             "\"speedup\"",
             "\"counting_plus_construction\"",
+            "\"compaction\"",
+            "\"compaction_bench\"",
+            "\"checked_nodes_frontier\"",
+            "\"frontier_iterations\"",
             "\"batch_streaming\"",
             "\"overlap_speedup\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // The compaction comparison's deterministic invariants: iteration 0 is a
+        // full scan, every later frontier iteration checks strictly fewer nodes
+        // than the alive census, and the totals reflect that.
+        assert!(report.compaction.speedup() > 0.0);
+        assert!(report.compaction.frontier_strictly_narrower());
+        assert!(
+            report.compaction.frontier_profile.total_checked()
+                < report.compaction.full_scan_profile.total_checked()
+        );
+        assert_eq!(
+            report.compaction.full_scan_profile.total_checked(),
+            report.compaction.full_scan_profile.total_full_scan_checks()
+        );
         assert!(report.kmer_counting.speedup() > 0.0);
         assert!(report.batch_streaming.batches >= 2);
         assert!(report.batch_streaming.overlap_speedup() > 0.0);

@@ -1,26 +1,42 @@
 //! Iterative Compaction (assembly step D, Figs. 2 and 4) — the phase NMP-PaK
 //! accelerates.
 //!
-//! Every iteration performs, for each alive MacroNode, the three pipeline stages the
-//! paper maps onto its processing elements (Fig. 10):
+//! Every iteration performs the three pipeline stages the paper maps onto its
+//! processing elements (Fig. 10), each parallelised over
+//! [`PakmanConfig::threads`] scoped worker threads (§4.5):
 //!
 //! 1. **P1 — invalidation check**: compute the (k-1)-mers of every neighbour and mark
 //!    the node for invalidation if its own (k-1)-mer is strictly the lexicographically
-//!    largest (and the node is fully interior, so no contig endpoint is lost);
+//!    largest (and the node is fully interior, so no contig endpoint is lost). Under
+//!    [`CompactionMode::Frontier`] (the default) only *dirty* nodes — destinations of
+//!    the previous iteration's TransferNodes — are re-evaluated after iteration 0;
+//!    every other alive node's cached verdict still stands (see DESIGN.md for the
+//!    invariant proof).
 //! 2. **P2 — TransferNode extraction**: for each through-path of an invalidated node,
-//!    build the TransferNodes destined for its predecessor and successor;
-//! 3. **P3 — routing and update**: deliver each TransferNode to its destination node
-//!    and splice the carried extension into the matching path.
+//!    build the TransferNodes destined for its predecessor and successor. Extraction
+//!    runs on scoped threads into pre-allocated per-thread buffers that are merged in
+//!    slot order, so the transfer stream keeps the canonical serial order.
+//! 3. **P3 — routing and update**: resolve each destination through the sorted-rank
+//!    index in parallel, then shard the transfers by destination slot into disjoint
+//!    contiguous slot ranges and apply the shards concurrently (`split_at_mut` over
+//!    the slot vector — the software equivalent of the paper's per-MacroNode
+//!    `omp_set_lock`). Per-destination application order stays canonical, so the
+//!    result is bit-identical to the serial path.
 //!
-//! Iterations repeat until the alive node count drops below the configured threshold,
-//! no node can be invalidated, or the iteration cap is hit.
+//! All per-iteration buffers live in a reusable [`CompactionScratch`], so the
+//! untraced hot loop performs no per-iteration reallocation. Iterations repeat until
+//! the alive node count drops below the configured threshold, no node can be
+//! invalidated, or the iteration cap is hit. Both scan modes, every thread count, and
+//! the serial fallback produce bit-identical statistics, traces, and contigs — the
+//! determinism contract of DESIGN.md.
 
-use crate::config::PakmanConfig;
+use crate::config::{CompactionMode, PakmanConfig};
 use crate::graph::PakGraph;
 use crate::macronode::MacroNode;
 use crate::trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
 use crate::transfer::{TransferNode, TransferSide};
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Histogram of MacroNode sizes with the power-of-two buckets of Fig. 7
 /// (≤256 B, 512 B, 1 KB, 2 KB, 4 KB, 8 KB, 16 KB, 32 KB, >32 KB).
@@ -135,6 +151,55 @@ impl CompactionStats {
     }
 }
 
+/// Wall-clock and work profile of one compaction iteration, recorded by
+/// [`compact`] alongside the (bit-identity-checked) statistics. Timings vary run
+/// to run; the node counts are deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterationProfile {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Wall-clock of stage P1 (invalidation checks).
+    pub p1: Duration,
+    /// Wall-clock of stage P2 (TransferNode extraction + invalidation).
+    pub p2: Duration,
+    /// Wall-clock of stage P3 (routing and destination update).
+    pub p3: Duration,
+    /// Invalidation predicates actually evaluated this iteration (the frontier
+    /// re-check set; equals `alive_nodes` under [`CompactionMode::FullScan`]).
+    pub checked_nodes: usize,
+    /// Alive nodes at the start of the iteration — what a full scan evaluates.
+    pub alive_nodes: usize,
+}
+
+/// Per-iteration profile of a whole compaction run (drives the
+/// `experiments compaction` benchmark and the `BENCH_pipeline.json` entry).
+#[derive(Debug, Clone, Default)]
+pub struct CompactionProfile {
+    /// One entry per executed iteration.
+    pub iterations: Vec<IterationProfile>,
+}
+
+impl CompactionProfile {
+    /// Total invalidation predicates evaluated across the run.
+    pub fn total_checked(&self) -> usize {
+        self.iterations.iter().map(|i| i.checked_nodes).sum()
+    }
+
+    /// Total predicates a full scan would have evaluated (Σ alive at each
+    /// iteration start).
+    pub fn total_full_scan_checks(&self) -> usize {
+        self.iterations.iter().map(|i| i.alive_nodes).sum()
+    }
+
+    /// Summed wall-clock of the three stages: `(P1, P2, P3)`.
+    pub fn stage_totals(&self) -> (Duration, Duration, Duration) {
+        self.iterations.iter().fold(
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            |(p1, p2, p3), it| (p1 + it.p1, p2 + it.p2, p3 + it.p3),
+        )
+    }
+}
+
 /// Result of running Iterative Compaction.
 #[derive(Debug, Clone, Default)]
 pub struct CompactionOutcome {
@@ -142,15 +207,104 @@ pub struct CompactionOutcome {
     pub stats: CompactionStats,
     /// The access trace, when [`PakmanConfig::record_trace`] was set.
     pub trace: Option<CompactionTrace>,
+    /// Per-iteration stage timings and checked-node counts (always recorded; two
+    /// `Instant` reads per stage per iteration).
+    pub profile: CompactionProfile,
+}
+
+/// Reusable scratch state for [`compact`]: every buffer the per-iteration loop
+/// needs, allocated once and carried across iterations — and across runs when
+/// callers hold onto it via [`compact_with_scratch`]. This is §4.5's
+/// "pre-allocated per-thread buffers" applied to compaction: the untraced hot
+/// loop performs no per-iteration heap allocation once the buffers have grown to
+/// their steady-state sizes.
+#[derive(Debug, Default)]
+pub struct CompactionScratch {
+    /// Per-slot: node must be re-evaluated this iteration (frontier dirty bitmap).
+    dirty: Vec<bool>,
+    /// Slots marked in `dirty`, unordered; sorted into `recheck` at the start of
+    /// each frontier iteration.
+    dirty_list: Vec<usize>,
+    /// Per-slot `size_bytes` as of the node's last evaluation. Valid for every
+    /// clean node — a node's size changes only when a transfer lands on it, which
+    /// marks it dirty.
+    cached_size: Vec<usize>,
+    /// Slots to re-evaluate this iteration, ascending.
+    recheck: Vec<usize>,
+    /// Evaluation results, aligned with `recheck`.
+    check_results: Vec<NodeCheck>,
+    /// The assembled per-alive-node check list (only populated when tracing; the
+    /// trace takes ownership of it each iteration).
+    checks: Vec<NodeCheck>,
+    /// Slots invalidated this iteration, ascending.
+    invalidated: Vec<usize>,
+    /// Per-thread P2 extraction buffers, merged into `transfers` in slot order.
+    extract_buffers: Vec<Vec<(usize, TransferNode)>>,
+    /// Extracted transfers in canonical (slot-major, path-order) order.
+    transfers: Vec<(usize, TransferNode)>,
+    /// Resolved destination slot per transfer (aligned with `transfers`).
+    resolved: Vec<Option<usize>>,
+    /// Whether each transfer's application found a matching extension.
+    matched: Vec<bool>,
+    /// Sorted destination slots (shard-boundary selection).
+    dest_sorted: Vec<u32>,
+    /// Slot-space cut points of the destination shards (ascending, first 0).
+    shard_cuts: Vec<usize>,
+    /// Transfers per shard (aligned with the `shard_cuts` windows).
+    shard_counts: Vec<usize>,
+    /// Running scatter positions of the counting sort (one per shard).
+    shard_offsets: Vec<usize>,
+    /// Transfer indices permuted into shard-major order, canonical within a shard.
+    shard_index: Vec<u32>,
+    /// Apply results aligned with `shard_index`, scattered back into `matched`.
+    shard_matched: Vec<bool>,
+    /// Per-slot touched bitmap (reset via `touched_order`, not a full clear).
+    touched: Vec<bool>,
+    /// Destinations in first-touch order (the deterministic update-trace order).
+    touched_order: Vec<usize>,
+}
+
+impl CompactionScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CompactionScratch::default()
+    }
+
+    /// Sizes the per-slot buffers for a graph with `slot_count` slots and clears
+    /// any state left over from a previous run.
+    fn reset_for(&mut self, slot_count: usize) {
+        self.dirty.clear();
+        self.dirty.resize(slot_count, false);
+        self.cached_size.clear();
+        self.cached_size.resize(slot_count, 0);
+        self.touched.clear();
+        self.touched.resize(slot_count, false);
+        self.dirty_list.clear();
+        self.touched_order.clear();
+        self.checks.clear();
+    }
 }
 
 /// Runs Iterative Compaction on `graph` in place.
 ///
-/// The check phase (P1) is parallelised over `config.threads` worker threads — the
-/// MacroNode-level parallelisation described in §4.5 — while TransferNode application
-/// is serialised per destination (the software equivalent of the per-MacroNode
-/// `omp_set_lock` the paper uses).
+/// All three pipeline stages are parallelised over `config.threads` scoped
+/// worker threads (§4.5): P1 evaluates the (frontier-restricted) check set in
+/// parallel, P2 extracts TransferNodes into per-thread buffers merged in slot
+/// order, and P3 resolves destinations in parallel and applies the transfers
+/// sharded by destination slot. Output is bit-identical across thread counts
+/// and [`CompactionMode`]s.
 pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome {
+    let mut scratch = CompactionScratch::new();
+    compact_with_scratch(graph, config, &mut scratch)
+}
+
+/// [`compact`] with caller-provided scratch state, so repeated runs (batch
+/// pipelines, benchmarks) reuse the grown buffers instead of reallocating them.
+pub fn compact_with_scratch(
+    graph: &mut PakGraph,
+    config: &PakmanConfig,
+    scratch: &mut CompactionScratch,
+) -> CompactionOutcome {
     let initial_nodes = graph.alive_count();
     let mut trace = config.record_trace.then(|| {
         let mut sizes = vec![0usize; graph.slot_count()];
@@ -165,27 +319,86 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
         final_nodes: initial_nodes,
         ..CompactionStats::default()
     };
+    let mut profile = CompactionProfile::default();
+    scratch.reset_for(graph.slot_count());
+    let frontier = config.compaction_mode == CompactionMode::Frontier;
+    let mut alive = initial_nodes;
 
     for iteration in 0..config.max_compaction_iterations {
-        let alive_before = graph.alive_count();
+        let alive_before = alive;
         if alive_before <= config.compaction_node_threshold {
             stats.converged = true;
             break;
         }
 
         // ---- Stage P1: invalidation check (parallel, read-only) ----
-        let checks = run_invalidation_checks(graph, config.threads);
-        let mut histogram = SizeHistogram::new();
-        for check in &checks {
-            histogram.record(check.size_bytes);
+        let p1_start = Instant::now();
+        scratch.recheck.clear();
+        if !frontier || iteration == 0 {
+            scratch
+                .recheck
+                .extend(graph.iter_alive().map(|(slot, _)| slot));
+        } else {
+            // The frontier: destinations touched by the previous iteration's
+            // transfers, in ascending slot order. Everything else is clean and
+            // keeps its cached "not a target" verdict (see DESIGN.md).
+            scratch.dirty_list.sort_unstable();
+            for i in 0..scratch.dirty_list.len() {
+                let slot = scratch.dirty_list[i];
+                scratch.dirty[slot] = false;
+                scratch.recheck.push(slot);
+            }
+            scratch.dirty_list.clear();
         }
-        let invalidated_slots: Vec<usize> = checks
-            .iter()
-            .filter(|c| c.invalidated)
-            .map(|c| c.slot)
-            .collect();
+        run_checks_into(
+            graph,
+            &scratch.recheck,
+            config.threads,
+            &mut scratch.check_results,
+        );
+        for check in &scratch.check_results {
+            scratch.cached_size[check.slot] = check.size_bytes;
+        }
 
-        if invalidated_slots.is_empty() {
+        // Assemble the full per-alive-node view — histogram, invalidation set,
+        // and (when tracing) the check list, identical to a full scan's.
+        scratch.invalidated.clear();
+        let mut histogram = SizeHistogram::new();
+        {
+            let mut ri = 0usize;
+            for (slot, _) in graph.iter_alive() {
+                let check = if scratch.recheck.get(ri) == Some(&slot) {
+                    let check = scratch.check_results[ri];
+                    ri += 1;
+                    check
+                } else {
+                    NodeCheck {
+                        slot,
+                        size_bytes: scratch.cached_size[slot],
+                        invalidated: false,
+                    }
+                };
+                histogram.record(check.size_bytes);
+                if check.invalidated {
+                    scratch.invalidated.push(slot);
+                }
+                if trace.is_some() {
+                    scratch.checks.push(check);
+                }
+            }
+            debug_assert_eq!(ri, scratch.recheck.len(), "every re-check slot is alive");
+        }
+        let p1 = p1_start.elapsed();
+        profile.iterations.push(IterationProfile {
+            iteration,
+            p1,
+            p2: Duration::ZERO,
+            p3: Duration::ZERO,
+            checked_nodes: scratch.recheck.len(),
+            alive_nodes: alive_before,
+        });
+
+        if scratch.invalidated.is_empty() {
             stats.iterations.push(IterationStats {
                 iteration,
                 alive_before,
@@ -196,7 +409,7 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
             });
             if let Some(trace) = trace.as_mut() {
                 trace.iterations.push(IterationTrace {
-                    checks,
+                    checks: std::mem::take(&mut scratch.checks),
                     transfers: Vec::new(),
                     updates: Vec::new(),
                 });
@@ -205,70 +418,105 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
             break;
         }
 
-        // ---- Stage P2: TransferNode extraction, then node invalidation ----
-        let mut transfers: Vec<(usize, TransferNode)> = Vec::new();
-        for &slot in &invalidated_slots {
-            let node = graph.node(slot).expect("invalidated slot was alive");
-            for t in TransferNode::extract_all(node) {
-                transfers.push((slot, t));
-            }
+        // ---- Stage P2: parallel TransferNode extraction, then invalidation ----
+        let p2_start = Instant::now();
+        extract_transfers(
+            graph,
+            &scratch.invalidated,
+            config.threads,
+            &mut scratch.extract_buffers,
+            &mut scratch.transfers,
+        );
+        for &slot in &scratch.invalidated {
             graph.invalidate(slot);
         }
+        alive -= scratch.invalidated.len();
+        let p2 = p2_start.elapsed();
 
-        // ---- Stage P3: routing and destination update ----
+        // ---- Stage P3: parallel routing and sharded destination update ----
         // Destinations are resolved through the graph's sorted-rank index (binary
         // search over the packed (k-1)-mer layout) — no hashing per TransferNode.
-        // Touched destinations are tracked with a plain per-slot bitmap in
-        // first-touch order, which also makes the recorded trace deterministic.
-        let mut transfer_events = Vec::with_capacity(transfers.len());
-        let mut touched = vec![false; graph.slot_count()];
-        let mut touched_order: Vec<usize> = Vec::new();
+        // Application is sharded by destination slot; the canonical transfer order
+        // drives the recorded trace and the first-touch update order.
+        let p3_start = Instant::now();
+        resolve_destinations(
+            graph,
+            &scratch.transfers,
+            config.threads,
+            &mut scratch.resolved,
+        );
+        apply_transfers_sharded(graph, scratch, config.threads);
+
+        for i in 0..scratch.touched_order.len() {
+            scratch.touched[scratch.touched_order[i]] = false;
+        }
+        scratch.touched_order.clear();
         let mut unmatched = 0usize;
-        for (source_slot, transfer) in &transfers {
-            match graph.index_of(&transfer.destination) {
+        let mut transfer_events: Vec<TransferEvent> = Vec::with_capacity(if trace.is_some() {
+            scratch.transfers.len()
+        } else {
+            0
+        });
+        for (i, (source_slot, transfer)) in scratch.transfers.iter().enumerate() {
+            match scratch.resolved[i] {
                 Some(dest_slot) => {
-                    transfer_events.push(TransferEvent {
-                        source_slot: *source_slot,
-                        dest_slot,
-                        size_bytes: transfer.size_bytes(),
-                    });
-                    let dest = graph.node_mut(dest_slot).expect("destination is alive");
-                    if apply_transfer(dest, transfer) {
-                        if !touched[dest_slot] {
-                            touched[dest_slot] = true;
-                            touched_order.push(dest_slot);
+                    if trace.is_some() {
+                        transfer_events.push(TransferEvent {
+                            source_slot: *source_slot,
+                            dest_slot,
+                            size_bytes: transfer.size_bytes(),
+                        });
+                    }
+                    if scratch.matched[i] {
+                        if !scratch.touched[dest_slot] {
+                            scratch.touched[dest_slot] = true;
+                            scratch.touched_order.push(dest_slot);
                         }
                     } else {
                         unmatched += 1;
+                    }
+                    if frontier && !scratch.dirty[dest_slot] {
+                        scratch.dirty[dest_slot] = true;
+                        scratch.dirty_list.push(dest_slot);
                     }
                 }
                 None => unmatched += 1,
             }
         }
 
-        let updates: Vec<UpdateEvent> = touched_order
-            .iter()
-            .map(|&dest_slot| UpdateEvent {
-                dest_slot,
-                size_bytes: graph
-                    .node(dest_slot)
-                    .map(MacroNode::size_bytes)
-                    .unwrap_or(0),
-            })
-            .collect();
+        let updates: Vec<UpdateEvent> = if trace.is_some() {
+            scratch
+                .touched_order
+                .iter()
+                .map(|&dest_slot| UpdateEvent {
+                    dest_slot,
+                    size_bytes: graph
+                        .node(dest_slot)
+                        .map(MacroNode::size_bytes)
+                        .unwrap_or(0),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let p3 = p3_start.elapsed();
+        if let Some(entry) = profile.iterations.last_mut() {
+            entry.p2 = p2;
+            entry.p3 = p3;
+        }
 
-        stats.total_transfers += transfers.len();
+        stats.total_transfers += scratch.transfers.len();
         stats.iterations.push(IterationStats {
             iteration,
             alive_before,
-            invalidated: invalidated_slots.len(),
-            transfers: transfers.len(),
+            invalidated: scratch.invalidated.len(),
+            transfers: scratch.transfers.len(),
             unmatched_transfers: unmatched,
             histogram,
         });
         if let Some(trace) = trace.as_mut() {
             trace.iterations.push(IterationTrace {
-                checks,
+                checks: std::mem::take(&mut scratch.checks),
                 transfers: transfer_events,
                 updates,
             });
@@ -276,36 +524,52 @@ pub fn compact(graph: &mut PakGraph, config: &PakmanConfig) -> CompactionOutcome
     }
 
     stats.final_nodes = graph.alive_count();
-    if graph.alive_count() <= config.compaction_node_threshold {
+    if stats.final_nodes <= config.compaction_node_threshold {
         stats.converged = true;
     }
-    CompactionOutcome { stats, trace }
+    CompactionOutcome {
+        stats,
+        trace,
+        profile,
+    }
 }
 
-/// Runs the invalidation check for every alive node, in parallel.
-fn run_invalidation_checks(graph: &PakGraph, threads: usize) -> Vec<NodeCheck> {
-    let slots = graph.alive_slots();
+/// Evaluates the invalidation predicate for `slots` (ascending), writing one
+/// result per slot into `results` in the same order. Parallel over contiguous
+/// chunks; the output is position-aligned with the input, so the thread count
+/// cannot change it.
+fn run_checks_into(
+    graph: &PakGraph,
+    slots: &[usize],
+    threads: usize,
+    results: &mut Vec<NodeCheck>,
+) {
+    results.clear();
+    results.resize(
+        slots.len(),
+        NodeCheck {
+            slot: 0,
+            size_bytes: 0,
+            invalidated: false,
+        },
+    );
     let threads = threads.max(1).min(slots.len().max(1));
     if threads <= 1 || slots.len() < 64 {
-        return slots.iter().map(|&slot| check_one(graph, slot)).collect();
-    }
-
-    let chunk = slots.len().div_ceil(threads);
-    let mut results: Vec<NodeCheck> = Vec::with_capacity(slots.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in slots.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                part.iter()
-                    .map(|&slot| check_one(graph, slot))
-                    .collect::<Vec<_>>()
-            }));
+        for (out, &slot) in results.iter_mut().zip(slots) {
+            *out = check_one(graph, slot);
         }
-        for handle in handles {
-            results.extend(handle.join().expect("invalidation-check worker panicked"));
+        return;
+    }
+    let chunk = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (out_chunk, slot_chunk) in results.chunks_mut(chunk).zip(slots.chunks(chunk)) {
+            scope.spawn(move || {
+                for (out, &slot) in out_chunk.iter_mut().zip(slot_chunk) {
+                    *out = check_one(graph, slot);
+                }
+            });
         }
     });
-    results
 }
 
 fn check_one(graph: &PakGraph, slot: usize) -> NodeCheck {
@@ -317,34 +581,239 @@ fn check_one(graph: &PakGraph, slot: usize) -> NodeCheck {
     }
 }
 
+/// Extracts the TransferNodes of every invalidated slot (ascending) into `out`
+/// in canonical slot-major order. Parallel over contiguous chunks into the
+/// pre-allocated per-thread `buffers`, merged in chunk (= slot) order.
+fn extract_transfers(
+    graph: &PakGraph,
+    invalidated: &[usize],
+    threads: usize,
+    buffers: &mut Vec<Vec<(usize, TransferNode)>>,
+    out: &mut Vec<(usize, TransferNode)>,
+) {
+    out.clear();
+    let threads = threads.max(1).min(invalidated.len().max(1));
+    if threads <= 1 || invalidated.len() < 32 {
+        for &slot in invalidated {
+            extract_one(graph, slot, out);
+        }
+        return;
+    }
+    let chunk = invalidated.len().div_ceil(threads);
+    let used = invalidated.len().div_ceil(chunk);
+    if buffers.len() < used {
+        buffers.resize_with(used, Vec::new);
+    }
+    std::thread::scope(|scope| {
+        for (buffer, slot_chunk) in buffers.iter_mut().zip(invalidated.chunks(chunk)) {
+            scope.spawn(move || {
+                buffer.clear();
+                for &slot in slot_chunk {
+                    extract_one(graph, slot, buffer);
+                }
+            });
+        }
+    });
+    for buffer in buffers.iter_mut().take(used) {
+        out.append(buffer);
+    }
+}
+
+fn extract_one(graph: &PakGraph, slot: usize, out: &mut Vec<(usize, TransferNode)>) {
+    let node = graph.node(slot).expect("invalidated slot was alive");
+    for path in node.paths() {
+        if let Some((pred, succ)) = TransferNode::extract_pair(node, path) {
+            out.push((slot, pred));
+            out.push((slot, succ));
+        }
+    }
+}
+
+/// Resolves every transfer's destination slot through the sorted-rank index,
+/// in parallel, position-aligned with `transfers`.
+fn resolve_destinations(
+    graph: &PakGraph,
+    transfers: &[(usize, TransferNode)],
+    threads: usize,
+    resolved: &mut Vec<Option<usize>>,
+) {
+    resolved.clear();
+    resolved.resize(transfers.len(), None);
+    let threads = threads.max(1).min(transfers.len().max(1));
+    if threads <= 1 || transfers.len() < 64 {
+        for (out, (_, transfer)) in resolved.iter_mut().zip(transfers) {
+            *out = graph.index_of(&transfer.destination);
+        }
+        return;
+    }
+    let chunk = transfers.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (out_chunk, transfer_chunk) in resolved.chunks_mut(chunk).zip(transfers.chunks(chunk)) {
+            scope.spawn(move || {
+                for (out, (_, transfer)) in out_chunk.iter_mut().zip(transfer_chunk) {
+                    *out = graph.index_of(&transfer.destination);
+                }
+            });
+        }
+    });
+}
+
+/// Applies every resolved transfer to its destination node, filling
+/// `scratch.matched` (aligned with `scratch.transfers`).
+///
+/// Parallelism shards the transfers by **destination slot** into disjoint
+/// contiguous slot ranges: each scoped thread owns one range of the slot vector
+/// (`split_at_mut`) and applies its shard's transfers in canonical order.
+/// Because a transfer only mutates its own destination and per-destination order
+/// is preserved, the matched flags — and the destination nodes — are
+/// bit-identical to a serial application.
+fn apply_transfers_sharded(graph: &mut PakGraph, scratch: &mut CompactionScratch, threads: usize) {
+    let CompactionScratch {
+        transfers,
+        resolved,
+        matched,
+        dest_sorted,
+        shard_cuts,
+        shard_counts,
+        shard_offsets,
+        shard_index,
+        shard_matched,
+        ..
+    } = scratch;
+    let transfers: &[(usize, TransferNode)] = transfers;
+    let resolved: &[Option<usize>] = resolved;
+
+    matched.clear();
+    matched.resize(transfers.len(), false);
+    let threads = threads.max(1);
+    if threads <= 1 || transfers.len() < 64 {
+        for (i, (_, transfer)) in transfers.iter().enumerate() {
+            if let Some(dest_slot) = resolved[i] {
+                let dest = graph.node_mut(dest_slot).expect("destination is alive");
+                matched[i] = apply_transfer(dest, transfer);
+            }
+        }
+        return;
+    }
+
+    // Shard boundaries: quantiles of the sorted destination slots, so shards
+    // carry roughly equal transfer counts while staying contiguous in slot space.
+    dest_sorted.clear();
+    dest_sorted.extend(resolved.iter().flatten().map(|&d| d as u32));
+    if dest_sorted.is_empty() {
+        return;
+    }
+    dest_sorted.sort_unstable();
+    shard_cuts.clear();
+    shard_cuts.push(0);
+    for s in 1..threads {
+        let cut = dest_sorted[s * dest_sorted.len() / threads] as usize;
+        if cut > *shard_cuts.last().expect("shard_cuts is non-empty") {
+            shard_cuts.push(cut);
+        }
+    }
+    shard_cuts.push(graph.slot_count());
+    let shards = shard_cuts.len() - 1;
+    let shard_of = |dest: usize| shard_cuts.partition_point(|&cut| cut <= dest) - 1;
+
+    // Counting sort of transfer indices into shard-major order; the scatter is
+    // stable, so canonical order is preserved within each shard.
+    shard_counts.clear();
+    shard_counts.resize(shards, 0);
+    for dest in resolved.iter().flatten() {
+        shard_counts[shard_of(*dest)] += 1;
+    }
+    let total: usize = shard_counts.iter().sum();
+    shard_index.clear();
+    shard_index.resize(total, 0);
+    shard_offsets.clear();
+    let mut running = 0usize;
+    for &count in shard_counts.iter() {
+        shard_offsets.push(running);
+        running += count;
+    }
+    for (i, dest) in resolved.iter().enumerate() {
+        if let Some(dest) = dest {
+            let shard = shard_of(*dest);
+            shard_index[shard_offsets[shard]] = i as u32;
+            shard_offsets[shard] += 1;
+        }
+    }
+
+    shard_matched.clear();
+    shard_matched.resize(total, false);
+    std::thread::scope(|scope| {
+        let mut rest_slots = graph.slots_mut();
+        let mut rest_index: &[u32] = shard_index;
+        let mut rest_matched: &mut [bool] = shard_matched;
+        for shard in 0..shards {
+            // Shards tile the slot space: `rest_slots` always starts at slot `lo`.
+            let lo = shard_cuts[shard];
+            let hi = shard_cuts[shard + 1];
+            let (shard_slots, remaining_slots) = rest_slots.split_at_mut(hi - lo);
+            rest_slots = remaining_slots;
+            let (index, remaining_index) = rest_index.split_at(shard_counts[shard]);
+            rest_index = remaining_index;
+            let (matched_out, remaining_matched) = rest_matched.split_at_mut(shard_counts[shard]);
+            rest_matched = remaining_matched;
+            if index.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                for (out, &transfer_idx) in matched_out.iter_mut().zip(index) {
+                    let transfer_idx = transfer_idx as usize;
+                    let dest = resolved[transfer_idx].expect("sharded transfers are resolved");
+                    let node = shard_slots[dest - lo]
+                        .as_mut()
+                        .expect("destination is alive");
+                    *out = apply_transfer(node, &transfers[transfer_idx].1);
+                }
+            });
+        }
+    });
+    for (pos, &transfer_idx) in shard_index.iter().enumerate() {
+        matched[transfer_idx as usize] = shard_matched[pos];
+    }
+}
+
 /// Stage P1 decision: the node is invalidated if it is fully interior and its
 /// (k-1)-mer is strictly the lexicographically largest among its neighbours
 /// (Fig. 4 (b)). The strictness guarantees two adjacent nodes are never invalidated in
 /// the same iteration. A neighbour that no longer exists in the graph (it was pruned,
 /// or its wiring went stale after an earlier invalidation) does not block the check;
 /// the corresponding TransferNode is simply dropped and counted as unmatched.
+///
+/// Neighbour (k-1)-mers are computed per path directly on the packed
+/// representations ([`MacroNode::predecessor_k1mer`] /
+/// [`MacroNode::successor_k1mer`]) — no extension aggregation, no intermediate
+/// vectors, no heap allocation. Visiting the path multiset instead of the
+/// deduplicated neighbour set cannot change the verdict: every condition is
+/// universally quantified over the neighbours.
 pub fn is_invalidation_target(graph: &PakGraph, node: &MacroNode) -> bool {
     if !node.is_fully_interior() {
         return false;
     }
     let own = node.k1mer();
     let mut neighbour_count = 0usize;
-    for neighbour in node
-        .predecessor_k1mers()
-        .into_iter()
-        .chain(node.successor_k1mers())
-    {
-        // Every neighbour must still be alive: invalidating a node whose wiring has
-        // gone stale (a residual path pointing at an already-removed neighbour) would
-        // drop its TransferNodes and lose assembled sequence, so such nodes are kept.
-        // This is conservative — compaction stops earlier than PaKman's — but it keeps
-        // the walk lossless; see DESIGN.md.
-        if !graph.contains(&neighbour) {
+    for path in node.paths() {
+        let (Some(prefix), Some(suffix)) = (&path.prefix, &path.suffix) else {
+            // Unreachable after the is_fully_interior gate, but a terminal path
+            // must never count as a dominated neighbour.
             return false;
-        }
-        neighbour_count += 1;
-        if neighbour >= own {
-            return false;
+        };
+        for neighbour in [node.predecessor_k1mer(prefix), node.successor_k1mer(suffix)] {
+            // Every neighbour must still be alive: invalidating a node whose wiring
+            // has gone stale (a residual path pointing at an already-removed
+            // neighbour) would drop its TransferNodes and lose assembled sequence,
+            // so such nodes are kept. This is conservative — compaction stops
+            // earlier than PaKman's — but it keeps the walk lossless; see DESIGN.md.
+            if !graph.contains(&neighbour) {
+                return false;
+            }
+            neighbour_count += 1;
+            if neighbour >= own {
+                return false;
+            }
         }
     }
     neighbour_count > 0
@@ -571,12 +1040,91 @@ mod tests {
     #[test]
     fn parallel_and_serial_checks_agree() {
         let graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAACGGTTACCAGTACGATC"], 6);
-        let serial = run_invalidation_checks(&graph, 1);
-        let mut parallel = run_invalidation_checks(&graph, 4);
-        parallel.sort_by_key(|c| c.slot);
-        let mut serial_sorted = serial.clone();
-        serial_sorted.sort_by_key(|c| c.slot);
-        assert_eq!(serial_sorted, parallel);
+        let slots: Vec<usize> = graph.iter_alive().map(|(slot, _)| slot).collect();
+        let mut serial = Vec::new();
+        run_checks_into(&graph, &slots, 1, &mut serial);
+        let mut parallel = Vec::new();
+        run_checks_into(&graph, &slots, 4, &mut parallel);
+        // Results are position-aligned with the slot list in both cases.
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), slots.len());
+    }
+
+    fn outcomes_identical(a: &CompactionOutcome, b: &CompactionOutcome, what: &str) {
+        assert_eq!(a.stats, b.stats, "stats diverged: {what}");
+        assert_eq!(a.trace, b.trace, "trace diverged: {what}");
+    }
+
+    #[test]
+    fn frontier_matches_full_scan_bit_for_bit() {
+        let reads = [
+            "ACGTACCTGATCAGTTGCAACGGTTACCAGTACGATC",
+            "GGGCCCAAATTTACGTAG",
+        ];
+        for threads in [1, 2, 4, 8] {
+            let mut full_graph = graph_from_reads(&reads, 6);
+            let mut frontier_graph = full_graph.clone();
+            let full_cfg = PakmanConfig {
+                compaction_mode: CompactionMode::FullScan,
+                threads,
+                ..compact_config(0)
+            };
+            let frontier_cfg = PakmanConfig {
+                compaction_mode: CompactionMode::Frontier,
+                ..full_cfg
+            };
+            let full = compact(&mut full_graph, &full_cfg);
+            let frontier = compact(&mut frontier_graph, &frontier_cfg);
+            outcomes_identical(&full, &frontier, &format!("threads = {threads}"));
+            // The compacted graphs agree node for node.
+            assert_eq!(full_graph.slot_count(), frontier_graph.slot_count());
+            for slot in 0..full_graph.slot_count() {
+                assert_eq!(full_graph.node(slot), frontier_graph.node(slot));
+            }
+            // The frontier never evaluates more predicates than the full scan,
+            // and both record the same per-iteration alive census.
+            for (full_it, frontier_it) in full
+                .profile
+                .iterations
+                .iter()
+                .zip(&frontier.profile.iterations)
+            {
+                assert_eq!(full_it.alive_nodes, frontier_it.alive_nodes);
+                assert_eq!(full_it.checked_nodes, full_it.alive_nodes);
+                assert!(frontier_it.checked_nodes <= frontier_it.alive_nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_is_bit_identical() {
+        let cfg = compact_config(0);
+        let mut scratch = CompactionScratch::new();
+        // First run grows the buffers; the second (different graph shape) must be
+        // oblivious to the leftovers.
+        let mut warmup = graph_from_reads(&["ACGTACCTGATCAGTTGCAACGGTT"], 5);
+        let _ = compact_with_scratch(&mut warmup, &cfg, &mut scratch);
+
+        let mut fresh_graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAAC"], 5);
+        let mut reused_graph = fresh_graph.clone();
+        let fresh = compact(&mut fresh_graph, &cfg);
+        let reused = compact_with_scratch(&mut reused_graph, &cfg, &mut scratch);
+        outcomes_identical(&fresh, &reused, "scratch reuse");
+    }
+
+    #[test]
+    fn profile_records_every_iteration() {
+        let mut graph = graph_from_reads(&["ACGTACCTGATCAGTTGCAAC"], 5);
+        let outcome = compact(&mut graph, &compact_config(0));
+        assert_eq!(
+            outcome.profile.iterations.len(),
+            outcome.stats.iteration_count()
+        );
+        // Iteration 0 is always a full scan.
+        let first = &outcome.profile.iterations[0];
+        assert_eq!(first.checked_nodes, first.alive_nodes);
+        assert_eq!(first.alive_nodes, outcome.stats.initial_nodes);
+        assert!(outcome.profile.total_checked() <= outcome.profile.total_full_scan_checks());
     }
 
     #[test]

@@ -4,6 +4,26 @@ use crate::error::PakmanError;
 use nmp_pak_genome::kmer::MAX_K;
 use serde::{Deserialize, Serialize};
 
+/// Which P1 scan strategy Iterative Compaction uses.
+///
+/// Both modes are **bit-identical** — statistics, trace, and contigs — at every
+/// thread count; they differ only in how much work stage P1 performs. See the
+/// "frontier invariant" section of DESIGN.md for why skipping clean nodes cannot
+/// change any output bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CompactionMode {
+    /// Re-evaluate the invalidation predicate for every alive node every
+    /// iteration — the pre-frontier behaviour, kept as a benchmark baseline and
+    /// an equivalence cross-check.
+    FullScan,
+    /// After iteration 0's full scan, re-evaluate only nodes whose neighbourhood
+    /// could have changed: the destinations of the previous iteration's
+    /// TransferNodes (every other alive node's through-paths are untouched, so
+    /// its cached "not a target" verdict still stands).
+    #[default]
+    Frontier,
+}
+
 /// Configuration for the PaKman assembly pipeline.
 ///
 /// The defaults follow the paper's setup (Table 2): k = 32 with 100 bp reads, a
@@ -23,6 +43,9 @@ pub struct PakmanConfig {
     pub max_compaction_iterations: usize,
     /// Number of worker threads for the parallel phases. `1` disables threading.
     pub threads: usize,
+    /// Stage-P1 scan strategy for Iterative Compaction (frontier-driven by
+    /// default; output is bit-identical either way).
+    pub compaction_mode: CompactionMode,
     /// Record a [`crate::trace::CompactionTrace`] during Iterative Compaction so the
     /// memory-system simulators can replay it.
     pub record_trace: bool,
@@ -38,6 +61,7 @@ impl Default for PakmanConfig {
             compaction_node_threshold: 100,
             max_compaction_iterations: 10_000,
             threads: 4,
+            compaction_mode: CompactionMode::default(),
             record_trace: false,
             min_contig_length: 0,
         }
@@ -84,6 +108,7 @@ mod tests {
     fn default_follows_paper_parameters() {
         let cfg = PakmanConfig::default();
         assert_eq!(cfg.k, 32);
+        assert_eq!(cfg.compaction_mode, CompactionMode::Frontier);
         assert!(cfg.validate().is_ok());
     }
 

@@ -242,6 +242,14 @@ impl PakGraph {
         self.slots.get_mut(slot)?.as_mut()
     }
 
+    /// Mutable view of the raw slot vector. Crate-internal: the parallel P3
+    /// update splits this into disjoint contiguous destination shards
+    /// (`split_at_mut`) so scoped threads can apply TransferNodes to different
+    /// slot ranges concurrently without locks.
+    pub(crate) fn slots_mut(&mut self) -> &mut [Option<MacroNode>] {
+        &mut self.slots
+    }
+
     /// The alive node with the given (k-1)-mer.
     pub fn node_by_k1mer(&self, k1mer: &Kmer) -> Option<&MacroNode> {
         self.node(self.index_of(k1mer)?)

@@ -64,8 +64,11 @@ pub mod transfer;
 pub mod walk;
 
 pub use batch::{BatchAssembler, BatchAssemblyOutput, BatchPlan, BatchSchedule};
-pub use compaction::{CompactionOutcome, CompactionStats, IterationStats, SizeHistogram};
-pub use config::PakmanConfig;
+pub use compaction::{
+    compact, compact_with_scratch, CompactionOutcome, CompactionProfile, CompactionScratch,
+    CompactionStats, IterationProfile, IterationStats, SizeHistogram,
+};
+pub use config::{CompactionMode, PakmanConfig};
 pub use contig::{AssemblyStats, Contig};
 pub use error::PakmanError;
 pub use graph::PakGraph;

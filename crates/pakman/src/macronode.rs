@@ -223,8 +223,12 @@ impl MacroNode {
         &self.paths
     }
 
-    /// Mutable access for compaction updates (crate-internal).
-    pub(crate) fn paths_mut(&mut self) -> &mut Vec<ThroughPath> {
+    /// Mutable access to the through-path list. Hidden: this exists for
+    /// compaction updates and the pre-refactor benchmark fixtures in
+    /// `nmp-pak-bench`; direct edits bypass the wiring invariants, so it is not
+    /// part of the supported API surface.
+    #[doc(hidden)]
+    pub fn paths_mut(&mut self) -> &mut Vec<ThroughPath> {
         &mut self.paths
     }
 
@@ -298,17 +302,38 @@ impl MacroNode {
     ///
     /// This is the "calculate preceding node's (k-1)-mer" append operation of
     /// pipeline stage P1 (Fig. 4 (b), Fig. 10): the first k-1 bases of
-    /// `prefix + self.k1mer`.
+    /// `prefix + self.k1mer`. Computed directly on the packed representations —
+    /// no intermediate `DnaString` is spelled out — because stage P1 evaluates
+    /// this for every neighbour of every checked node, every iteration.
     pub fn predecessor_k1mer(&self, prefix: &DnaString) -> Kmer {
-        let spell = spell_prefix(prefix, &self.k1mer);
-        kmer_from_slice(&spell, 0, self.k1mer.k())
+        let k1_len = self.k1mer.k();
+        let p = prefix.len();
+        if p >= k1_len {
+            // The neighbour lies entirely inside the extension.
+            return pack_window(prefix, 0, k1_len);
+        }
+        // `prefix` supplies the leading bases; the rest is our own (k-1)-mer with
+        // its last `p` bases dropped (`packed >> 2p`).
+        let high = pack_window_raw(prefix, 0, p);
+        let low = self.k1mer.packed() >> (2 * p);
+        Kmer::from_packed((high << (2 * (k1_len - p))) | low, k1_len)
     }
 
     /// The (k-1)-mer of the successor node reached through suffix extension `suffix`:
-    /// the last k-1 bases of `self.k1mer + suffix`.
+    /// the last k-1 bases of `self.k1mer + suffix`. Packed-arithmetic mirror of
+    /// [`MacroNode::predecessor_k1mer`].
     pub fn successor_k1mer(&self, suffix: &DnaString) -> Kmer {
-        let spell = spell_suffix(&self.k1mer, suffix);
-        kmer_from_slice(&spell, spell.len() - self.k1mer.k(), self.k1mer.k())
+        let k1_len = self.k1mer.k();
+        let s = suffix.len();
+        if s >= k1_len {
+            return pack_window(suffix, s - k1_len, k1_len);
+        }
+        // Our own (k-1)-mer with its first `s` bases dropped (mask keeps the low
+        // bases), then `suffix` appended below it.
+        let keep = k1_len - s;
+        let high = self.k1mer.packed() & ((1u64 << (2 * keep)) - 1);
+        let low = pack_window_raw(suffix, 0, s);
+        Kmer::from_packed((high << (2 * s)) | low, k1_len)
     }
 
     /// Distinct predecessor (k-1)-mers over all prefix extensions.
@@ -372,19 +397,56 @@ pub(crate) fn kmer_from_slice(dna: &DnaString, start: usize, len: usize) -> Kmer
     Kmer::from_dna(dna, start, len).expect("window bounds validated by caller")
 }
 
-fn aggregate<I: Iterator<Item = (DnaString, u32)>>(items: I) -> Vec<(DnaString, u32)> {
-    let mut out: Vec<(DnaString, u32)> = Vec::new();
-    for (ext, count) in items {
-        match out.iter_mut().find(|(e, _)| *e == ext) {
-            Some((_, c)) => *c += count,
-            None => out.push((ext, count)),
+/// Packs the `[start, start + len)` window of `dna` into a [`Kmer`] straight from
+/// the 2-bit codes — no intermediate `DnaString`, no per-base enum round-trip.
+fn pack_window(dna: &DnaString, start: usize, len: usize) -> Kmer {
+    Kmer::from_packed(pack_window_raw(dna, start, len), len)
+}
+
+/// The raw packed word of the `[start, start + len)` window, first base in the
+/// most significant occupied bits (the [`Kmer`] bit layout).
+fn pack_window_raw(dna: &DnaString, start: usize, len: usize) -> u64 {
+    dna.codes()
+        .skip(start)
+        .take(len)
+        .fold(0u64, |acc, code| (acc << 2) | code as u64)
+}
+
+/// ASCII-lexicographic rank of each 2-bit base code: the packed code order is
+/// `A < C < T < G` (the paper's Fig. 4 ordering) but extension lists are sorted
+/// in character order `A < C < G < T`, so codes `T` (2) and `G` (3) swap ranks.
+const LEX_RANK: [u8; 4] = [0, 1, 3, 2];
+
+/// Compares two sequences in ASCII-lexicographic order (`A < C < G < T`, shorter
+/// prefix first) without spelling either one out. Equivalent to
+/// `a.to_string().cmp(&b.to_string())`, which the previous comparator computed —
+/// allocating two `String`s per comparison.
+fn cmp_lexicographic(a: &DnaString, b: &DnaString) -> std::cmp::Ordering {
+    for (ca, cb) in a.codes().zip(b.codes()) {
+        match LEX_RANK[ca as usize].cmp(&LEX_RANK[cb as usize]) {
+            std::cmp::Ordering::Equal => continue,
+            non_eq => return non_eq,
         }
     }
-    out.sort_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
-    });
-    out
+    a.len().cmp(&b.len())
+}
+
+/// Merges duplicate extensions and orders the result by count (descending), then
+/// ASCII-lexicographically. The dedupe is a sort over the packed codes followed by
+/// a run-length merge; the seed's linear-scan dedupe was O(n²) and its comparator
+/// called `to_string()` on every comparison.
+fn aggregate<I: Iterator<Item = (DnaString, u32)>>(items: I) -> Vec<(DnaString, u32)> {
+    let mut out: Vec<(DnaString, u32)> = items.collect();
+    out.sort_by(|a, b| cmp_lexicographic(&a.0, &b.0));
+    let mut merged: Vec<(DnaString, u32)> = Vec::with_capacity(out.len());
+    for (ext, count) in out {
+        match merged.last_mut() {
+            Some((e, c)) if *e == ext => *c += count,
+            _ => merged.push((ext, count)),
+        }
+    }
+    merged.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| cmp_lexicographic(&a.0, &b.0)));
+    merged
 }
 
 #[cfg(test)]
@@ -539,5 +601,73 @@ mod tests {
     fn spell_helpers_concatenate() {
         assert_eq!(spell_prefix(&d("AG"), &k("TTC")).to_string(), "AGTTC");
         assert_eq!(spell_suffix(&k("TTC"), &d("AG")).to_string(), "TTCAG");
+    }
+
+    #[test]
+    fn packed_neighbour_k1mers_match_the_spelled_construction() {
+        // The packed-arithmetic neighbour computation must agree with the
+        // reference construction (spell the extension + (k-1)-mer, then slice)
+        // for every extension length: shorter than, equal to, and longer than
+        // the (k-1)-mer.
+        let node = MacroNode::new(k("GTCA"));
+        let k1 = node.k1mer();
+        for ext in ["A", "CA", "TAG", "GATC", "CATGA", "TTTTTTTT"] {
+            let ext = d(ext);
+            let pred_spell = spell_prefix(&ext, &k1);
+            assert_eq!(
+                node.predecessor_k1mer(&ext),
+                kmer_from_slice(&pred_spell, 0, k1.k()),
+                "predecessor via extension {ext:?}"
+            );
+            let succ_spell = spell_suffix(&k1, &ext);
+            assert_eq!(
+                node.successor_k1mer(&ext),
+                kmer_from_slice(&succ_spell, succ_spell.len() - k1.k(), k1.k()),
+                "successor via extension {ext:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_orders_by_count_desc_then_lexicographic() {
+        // Regression for the sort-over-packed-codes rewrite: the order must stay
+        // count-descending with ASCII-lexicographic (`A < C < G < T`) tie-breaks
+        // — note G sorts *before* T here even though the packed code order is
+        // A < C < T < G.
+        let mut node = MacroNode::new(k("ACGT"));
+        for (prefix, count) in [
+            ("T", 2),
+            ("G", 2),
+            ("GA", 5),
+            ("A", 2),
+            ("GAT", 5),
+            ("T", 3), // duplicate: merges with the earlier "T" to count 5
+        ] {
+            node.push_path(ThroughPath::through(d(prefix), d("C"), count));
+        }
+        let prefixes = node.prefix_extensions();
+        let rendered: Vec<(String, u32)> =
+            prefixes.iter().map(|(e, c)| (e.to_string(), *c)).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("GA".to_string(), 5),
+                ("GAT".to_string(), 5),
+                ("T".to_string(), 5),
+                ("A".to_string(), 2),
+                ("G".to_string(), 2),
+            ]
+        );
+        // The comparator agrees with string comparison on every pair, including
+        // the prefix-of-the-other case.
+        for a in ["A", "C", "G", "T", "GA", "GAT", "TA"] {
+            for b in ["A", "C", "G", "T", "GA", "GAT", "TA"] {
+                assert_eq!(
+                    cmp_lexicographic(&d(a), &d(b)),
+                    a.to_string().cmp(&b.to_string()),
+                    "cmp_lexicographic({a}, {b})"
+                );
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! streaming batch scheduler in [`crate::batch`], custom schedulers, profilers —
 //! use the stage API directly.
 
-use crate::compaction::CompactionStats;
+use crate::compaction::{CompactionProfile, CompactionStats};
 use crate::config::PakmanConfig;
 use crate::contig::{AssemblyStats, Contig};
 use crate::error::PakmanError;
@@ -74,6 +74,9 @@ pub struct AssemblyOutput {
     pub kmer_stats: KmerCountStats,
     /// Iterative Compaction statistics.
     pub compaction: CompactionStats,
+    /// Per-iteration compaction stage timings and checked-node counts (always
+    /// recorded; timings vary run to run, the node counts are deterministic).
+    pub compaction_profile: CompactionProfile,
     /// Compaction access trace (when requested in the configuration).
     pub trace: Option<CompactionTrace>,
     /// Memory-footprint model for this workload.

@@ -22,7 +22,7 @@
 //! [`ReadChunk`]s pulled from a [`ReadSource`], or (via [`AccessStage::drain`] /
 //! [`AssemblyPipeline::run_source`]) an entire streaming source.
 
-use crate::compaction::{compact, CompactionStats};
+use crate::compaction::{compact, CompactionProfile, CompactionStats};
 use crate::config::PakmanConfig;
 use crate::contig::Contig;
 use crate::error::PakmanError;
@@ -98,6 +98,8 @@ pub struct CompactedGraph {
     pub stats: CompactionStats,
     /// The access trace, when [`PakmanConfig::record_trace`] was set.
     pub trace: Option<CompactionTrace>,
+    /// Per-iteration stage timings and checked-node counts.
+    pub profile: CompactionProfile,
 }
 
 /// Reads materialized from a streaming source by [`AccessStage::drain`]: step
@@ -280,6 +282,7 @@ impl Stage<ConstructedGraph> for CompactStage {
             graph,
             stats: outcome.stats,
             trace: outcome.trace,
+            profile: outcome.profile,
         })
     }
 }
@@ -450,6 +453,7 @@ impl AssemblyPipeline {
             },
             kmer_stats,
             compaction: compacted.stats,
+            compaction_profile: compacted.profile,
             trace: compacted.trace,
             footprint,
             graph: compacted.graph,

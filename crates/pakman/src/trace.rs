@@ -47,7 +47,10 @@ pub struct UpdateEvent {
 /// Everything that happened during one compaction iteration.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IterationTrace {
-    /// Stage P1 accesses: one per alive node.
+    /// Stage P1 accesses: one per alive node, in ascending slot order. This
+    /// holds under the frontier scan too — nodes outside the dirty set report
+    /// their cached (size, not-invalidated) verdict — so the trace a memory
+    /// simulator replays is identical across [`crate::CompactionMode`]s.
     pub checks: Vec<NodeCheck>,
     /// Stage P2/P3 TransferNode routing events.
     pub transfers: Vec<TransferEvent>,

@@ -58,15 +58,32 @@ impl TransferNode {
     pub fn extract_all(node: &MacroNode) -> Vec<TransferNode> {
         let mut out = Vec::with_capacity(node.paths().len() * 2);
         for path in node.paths() {
-            out.extend(TransferNode::extract_for_path(node, path));
+            if let Some((pred, succ)) = TransferNode::extract_pair(node, path) {
+                out.push(pred);
+                out.push(succ);
+            }
         }
         out
     }
 
     /// Extracts the (predecessor, successor) TransferNode pair for one interior path.
     pub fn extract_for_path(node: &MacroNode, path: &ThroughPath) -> Vec<TransferNode> {
+        match TransferNode::extract_pair(node, path) {
+            Some((pred, succ)) => vec![pred, succ],
+            None => Vec::new(),
+        }
+    }
+
+    /// Extracts the (predecessor, successor) pair for one interior path without
+    /// wrapping the result in a `Vec` — the form the parallel P2 stage pushes
+    /// straight into its pre-allocated per-thread buffers. Terminal paths yield
+    /// `None`.
+    pub fn extract_pair(
+        node: &MacroNode,
+        path: &ThroughPath,
+    ) -> Option<(TransferNode, TransferNode)> {
         let (Some(prefix), Some(suffix)) = (&path.prefix, &path.suffix) else {
-            return Vec::new();
+            return None;
         };
         let k1 = node.k1mer();
         let k1_len = k1.k();
@@ -86,7 +103,7 @@ impl TransferNode {
         let mut succ_new = prefix.clone();
         succ_new.extend_from(&succ_match);
 
-        vec![
+        Some((
             TransferNode {
                 destination: pred_k1mer,
                 side: TransferSide::Predecessor,
@@ -103,7 +120,7 @@ impl TransferNode {
                 count: path.count,
                 source: k1,
             },
-        ]
+        ))
     }
 }
 

@@ -9,8 +9,8 @@
 
 use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SequencingRead};
 use nmp_pak_pakman::{
-    AssemblyOutput, BatchAssembler, BatchAssemblyOutput, BatchSchedule, PakmanAssembler,
-    PakmanConfig,
+    AssemblyOutput, BatchAssembler, BatchAssemblyOutput, BatchSchedule, CompactionMode,
+    PakmanAssembler, PakmanConfig,
 };
 
 fn simulated_reads(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
@@ -234,6 +234,116 @@ fn streamed_fastq_assembly_is_bounded_and_matches_in_memory() {
     assert_eq!(streamed.stats, in_memory.stats);
     assert_eq!(streamed.batch_compaction, in_memory.batch_compaction);
     assert_eq!(streamed.batch_traces, in_memory.batch_traces);
+}
+
+#[test]
+fn frontier_compaction_is_bit_identical_to_full_scan() {
+    // The frontier-driven P1 re-evaluates only nodes whose neighbourhood changed;
+    // a full scan re-evaluates everything. Both must produce the same
+    // CompactionStats, the same CompactionTrace, and the same contigs — at every
+    // thread count — or the frontier invariant (DESIGN.md) is broken.
+    let reads = simulated_reads(10_000, 30.0, 0xF207);
+    let assemble_mode = |threads: usize, mode: CompactionMode| {
+        PakmanAssembler::new(PakmanConfig {
+            k: 21,
+            min_kmer_count: 2,
+            compaction_node_threshold: 10,
+            threads,
+            record_trace: true,
+            compaction_mode: mode,
+            ..PakmanConfig::default()
+        })
+        .assemble(&reads)
+        .unwrap()
+    };
+    let reference = assemble_mode(1, CompactionMode::FullScan);
+    assert!(!reference.contigs.is_empty());
+    assert!(reference.compaction.iteration_count() > 1);
+
+    for threads in [1, 2, 4, 8] {
+        for mode in [CompactionMode::FullScan, CompactionMode::Frontier] {
+            let run = assemble_mode(threads, mode);
+            let what = format!("{mode:?} at threads = {threads}");
+            assert_eq!(run.contigs, reference.contigs, "contigs diverged: {what}");
+            assert_eq!(run.stats, reference.stats, "stats diverged: {what}");
+            assert_eq!(
+                run.compaction, reference.compaction,
+                "compaction stats diverged: {what}"
+            );
+            assert_eq!(run.trace, reference.trace, "trace diverged: {what}");
+        }
+    }
+}
+
+#[test]
+fn frontier_checks_strictly_fewer_nodes_than_full_scan() {
+    // The profile is the work ledger behind the frontier's speedup claim: after
+    // the iteration-0 full scan, every later iteration must evaluate strictly
+    // fewer predicates than the alive-node census a full scan would pay.
+    let reads = simulated_reads(10_000, 30.0, 0xF207);
+    let output = PakmanAssembler::new(PakmanConfig {
+        k: 21,
+        min_kmer_count: 2,
+        compaction_node_threshold: 10,
+        threads: 4,
+        compaction_mode: CompactionMode::Frontier,
+        ..PakmanConfig::default()
+    })
+    .assemble(&reads)
+    .unwrap();
+    let profile = &output.compaction_profile;
+    assert!(profile.iterations.len() > 1, "need a multi-iteration run");
+    assert_eq!(
+        profile.iterations[0].checked_nodes, profile.iterations[0].alive_nodes,
+        "iteration 0 is a full scan"
+    );
+    for it in &profile.iterations[1..] {
+        assert!(
+            it.checked_nodes < it.alive_nodes,
+            "iteration {}: frontier checked {} of {} alive nodes",
+            it.iteration,
+            it.checked_nodes,
+            it.alive_nodes
+        );
+    }
+}
+
+#[test]
+fn frontier_batched_pipelined_schedule_matches_full_scan_sequential() {
+    // The frontier compactor composed with the k-deep batch scheduler: the
+    // stacked fast paths must still reproduce the fully conservative
+    // configuration (sequential schedule, full-scan P1) bit for bit.
+    let reads = simulated_reads(10_000, 30.0, 0xBA7C);
+    let config_for = |threads: usize, mode: CompactionMode| PakmanConfig {
+        compaction_mode: mode,
+        ..batched_config(threads)
+    };
+    let reference = BatchAssembler::with_schedule(
+        config_for(1, CompactionMode::FullScan),
+        0.25,
+        BatchSchedule::Sequential,
+    )
+    .assemble(&reads)
+    .unwrap();
+    assert!(reference.batch_compaction.len() >= 2);
+
+    for threads in [1, 2, 4, 8] {
+        let pipelined = BatchAssembler::with_schedule(
+            config_for(threads, CompactionMode::Frontier),
+            0.25,
+            BatchSchedule::Pipelined {
+                depth: 3,
+                max_inflight_bytes: None,
+            },
+        )
+        .assemble(&reads)
+        .unwrap();
+        assert_batch_outputs_identical(
+            &pipelined,
+            &reference,
+            &format!("frontier pipelined depth 3 at threads = {threads}"),
+        );
+    }
 }
 
 #[test]

@@ -10,6 +10,8 @@
 //! experiments pipeline   # only the pipeline benchmark + BENCH_pipeline.json
 //! experiments compaction # only the Iterative Compaction engine comparison
 //!                        # (per-iteration P1/P2/P3 table, full-scan vs frontier)
+//! experiments sharding   # only the sharded-execution comparison (per-shard
+//!                        # load imbalance + inter-shard mailbox traffic)
 //! NMP_PAK_BENCH_SCALE=standard experiments   # the scale recorded in EXPERIMENTS.md
 //! NMP_PAK_BENCH_OUT=/tmp/b.json experiments pipeline      # report path override
 //! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
@@ -19,10 +21,13 @@
 //!                                        # pipelined schedule the same way
 //! NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP=1.2 experiments compaction # gate the
 //!                                        # frontier compactor vs the pre-refactor one
+//! NMP_PAK_BENCH_MAX_SHARD_OVERHEAD=1.15 experiments sharding # gate the sharded
+//!                                        # engine's 1-shard overhead vs single-graph
 //! ```
 
 use nmp_pak_bench::pipeline_bench::{
-    report_to_json, run_compaction_bench_standalone, run_pipeline_bench, CompactionComparison,
+    report_to_json, run_compaction_bench_standalone, run_pipeline_bench,
+    run_sharding_bench_standalone, CompactionComparison, ShardingComparison,
 };
 use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
 use nmp_pak_core::experiments::Experiments;
@@ -31,10 +36,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
-    // The compaction engine comparison needs no prepared experiment context;
-    // when it is the only thing asked for, skip the backend simulations.
-    if !args.is_empty() && args.iter().all(|a| a == "compaction") {
-        compaction_bench();
+    // The compaction and sharding engine comparisons need no prepared
+    // experiment context; when only they are asked for, skip the backend
+    // simulations.
+    if !args.is_empty() && args.iter().all(|a| a == "compaction" || a == "sharding") {
+        if args.iter().any(|a| a == "compaction") {
+            compaction_bench();
+        }
+        if args.iter().any(|a| a == "sharding") {
+            sharding_bench();
+        }
         return;
     }
 
@@ -95,6 +106,75 @@ fn main() {
     }
     if wanted("compaction") && !args.is_empty() {
         compaction_bench();
+    }
+    if wanted("sharding") && !args.is_empty() {
+        sharding_bench();
+    }
+}
+
+/// Times the sharded compactor across shard counts against the single-graph
+/// engine, prints the measured per-shard/per-channel load and mailbox traffic,
+/// and applies the `NMP_PAK_BENCH_MAX_SHARD_OVERHEAD` gate.
+fn sharding_bench() {
+    heading("Sharding benchmark — owner-computes shards vs single graph");
+    let cmp = run_sharding_bench_standalone(3);
+    print_sharding_comparison(&cmp);
+    check_sharding_gate(&cmp);
+}
+
+fn print_sharding_comparison(cmp: &ShardingComparison) {
+    println!(
+        "single-graph compaction ({} threads): {:>9.3} ms;   sharded engine at 1 shard: {:.2}x",
+        cmp.threads,
+        cmp.single_graph.as_secs_f64() * 1e3,
+        cmp.overhead_at_one(),
+    );
+    println!(
+        "{:<8}{:>12}{:>12}{:>16}{:>12}{:>14}{:>16}",
+        "shards", "wall (ms)", "imbalance", "mailbox (B)", "cross", "chan-imbal", "cross-chan (B)"
+    );
+    for run in &cmp.runs {
+        println!(
+            "{:<8}{:>12.3}{:>12.3}{:>16}{:>11.1}%{:>14.3}{:>16}",
+            run.shards,
+            run.wall.as_secs_f64() * 1e3,
+            run.telemetry.load_imbalance(),
+            run.telemetry.total_mailbox_bytes(),
+            run.telemetry.cross_shard_fraction() * 100.0,
+            run.channel_load.imbalance(),
+            run.channel_load.cross_channel_bytes,
+        );
+    }
+}
+
+/// Optional regression gate: `NMP_PAK_BENCH_MAX_SHARD_OVERHEAD=1.15` fails the
+/// run when the sharded engine at one shard exceeds the single-graph engine's
+/// wall time by more than the threshold, or when any multi-shard run stops
+/// moving cross-shard traffic (which would mean the mailbox is being bypassed).
+fn check_sharding_gate(cmp: &ShardingComparison) {
+    let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MAX_SHARD_OVERHEAD") else {
+        return;
+    };
+    let threshold: f64 = threshold
+        .parse()
+        .expect("NMP_PAK_BENCH_MAX_SHARD_OVERHEAD must be a number");
+    if cmp.overhead_at_one() > threshold {
+        eprintln!(
+            "sharding benchmark regression: sharded-at-1-shard overhead {:.2}x exceeds \
+             the allowed {threshold}x",
+            cmp.overhead_at_one()
+        );
+        std::process::exit(1);
+    }
+    for run in cmp.runs.iter().filter(|r| r.shards > 1) {
+        if run.telemetry.total_cross_shard_bytes() == 0 {
+            eprintln!(
+                "sharding benchmark regression: {} shards moved zero cross-shard bytes — \
+                 the inter-shard mailbox is being bypassed",
+                run.shards
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -200,6 +280,7 @@ fn pipeline_bench() {
         report.counting_plus_construction_speedup()
     );
     print_compaction_comparison(&report.compaction);
+    print_sharding_comparison(&report.sharding);
 
     let streaming = &report.batch_streaming;
     println!(
@@ -248,6 +329,10 @@ fn pipeline_bench() {
     // pre-refactor compactor by the given factor (CI sets 1.2; quiet hardware
     // runs well above the 1.5 acceptance target).
     check_compaction_gate(&report.compaction);
+
+    // Optional sharding gate: bounds the sharded engine's bookkeeping overhead
+    // at one shard and requires real cross-shard mailbox traffic when sharded.
+    check_sharding_gate(&report.sharding);
 
     // Optional streaming gate: NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP=1.0 requires the
     // overlapped schedule's critical path to beat the sequential one. The gate

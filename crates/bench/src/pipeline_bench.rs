@@ -8,10 +8,11 @@
 
 use crate::baseline::{build_graph_baseline, compact_baseline, count_kmers_baseline};
 use nmp_pak_core::workload::Workload;
+use nmp_pak_nmphw::{ChannelLoadStats, NmpSystem};
 use nmp_pak_pakman::{
-    compact_with_scratch, count_kmers, AssemblyOutput, BatchAssembler, BatchSchedule,
-    CompactionMode, CompactionProfile, CompactionScratch, KmerCounterConfig, PakGraph,
-    PakmanAssembler, PakmanConfig,
+    compact_sharded, compact_with_scratch, count_kmers, AssemblyOutput, BatchAssembler,
+    BatchSchedule, CompactionMode, CompactionProfile, CompactionScratch, KmerCounterConfig,
+    PakGraph, PakmanAssembler, PakmanConfig, ShardedGraph, ShardingTelemetry,
 };
 use std::time::{Duration, Instant};
 
@@ -28,6 +29,9 @@ pub const BENCH_SEED: u64 = 0xBEC4;
 pub const BENCH_BATCH_FRACTION: f64 = 0.25;
 /// In-flight window depth of the benchmarked k-deep pipelined schedule.
 pub const BENCH_PIPELINE_DEPTH: usize = 3;
+/// Shard counts swept by the sharded-execution benchmark (1 is the overhead
+/// probe; 8 matches the paper's channel count).
+pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 4, 8];
 
 /// One timed phase pair: optimized vs pre-refactor baseline.
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +180,57 @@ impl CompactionComparison {
     }
 }
 
+/// One sharded-execution measurement: the sharded compactor at a given shard
+/// count on the benchmark graph, with its measured telemetry folded onto the
+/// 8-channel NMP model.
+#[derive(Debug, Clone)]
+pub struct ShardingRun {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Wall clock of `compact_sharded` (best of reps) on the pre-built graph.
+    pub wall: Duration,
+    /// Telemetry of the fastest run (deterministic across runs).
+    pub telemetry: ShardingTelemetry,
+    /// The telemetry folded onto the NMP channels (measured per-channel load
+    /// and intra- vs cross-channel mailbox traffic).
+    pub channel_load: ChannelLoadStats,
+}
+
+/// Wall-clock and traffic comparison of sharded versus single-graph execution
+/// of Iterative Compaction on the same constructed graph.
+///
+/// All runs are bit-identical in statistics, trace, and compacted nodes
+/// (asserted on every benchmark run); the interesting numbers are the
+/// single-shard *overhead* of the sharded engine — the price of the global
+/// bookkeeping and the mailbox indirection, gated in CI via
+/// `NMP_PAK_BENCH_MAX_SHARD_OVERHEAD` — and the measured per-shard load
+/// imbalance and inter-shard traffic at real shard counts.
+#[derive(Debug, Clone)]
+pub struct ShardingComparison {
+    /// Single-graph `compact` wall clock (best of reps) — the baseline.
+    pub single_graph: Duration,
+    /// One entry per swept shard count ([`BENCH_SHARD_COUNTS`]).
+    pub runs: Vec<ShardingRun>,
+    /// Worker threads used by every engine.
+    pub threads: usize,
+}
+
+impl ShardingComparison {
+    /// Sharded-at-one-shard wall over single-graph wall — the engine's
+    /// bookkeeping overhead (1.0 = free; the CI gate allows 1.15).
+    pub fn overhead_at_one(&self) -> f64 {
+        let single = self.single_graph.as_secs_f64();
+        if single == 0.0 {
+            return f64::INFINITY;
+        }
+        self.runs
+            .iter()
+            .find(|r| r.shards == 1)
+            .map(|r| r.wall.as_secs_f64() / single)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
 /// The full benchmark report behind `BENCH_pipeline.json`.
 #[derive(Debug, Clone)]
 pub struct PipelineBenchReport {
@@ -193,6 +248,8 @@ pub struct PipelineBenchReport {
     pub batch_streaming: BatchStreamingComparison,
     /// Step D comparison: pre-refactor vs full-scan vs frontier compaction.
     pub compaction: CompactionComparison,
+    /// Sharded-execution comparison (owner-computes shards vs single graph).
+    pub sharding: ShardingComparison,
     /// Full optimized assembly output (timings of all phases, quality stats).
     pub assembly: AssemblyOutput,
 }
@@ -285,6 +342,7 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
 
     let batch_streaming = run_batch_streaming_bench(&workload.reads, &config, reps);
     let compaction = run_compaction_bench(&counted, &config, reps);
+    let sharding = run_sharding_bench(&counted, &config, reps);
 
     PipelineBenchReport {
         threads,
@@ -300,7 +358,113 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
         },
         batch_streaming,
         compaction,
+        sharding,
         assembly: assembly.expect("at least one repetition ran"),
+    }
+}
+
+/// Runs only the sharded-execution comparison on the standard benchmark
+/// workload (the `experiments sharding` subcommand).
+pub fn run_sharding_bench_standalone(reps: usize) -> ShardingComparison {
+    let (workload, config) = bench_workload_and_config("bench_sharding");
+    let (counted, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+        .expect("benchmark counting succeeds");
+    run_sharding_bench(&counted, &config, reps.max(1))
+}
+
+/// Times the sharded compactor at every [`BENCH_SHARD_COUNTS`] shard count
+/// against the single-graph engine on identical constructed graphs, asserting
+/// bit-identity of statistics and trace on every run and folding the measured
+/// telemetry onto the default 8-channel NMP system.
+fn run_sharding_bench(
+    counted: &[nmp_pak_pakman::CountedKmer],
+    config: &PakmanConfig,
+    reps: usize,
+) -> ShardingComparison {
+    let untraced = PakmanConfig {
+        record_trace: false,
+        ..*config
+    };
+    let reference_graph = PakGraph::from_counted_kmers(counted, config.k, config.threads);
+    let system_config = nmp_pak_core::backend::SystemConfig::default();
+    let nmp_system = NmpSystem::new(system_config.nmp, system_config.dram, system_config.cpu);
+
+    // Single-graph baseline (the engine the 1-shard run must stay within
+    // 1.15× of).
+    let mut single_graph = Duration::MAX;
+    let mut scratch = CompactionScratch::new();
+    for _ in 0..reps.max(1) {
+        let mut graph = reference_graph.clone();
+        let t = Instant::now();
+        let _ = compact_with_scratch(&mut graph, &untraced, &mut scratch);
+        single_graph = single_graph.min(t.elapsed());
+    }
+
+    // Bit-identity reference (traced, once).
+    let traced = PakmanConfig {
+        record_trace: true,
+        ..untraced
+    };
+    let mut traced_graph = reference_graph.clone();
+    let reference_outcome = compact_with_scratch(&mut traced_graph, &traced, &mut scratch);
+
+    let mut runs = Vec::with_capacity(BENCH_SHARD_COUNTS.len());
+    for shards in BENCH_SHARD_COUNTS {
+        // One shard probes the engine overhead on the *same* graph object; real
+        // shard counts build their owner-partitioned graphs from the counted
+        // stream, exactly as the pipeline does.
+        let prototype = if shards == 1 {
+            ShardedGraph::from_single(reference_graph.clone())
+        } else {
+            ShardedGraph::from_counted_kmers(counted, config.k, shards, config.threads)
+        };
+        let mut wall = Duration::MAX;
+        let mut telemetry = None;
+        for _ in 0..reps.max(1) {
+            let mut sharded = prototype.clone();
+            let t = Instant::now();
+            let (_, run_telemetry) = compact_sharded(&mut sharded, &untraced);
+            let elapsed = t.elapsed();
+            if elapsed < wall {
+                wall = elapsed;
+                telemetry = Some(run_telemetry);
+            }
+        }
+        // Bit-identity cross-check: stats, trace, and compacted nodes must
+        // match the single-graph engine before any wall clock is comparable.
+        let mut sharded = prototype;
+        let (outcome, _) = compact_sharded(&mut sharded, &traced);
+        assert_eq!(
+            outcome.stats, reference_outcome.stats,
+            "sharded stats diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            outcome.trace, reference_outcome.trace,
+            "sharded trace diverged at {shards} shard(s)"
+        );
+        let global = sharded.into_global_graph();
+        for slot in 0..traced_graph.slot_count() {
+            assert_eq!(
+                global.node(slot),
+                traced_graph.node(slot),
+                "sharded graph diverged at slot {slot} with {shards} shard(s)"
+            );
+        }
+
+        let telemetry = telemetry.expect("at least one repetition ran");
+        let channel_load = nmp_system.channel_load_from_sharding(&telemetry);
+        runs.push(ShardingRun {
+            shards,
+            wall,
+            telemetry,
+            channel_load,
+        });
+    }
+
+    ShardingComparison {
+        single_graph,
+        runs,
+        threads: config.threads,
     }
 }
 
@@ -590,6 +754,32 @@ fn profile_iterations_json(profile: &CompactionProfile, indent: &str) -> String 
     rows.join(",\n")
 }
 
+/// Renders the sharding comparison's per-shard-count rows as a JSON array.
+fn sharding_runs_json(cmp: &ShardingComparison, indent: &str) -> String {
+    let rows: Vec<String> = cmp
+        .runs
+        .iter()
+        .map(|run| {
+            format!(
+                "{indent}{{\"shards\": {}, \"wall_s\": {:.6}, \"load_imbalance\": {:.4}, \
+                 \"mailbox_bytes\": {}, \"cross_shard_bytes\": {}, \
+                 \"cross_shard_fraction\": {:.4}, \"channel_imbalance\": {:.4}, \
+                 \"cross_channel_bytes\": {}, \"intra_channel_bytes\": {}}}",
+                run.shards,
+                run.wall.as_secs_f64(),
+                run.telemetry.load_imbalance(),
+                run.telemetry.total_mailbox_bytes(),
+                run.telemetry.total_cross_shard_bytes(),
+                run.telemetry.cross_shard_fraction(),
+                run.channel_load.imbalance(),
+                run.channel_load.cross_channel_bytes,
+                run.channel_load.intra_channel_bytes,
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 /// Serializes the report as JSON (hand-rolled; the offline environment has no
 /// serde_json).
 pub fn report_to_json(report: &PipelineBenchReport) -> String {
@@ -640,6 +830,12 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
             "    \"checked_nodes_full_scan\": {checked_full},\n",
             "    \"checked_nodes_frontier\": {checked_frontier},\n",
             "    \"frontier_iterations\": [\n{frontier_iterations}\n    ]\n",
+            "  }},\n",
+            "  \"sharding\": {{\n",
+            "    \"threads\": {sharding_threads},\n",
+            "    \"single_graph_s\": {sharding_single_s:.6},\n",
+            "    \"overhead_at_one\": {sharding_overhead:.3},\n",
+            "    \"runs\": [\n{sharding_runs}\n    ]\n",
             "  }},\n",
             "  \"batch_streaming\": {{\n",
             "    \"batches\": {batches},\n",
@@ -695,6 +891,10 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
         checked_frontier = report.compaction.frontier_profile.total_checked(),
         frontier_iterations =
             profile_iterations_json(&report.compaction.frontier_profile, "      "),
+        sharding_threads = report.sharding.threads,
+        sharding_single_s = secs(&report.sharding.single_graph),
+        sharding_overhead = report.sharding.overhead_at_one(),
+        sharding_runs = sharding_runs_json(&report.sharding, "      "),
         batches = report.batch_streaming.batches,
         available_cores = report.batch_streaming.available_cores,
         pipeline_depth = BENCH_PIPELINE_DEPTH,
@@ -738,9 +938,25 @@ mod tests {
             "\"frontier_iterations\"",
             "\"batch_streaming\"",
             "\"overlap_speedup\"",
+            "\"sharding\"",
+            "\"overhead_at_one\"",
+            "\"cross_channel_bytes\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // Sharding invariants: the sweep includes the 1-shard overhead probe,
+        // real shard counts move real cross-shard traffic, and the overhead
+        // ratio is a positive finite number.
+        assert_eq!(report.sharding.runs.len(), BENCH_SHARD_COUNTS.len());
+        assert!(report.sharding.overhead_at_one().is_finite());
+        assert!(report.sharding.overhead_at_one() > 0.0);
+        let one = &report.sharding.runs[0];
+        assert_eq!(one.shards, 1);
+        assert_eq!(one.telemetry.total_cross_shard_bytes(), 0);
+        let eight = report.sharding.runs.iter().find(|r| r.shards == 8).unwrap();
+        assert!(eight.telemetry.total_cross_shard_bytes() > 0);
+        assert!(eight.telemetry.cross_shard_fraction() > 0.5);
+        assert!(eight.channel_load.imbalance() >= 1.0);
         // The compaction comparison's deterministic invariants: iteration 0 is a
         // full scan, every later frontier iteration checks strictly fewer nodes
         // than the alive census, and the totals reflect that.

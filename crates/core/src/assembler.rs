@@ -128,13 +128,24 @@ impl NmpPakAssembler {
         backend: &dyn CompactionBackend,
     ) -> Result<SystemRun, PakmanError> {
         let (assembly, trace, layout) = self.run_software(workload)?;
-        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        let ctx = Self::context_for(&assembly);
         let backend_result = backend.simulate(&trace, &layout, &ctx);
         Ok(SystemRun {
             assembly,
             layout,
             backend_result,
         })
+    }
+
+    /// The simulation context for an assembly: peak footprint plus — when the
+    /// software ran sharded — the *measured* per-shard load imbalance, so
+    /// spatial backends stop assuming perfectly uniform work.
+    pub fn context_for(assembly: &AssemblyOutput) -> SimulationContext {
+        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        match &assembly.sharding {
+            Some(telemetry) => ctx.with_load_imbalance(telemetry.load_imbalance()),
+            None => ctx,
+        }
     }
 
     /// Runs the pipeline over a streaming [`ReadSource`] (a FASTA/FASTQ file, a
@@ -159,7 +170,7 @@ impl NmpPakAssembler {
         })?;
         let assembly = PakmanAssembler::new(self.pakman).assemble_source(source)?;
         let (assembly, trace, layout) = self.replay_inputs(assembly)?;
-        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        let ctx = Self::context_for(&assembly);
         let backend_result = backend.simulate(&trace, &layout, &ctx);
         Ok(SystemRun {
             assembly,
@@ -179,7 +190,7 @@ impl NmpPakAssembler {
         workload: &Workload,
     ) -> Result<(AssemblyOutput, Vec<BackendResult>), PakmanError> {
         let (assembly, trace, layout) = self.run_software(workload)?;
-        let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
+        let ctx = Self::context_for(&assembly);
         let results = self.registry().simulate_all(&trace, &layout, &ctx);
         Ok((assembly, results))
     }

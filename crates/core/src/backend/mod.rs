@@ -101,17 +101,38 @@ impl CapacityVerdict {
 }
 
 /// Workload-level context shared by every backend simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct SimulationContext {
     /// The workload's peak memory footprint (used for capacity checks).
     pub footprint_bytes: u64,
+    /// Measured per-partition load imbalance (max work over mean work) from
+    /// sharded execution telemetry; `1.0` — the uniform-work assumption — when
+    /// the workload ran unsharded. Spatial-compute backends (NMP channels,
+    /// PANDA subarrays) operate in per-iteration lock-step, so the busiest
+    /// partition paces every iteration: these models stretch their
+    /// perfectly-parallel critical path by this factor.
+    pub load_imbalance: f64,
 }
 
 impl SimulationContext {
-    /// Creates a context for a workload with the given peak footprint.
+    /// Creates a context for a workload with the given peak footprint (uniform
+    /// load assumed until measured telemetry says otherwise).
     pub fn new(footprint_bytes: u64) -> SimulationContext {
-        SimulationContext { footprint_bytes }
+        SimulationContext {
+            footprint_bytes,
+            load_imbalance: 1.0,
+        }
+    }
+
+    /// Attaches a measured load-imbalance factor (clamped to ≥ 1.0).
+    pub fn with_load_imbalance(mut self, imbalance: f64) -> SimulationContext {
+        self.load_imbalance = if imbalance.is_finite() {
+            imbalance.max(1.0)
+        } else {
+            1.0
+        };
+        self
     }
 }
 

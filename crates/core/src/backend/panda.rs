@@ -23,7 +23,7 @@
 //! runtime bounded by bit-serial latency rather than the memory bus.
 
 use super::{BackendId, BackendResult, CompactionBackend, SimulationContext, SystemConfig};
-use nmp_pak_memsim::{DramConfig, MemoryStats, NodeLayout, TrafficSummary};
+use nmp_pak_memsim::{AddressMapping, DramConfig, MemoryStats, NodeLayout, TrafficSummary};
 use nmp_pak_pakman::CompactionTrace;
 use serde::{Deserialize, Serialize};
 
@@ -40,8 +40,14 @@ pub struct PandaConfig {
     pub compare_ops_per_row: usize,
     /// Row ops to merge a TransferNode into a destination row (masked write).
     pub merge_ops_per_row: usize,
-    /// Row ops for an intra-DIMM inter-subarray row copy (LISA-style).
+    /// Row ops for an intra-bank inter-subarray row copy (LISA-style fast
+    /// row movement within one bank's subarray hierarchy).
     pub copy_ops_per_row: usize,
+    /// Row ops for an intra-DIMM **inter-bank** copy. Banks share no subarray
+    /// wiring, so the row must be read into the buffer-chip logic and written
+    /// back into the destination bank — several times the cost of a LISA hop
+    /// (but still no host-visible bus traffic).
+    pub inter_bank_copy_ops_per_row: usize,
     /// Fixed host orchestration overhead per compaction iteration (ns): command
     /// broadcast plus completion polling.
     pub iteration_sync_ns: f64,
@@ -55,6 +61,7 @@ impl Default for PandaConfig {
             compare_ops_per_row: 8,
             merge_ops_per_row: 2,
             copy_ops_per_row: 2,
+            inter_bank_copy_ops_per_row: 6,
             iteration_sync_ns: 1_000.0,
         }
     }
@@ -107,6 +114,19 @@ impl PandaBackend {
     pub fn panda_config(&self) -> &PandaConfig {
         &self.config
     }
+
+    /// The `(rank, bank)` within its DIMM holding `slot`'s first row, decoded
+    /// through memsim's canonical [`AddressMapping`] so PANDA's inter-bank
+    /// pricing uses the same striping as every other consumer of the layout.
+    fn bank_of(
+        &self,
+        mapping: &AddressMapping,
+        layout: &NodeLayout,
+        slot: usize,
+    ) -> (usize, usize) {
+        let loc = mapping.locate(layout.address_of(slot));
+        (loc.rank, loc.bank)
+    }
 }
 
 impl CompactionBackend for PandaBackend {
@@ -122,7 +142,7 @@ impl CompactionBackend for PandaBackend {
         &self,
         trace: &CompactionTrace,
         layout: &NodeLayout,
-        _ctx: &SimulationContext,
+        ctx: &SimulationContext,
     ) -> BackendResult {
         let cfg = &self.config;
         let row_bytes = self.dram.row_buffer_bytes.max(1);
@@ -130,6 +150,7 @@ impl CompactionBackend for PandaBackend {
         let line = self.dram.line_bytes.max(1) as u64;
         // External channel bandwidth in bytes/ns for the inter-DIMM hops.
         let external_gbps = self.dram.total_peak_bandwidth_gbps().max(1e-9);
+        let mapping = AddressMapping::new(self.dram, layout.dimm_capacity());
 
         let mut runtime_ns = 0.0f64;
         let mut internal_row_reads = 0u64; // rows activated for compare/copy
@@ -146,9 +167,11 @@ impl CompactionBackend for PandaBackend {
                 internal_row_reads += rows;
             }
 
-            // TransferNode movement: intra-DIMM hops are in-DRAM row copies;
-            // inter-DIMM hops cross the external bus (the only data traffic the
-            // host-visible channels carry).
+            // TransferNode movement: intra-DIMM hops are in-DRAM row copies —
+            // LISA-cheap when source and destination share a bank, several row
+            // cycles more when the copy must hop banks through the buffer-chip
+            // logic — while inter-DIMM hops cross the external bus (the only
+            // data traffic the host-visible channels carry).
             let mut inter_dimm_bytes = 0u64;
             for transfer in &iteration.transfers {
                 let same_dimm =
@@ -157,7 +180,14 @@ impl CompactionBackend for PandaBackend {
                     .div_ceil(row_bytes as u64)
                     .max(1);
                 if same_dimm {
-                    row_ops += rows * cfg.copy_ops_per_row as u64;
+                    let same_bank = self.bank_of(&mapping, layout, transfer.source_slot)
+                        == self.bank_of(&mapping, layout, transfer.dest_slot);
+                    let ops_per_row = if same_bank {
+                        cfg.copy_ops_per_row
+                    } else {
+                        cfg.inter_bank_copy_ops_per_row
+                    };
+                    row_ops += rows * ops_per_row as u64;
                     internal_row_reads += rows;
                     internal_row_writes += rows;
                 } else {
@@ -185,8 +215,12 @@ impl CompactionBackend for PandaBackend {
             external.write_bytes += control_lines * line;
 
             // Row ops execute in lockstep across every compute subarray; the
-            // external hops drain afterwards over the aggregate bus.
-            let row_phase_ns = (row_ops.div_ceil(lanes)) as f64 * cfg.row_op_ns;
+            // busiest subarray paces each lockstep round, so the measured
+            // per-partition load imbalance (1.0 when unsharded / unmeasured)
+            // stretches the perfectly-balanced critical path. External hops
+            // drain afterwards over the aggregate bus.
+            let row_phase_ns =
+                (row_ops.div_ceil(lanes)) as f64 * cfg.row_op_ns * ctx.load_imbalance.max(1.0);
             let hop_phase_ns = inter_dimm_bytes as f64 / external_gbps;
             runtime_ns += row_phase_ns + hop_phase_ns + cfg.iteration_sync_ns;
         }
@@ -267,6 +301,49 @@ mod tests {
         // utilization metric stays meaningful (strictly below 1).
         assert!(result.memory.bandwidth_utilization() > 0.0);
         assert!(result.memory.bandwidth_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn inter_bank_copies_cost_more_than_intra_bank_ones() {
+        let (trace, layout) = synthetic();
+        let system = SystemConfig::default();
+        let ctx = SimulationContext::new(1);
+        // Collapse the distinction: inter-bank copies priced like LISA hops.
+        let flat = PandaBackend::with_config(
+            &system,
+            PandaConfig {
+                inter_bank_copy_ops_per_row: PandaConfig::default().copy_ops_per_row,
+                ..PandaConfig::default()
+            },
+        )
+        .simulate(&trace, &layout, &ctx);
+        let refined = PandaBackend::new(&system).simulate(&trace, &layout, &ctx);
+        // The synthetic trace's intra-DIMM hops mostly change banks, so the
+        // refined model is strictly slower than the flat-priced one — but the
+        // external traffic is identical: bank hops never touch the bus.
+        assert!(refined.runtime_ns > flat.runtime_ns);
+        assert_eq!(refined.traffic, flat.traffic);
+    }
+
+    #[test]
+    fn measured_load_imbalance_stretches_the_row_phase() {
+        let (trace, layout) = synthetic();
+        let system = SystemConfig::default();
+        let balanced =
+            PandaBackend::new(&system).simulate(&trace, &layout, &SimulationContext::new(1));
+        let skewed = PandaBackend::new(&system).simulate(
+            &trace,
+            &layout,
+            &SimulationContext::new(1).with_load_imbalance(2.0),
+        );
+        assert!(skewed.runtime_ns > balanced.runtime_ns);
+        // Imbalance stretches time, never traffic.
+        assert_eq!(skewed.traffic, balanced.traffic);
+        // Sub-1.0 or non-finite factors clamp back to the uniform assumption.
+        let clamped = SimulationContext::new(1).with_load_imbalance(0.3);
+        assert_eq!(clamped.load_imbalance, 1.0);
+        let nan = SimulationContext::new(1).with_load_imbalance(f64::NAN);
+        assert_eq!(nan.load_imbalance, 1.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! with these drivers on the scaled synthetic workloads.
 
 use crate::assembler::NmpPakAssembler;
-use crate::backend::{BackendId, BackendResult, CompactionBackend, NmpBackend, SimulationContext};
+use crate::backend::{BackendId, BackendResult, CompactionBackend, NmpBackend};
 use crate::workload::Workload;
 use nmp_pak_memsim::{NodeLayout, StallBreakdown};
 use nmp_pak_nmphw::area_power::GpuComparison;
@@ -233,7 +233,7 @@ impl Experiments {
     /// number of PEs per channel varies.
     pub fn fig15_pe_sweep(&self, pe_counts: &[usize]) -> Vec<Row> {
         let baseline = self.result(BackendId::CPU_BASELINE);
-        let ctx = SimulationContext::new(self.assembly.footprint.peak_bytes());
+        let ctx = NmpPakAssembler::context_for(&self.assembly);
         pe_counts
             .iter()
             .map(|&pes| {
@@ -323,8 +323,21 @@ impl Experiments {
         backend.simulate(
             &self.trace,
             &self.layout,
-            &SimulationContext::new(self.assembly.footprint.peak_bytes()),
+            &NmpPakAssembler::context_for(&self.assembly),
         )
+    }
+
+    /// Folds the run's sharding telemetry (if the software ran sharded) onto
+    /// the NMP channel model: per-channel measured work/residency and the
+    /// intra- vs cross-channel split of the mailbox traffic.
+    pub fn channel_load(&self) -> Option<nmp_pak_nmphw::ChannelLoadStats> {
+        let telemetry = self.assembly.sharding.as_ref()?;
+        let system = nmp_pak_nmphw::NmpSystem::new(
+            self.assembler.system.nmp,
+            self.assembler.system.dram,
+            self.assembler.system.cpu,
+        );
+        Some(system.channel_load_from_sharding(telemetry))
     }
 }
 

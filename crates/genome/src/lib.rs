@@ -48,6 +48,7 @@ pub mod kmer;
 pub mod reads;
 pub mod reference;
 pub mod sequencer;
+pub mod shard;
 pub mod source;
 
 pub use base::Base;
@@ -57,6 +58,7 @@ pub use kmer::{Kmer, KmerIter};
 pub use reads::SequencingRead;
 pub use reference::{ReferenceGenome, ReferenceGenomeBuilder, RepeatSpec};
 pub use sequencer::{ReadSimulator, SequencerConfig};
+pub use shard::{shard_of_k1mer, shard_of_packed};
 pub use source::{
     FastaFastqSource, InMemorySource, ReadChunk, ReadSource, SequenceFileFormat, SyntheticSource,
 };

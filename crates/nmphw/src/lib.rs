@@ -34,6 +34,6 @@ pub use bridge::NetworkBridge;
 pub use config::{NmpConfig, PeVariant};
 pub use crossbar::CrossbarSwitch;
 pub use hybrid::{HybridSchedule, HybridScheduler};
-pub use mapping::DimmMappingTable;
+pub use mapping::{DimmMappingTable, ShardChannelMap};
 pub use pe::{PeCycleModel, StageCycles};
-pub use system::{CommStats, NmpRunResult, NmpSystem};
+pub use system::{ChannelLoadStats, CommStats, NmpRunResult, NmpSystem};

@@ -13,10 +13,10 @@ use crate::bridge::NetworkBridge;
 use crate::config::NmpConfig;
 use crate::crossbar::CrossbarSwitch;
 use crate::hybrid::HybridScheduler;
-use crate::mapping::DimmMappingTable;
+use crate::mapping::{DimmMappingTable, ShardChannelMap};
 use crate::pe::PeCycleModel;
 use nmp_pak_memsim::{CpuConfig, DramConfig, MemoryStats, NodeLayout, ProcessFlow, TrafficSummary};
-use nmp_pak_pakman::CompactionTrace;
+use nmp_pak_pakman::{CompactionTrace, ShardingTelemetry};
 use serde::{Deserialize, Serialize};
 
 /// Communication-locality statistics for TransferNode routing (§6.3).
@@ -89,6 +89,57 @@ impl NmpRunResult {
     }
 }
 
+/// Per-channel load and traffic derived from **measured** sharded-execution
+/// telemetry, replacing the uniform-work assumption: each owner-computes shard
+/// folds onto one channel ([`ShardChannelMap`]), per-channel work is the summed
+/// P1 evaluations of the shards it hosts, and cross-channel bytes come from the
+/// mailbox's shard→shard byte matrix — only bytes whose source and destination
+/// shards land on *different channels* count as bridge traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelLoadStats {
+    /// The shard → channel mapping used.
+    pub map: ShardChannelMap,
+    /// P1 predicate evaluations hosted per channel (measured work).
+    pub work_per_channel: Vec<u64>,
+    /// Final alive MacroNodes resident per channel.
+    pub resident_per_channel: Vec<u64>,
+    /// Mailbox bytes that crossed channels (network-bridge traffic).
+    pub cross_channel_bytes: u64,
+    /// Mailbox bytes that stayed within one channel (crossbar / local traffic,
+    /// including shard-to-shard traffic folded onto the same channel).
+    pub intra_channel_bytes: u64,
+}
+
+impl ChannelLoadStats {
+    /// Max-over-mean load imbalance across *occupied* channels (1.0 = perfectly
+    /// balanced). The per-iteration lock-step (§4.3) means the slowest channel
+    /// paces every iteration, so this factor stretches the critical path.
+    pub fn imbalance(&self) -> f64 {
+        let occupied: Vec<u64> = self
+            .work_per_channel
+            .iter()
+            .copied()
+            .filter(|&w| w > 0)
+            .collect();
+        let total: u64 = occupied.iter().sum();
+        if occupied.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / occupied.len() as f64;
+        let max = occupied.iter().copied().max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Fraction of mailbox bytes that crossed channels.
+    pub fn cross_channel_fraction(&self) -> f64 {
+        let total = self.cross_channel_bytes + self.intra_channel_bytes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cross_channel_bytes as f64 / total as f64
+    }
+}
+
 /// The NMP-PaK system simulator.
 #[derive(Debug, Clone)]
 pub struct NmpSystem {
@@ -106,6 +157,45 @@ impl NmpSystem {
     /// The NMP configuration.
     pub fn nmp_config(&self) -> &NmpConfig {
         &self.nmp
+    }
+
+    /// Folds measured sharded-execution telemetry onto this system's channels:
+    /// per-channel work and residency from the per-shard ledgers, and the
+    /// mailbox's shard→shard byte matrix split into intra- versus cross-channel
+    /// traffic. This is the hardware-facing view of the owner-computes
+    /// decomposition — load imbalance and cross-channel bytes are *measured*,
+    /// not assumed uniform.
+    pub fn channel_load_from_sharding(&self, telemetry: &ShardingTelemetry) -> ChannelLoadStats {
+        let channels = self.dram.channels.max(1);
+        let map = ShardChannelMap::new(telemetry.shard_count, channels);
+        let mut work_per_channel = vec![0u64; channels];
+        for (shard, &checked) in telemetry.checked_per_shard.iter().enumerate() {
+            work_per_channel[map.channel_of(shard)] += checked;
+        }
+        let mut resident_per_channel = vec![0u64; channels];
+        for (shard, &alive) in telemetry.final_alive_per_shard.iter().enumerate() {
+            resident_per_channel[map.channel_of(shard)] += alive as u64;
+        }
+        let shards = telemetry.shard_count;
+        let mut cross_channel_bytes = 0u64;
+        let mut intra_channel_bytes = 0u64;
+        for src in 0..shards {
+            for dst in 0..shards {
+                let bytes = telemetry.routed_bytes(src, dst);
+                if map.channel_of(src) == map.channel_of(dst) {
+                    intra_channel_bytes += bytes;
+                } else {
+                    cross_channel_bytes += bytes;
+                }
+            }
+        }
+        ChannelLoadStats {
+            map,
+            work_per_channel,
+            resident_per_channel,
+            cross_channel_bytes,
+            intra_channel_bytes,
+        }
     }
 
     /// Simulates the compaction trace, returning runtime and statistics.
@@ -439,6 +529,59 @@ mod tests {
             result.cpu_offload_fraction
         );
         assert!(result.cpu_bound_iteration_fraction < 0.5);
+    }
+
+    #[test]
+    fn channel_load_folds_measured_shard_telemetry() {
+        use nmp_pak_pakman::{MailboxIterationStats, ShardingTelemetry};
+        // 12 shards on the default 8 channels: shards 8..12 fold onto channels
+        // 0..4. Shard 0 did twice everyone's work; shard 0 → shard 8 traffic is
+        // *intra*-channel (both on channel 0), shard 0 → shard 1 is cross.
+        let shards = 12usize;
+        let mut route_bytes = vec![0u64; shards * shards];
+        route_bytes[/* 0 -> 8 */ 8] = 1_000;
+        route_bytes[/* 0 -> 1 */ 1] = 3_000;
+        let telemetry = ShardingTelemetry {
+            shard_count: shards,
+            initial_alive_per_shard: vec![100; shards],
+            final_alive_per_shard: vec![50; shards],
+            checked_per_shard: {
+                let mut work = vec![100u64; shards];
+                work[0] = 200;
+                work
+            },
+            mailbox: vec![MailboxIterationStats {
+                iteration: 0,
+                transfers: 2,
+                cross_shard_transfers: 2,
+                bytes: 4_000,
+                cross_shard_bytes: 4_000,
+            }],
+            route_bytes,
+        };
+        let stats = system(NmpConfig::default()).channel_load_from_sharding(&telemetry);
+        assert_eq!(stats.map.channel_count(), 8);
+        // Channel 0 hosts shards 0 and 8: 200 + 100 work units.
+        assert_eq!(stats.work_per_channel[0], 300);
+        assert_eq!(stats.work_per_channel[5], 100);
+        assert_eq!(stats.resident_per_channel[0], 100);
+        assert_eq!(stats.resident_per_channel[7], 50);
+        // Shard-crossing bytes that stay on one channel are not bridge traffic.
+        assert_eq!(stats.intra_channel_bytes, 1_000);
+        assert_eq!(stats.cross_channel_bytes, 3_000);
+        assert!((stats.cross_channel_fraction() - 0.75).abs() < 1e-12);
+        assert!(stats.imbalance() > 1.0);
+
+        // Uniform work is reported as balanced.
+        let uniform = ShardingTelemetry {
+            checked_per_shard: vec![100; shards],
+            ..telemetry
+        };
+        let stats = system(NmpConfig::default()).channel_load_from_sharding(&uniform);
+        assert!(
+            (stats.imbalance() - 4.0 / 3.0).abs() < 1e-12,
+            "12 uniform shards on 8 channels: 4 channels host 2 shards → max 200 vs mean 150"
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::memory::MemoryFootprint;
 use crate::pipeline::{AssemblyOutput, PhaseTimings};
+use crate::shard::ShardingTelemetry;
 use crate::stage::{AssemblyPipeline, FrontArtifact};
 use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
@@ -198,6 +199,9 @@ pub struct BatchAssemblyOutput {
     /// Per-batch compaction traces, in batch-index order (empty unless
     /// [`PakmanConfig::record_trace`] is set).
     pub batch_traces: Vec<CompactionTrace>,
+    /// Per-batch sharded-execution telemetry, in batch-index order (empty
+    /// unless [`crate::config::ShardConfig`] engages sharded execution).
+    pub batch_sharding: Vec<ShardingTelemetry>,
     /// Peak footprint of the largest single batch (the batched peak, §4.4).
     pub peak_batch_footprint: MemoryFootprint,
     /// Footprint the same workload would need without batching.
@@ -336,6 +340,7 @@ impl BatchAssembler {
         let mut batch_compaction = Vec::with_capacity(outcomes.len());
         let mut batch_timings = Vec::with_capacity(outcomes.len());
         let mut batch_traces = Vec::new();
+        let mut batch_sharding = Vec::new();
         let mut peak_batch_footprint = MemoryFootprint::default();
         let mut total_read_bases = 0u64;
         let mut total_kmers = 0u64;
@@ -358,6 +363,9 @@ impl BatchAssembler {
             batch_timings.push(output.timings);
             if let Some(trace) = output.trace {
                 batch_traces.push(trace);
+            }
+            if let Some(sharding) = output.sharding {
+                batch_sharding.push(sharding);
             }
             merged_nodes.extend(output.graph.into_nodes());
         }
@@ -385,6 +393,7 @@ impl BatchAssembler {
             batch_compaction,
             batch_timings,
             batch_traces,
+            batch_sharding,
             peak_batch_footprint,
             unbatched_footprint,
             peak_inflight_read_bytes,

@@ -60,11 +60,24 @@ impl SizeHistogram {
 
     /// Records one node of `size` bytes.
     pub fn record(&mut self, size: usize) {
-        let idx = Self::BUCKET_BOUNDS
+        self.counts[Self::bucket_of(size)] += 1;
+    }
+
+    /// Removes one previously [`SizeHistogram::record`]ed node of `size` bytes —
+    /// the incremental-census counterpart used when a node's size changes or the
+    /// node is invalidated.
+    pub(crate) fn unrecord(&mut self, size: usize) {
+        let idx = Self::bucket_of(size);
+        debug_assert!(self.counts[idx] > 0, "unrecord of an empty bucket");
+        self.counts[idx] -= 1;
+    }
+
+    /// Bucket index for a node of `size` bytes.
+    fn bucket_of(size: usize) -> usize {
+        Self::BUCKET_BOUNDS
             .iter()
             .position(|&bound| size <= bound)
-            .unwrap_or(Self::BUCKET_BOUNDS.len());
-        self.counts[idx] += 1;
+            .unwrap_or(Self::BUCKET_BOUNDS.len())
     }
 
     /// Per-bucket counts: one entry per bound plus a final overflow bucket.
@@ -229,6 +242,16 @@ pub struct CompactionScratch {
     /// clean node — a node's size changes only when a transfer lands on it, which
     /// marks it dirty.
     cached_size: Vec<usize>,
+    /// Alive slots, ascending — the compacted alive census. Maintained
+    /// incrementally (invalidated slots are merged out each iteration), so the
+    /// per-iteration loop never rescans the whole slot vector.
+    alive_list: Vec<u32>,
+    /// Running size histogram over the alive nodes, updated in O(re-checked +
+    /// invalidated) per iteration; the per-iteration snapshot is a clone.
+    running_hist: SizeHistogram,
+    /// `false` only until iteration 0's full scan has populated `cached_size`
+    /// and `running_hist` for every alive node.
+    census_primed: bool,
     /// Slots to re-evaluate this iteration, ascending.
     recheck: Vec<usize>,
     /// Evaluation results, aligned with `recheck`.
@@ -282,6 +305,9 @@ impl CompactionScratch {
         self.dirty_list.clear();
         self.touched_order.clear();
         self.checks.clear();
+        self.alive_list.clear();
+        self.running_hist = SizeHistogram::new();
+        self.census_primed = false;
     }
 }
 
@@ -321,6 +347,10 @@ pub fn compact_with_scratch(
     };
     let mut profile = CompactionProfile::default();
     scratch.reset_for(graph.slot_count());
+    debug_assert!(graph.slot_count() <= u32::MAX as usize);
+    scratch
+        .alive_list
+        .extend(graph.iter_alive().map(|(slot, _)| slot as u32));
     let frontier = config.compaction_mode == CompactionMode::Frontier;
     let mut alive = initial_nodes;
 
@@ -337,7 +367,7 @@ pub fn compact_with_scratch(
         if !frontier || iteration == 0 {
             scratch
                 .recheck
-                .extend(graph.iter_alive().map(|(slot, _)| slot));
+                .extend(scratch.alive_list.iter().map(|&slot| slot as usize));
         } else {
             // The frontier: destinations touched by the previous iteration's
             // transfers, in ascending slot order. Everything else is clean and
@@ -356,37 +386,33 @@ pub fn compact_with_scratch(
             config.threads,
             &mut scratch.check_results,
         );
-        for check in &scratch.check_results {
-            scratch.cached_size[check.slot] = check.size_bytes;
-        }
+        // Fold the re-check results into the running census: a slot's previous
+        // size leaves the histogram, its current size enters, and the cache is
+        // refreshed. Clean slots keep their recorded size — it cannot have
+        // changed (only a landed transfer changes a size, and that marks the
+        // slot dirty) — so the snapshot below equals a from-scratch histogram
+        // over all alive nodes in O(re-checked) instead of O(alive).
+        fold_census(
+            &scratch.check_results,
+            scratch.census_primed,
+            &mut scratch.running_hist,
+            &mut scratch.cached_size,
+            &mut scratch.invalidated,
+        );
+        scratch.census_primed = true;
+        let histogram = scratch.running_hist.clone();
 
-        // Assemble the full per-alive-node view — histogram, invalidation set,
-        // and (when tracing) the check list, identical to a full scan's.
-        scratch.invalidated.clear();
-        let mut histogram = SizeHistogram::new();
-        {
-            let mut ri = 0usize;
-            for (slot, _) in graph.iter_alive() {
-                let check = if scratch.recheck.get(ri) == Some(&slot) {
-                    let check = scratch.check_results[ri];
-                    ri += 1;
-                    check
-                } else {
-                    NodeCheck {
-                        slot,
-                        size_bytes: scratch.cached_size[slot],
-                        invalidated: false,
-                    }
-                };
-                histogram.record(check.size_bytes);
-                if check.invalidated {
-                    scratch.invalidated.push(slot);
-                }
-                if trace.is_some() {
-                    scratch.checks.push(check);
-                }
-            }
-            debug_assert_eq!(ri, scratch.recheck.len(), "every re-check slot is alive");
+        // The trace still lists one NodeCheck per alive node per iteration
+        // (clean nodes report their cached verdict), so replays are identical
+        // across scan modes; only traced runs pay this O(alive) assembly.
+        if trace.is_some() {
+            assemble_trace_checks(
+                &scratch.alive_list,
+                &scratch.recheck,
+                &scratch.check_results,
+                &scratch.cached_size,
+                &mut scratch.checks,
+            );
         }
         let p1 = p1_start.elapsed();
         profile.iterations.push(IterationProfile {
@@ -429,7 +455,9 @@ pub fn compact_with_scratch(
         );
         for &slot in &scratch.invalidated {
             graph.invalidate(slot);
+            scratch.running_hist.unrecord(scratch.cached_size[slot]);
         }
+        remove_sorted(&mut scratch.alive_list, &scratch.invalidated);
         alive -= scratch.invalidated.len();
         let p2 = p2_start.elapsed();
 
@@ -447,42 +475,19 @@ pub fn compact_with_scratch(
         );
         apply_transfers_sharded(graph, scratch, config.threads);
 
-        for i in 0..scratch.touched_order.len() {
-            scratch.touched[scratch.touched_order[i]] = false;
-        }
-        scratch.touched_order.clear();
-        let mut unmatched = 0usize;
-        let mut transfer_events: Vec<TransferEvent> = Vec::with_capacity(if trace.is_some() {
-            scratch.transfers.len()
-        } else {
-            0
-        });
-        for (i, (source_slot, transfer)) in scratch.transfers.iter().enumerate() {
-            match scratch.resolved[i] {
-                Some(dest_slot) => {
-                    if trace.is_some() {
-                        transfer_events.push(TransferEvent {
-                            source_slot: *source_slot,
-                            dest_slot,
-                            size_bytes: transfer.size_bytes(),
-                        });
-                    }
-                    if scratch.matched[i] {
-                        if !scratch.touched[dest_slot] {
-                            scratch.touched[dest_slot] = true;
-                            scratch.touched_order.push(dest_slot);
-                        }
-                    } else {
-                        unmatched += 1;
-                    }
-                    if frontier && !scratch.dirty[dest_slot] {
-                        scratch.dirty[dest_slot] = true;
-                        scratch.dirty_list.push(dest_slot);
-                    }
-                }
-                None => unmatched += 1,
-            }
-        }
+        let fold = fold_transfers(
+            &scratch.transfers,
+            &scratch.resolved,
+            &scratch.matched,
+            frontier,
+            trace.is_some(),
+            &mut scratch.touched,
+            &mut scratch.touched_order,
+            &mut scratch.dirty,
+            &mut scratch.dirty_list,
+        );
+        let unmatched = fold.unmatched;
+        let transfer_events = fold.events;
 
         let updates: Vec<UpdateEvent> = if trace.is_some() {
             scratch
@@ -532,6 +537,145 @@ pub fn compact_with_scratch(
         trace,
         profile,
     }
+}
+
+/// Folds position-aligned P1 results into the incremental alive census: each
+/// re-checked slot's previous size leaves the running histogram, its current
+/// size enters, the size cache refreshes, and invalidated slots are collected
+/// in ascending order. `census_primed` must be `false` exactly while no slot
+/// has been recorded yet (iteration 0). Shared by both compaction engines —
+/// the bit-identity of their histograms hangs on this fold being one function.
+pub(crate) fn fold_census(
+    check_results: &[NodeCheck],
+    census_primed: bool,
+    running_hist: &mut SizeHistogram,
+    cached_size: &mut [usize],
+    invalidated: &mut Vec<usize>,
+) {
+    invalidated.clear();
+    for check in check_results {
+        if census_primed {
+            running_hist.unrecord(cached_size[check.slot]);
+        }
+        running_hist.record(check.size_bytes);
+        cached_size[check.slot] = check.size_bytes;
+        if check.invalidated {
+            invalidated.push(check.slot);
+        }
+    }
+}
+
+/// Assembles the traced per-alive-node check list: re-checked slots report
+/// their fresh result, clean slots their cached `(size, not-invalidated)`
+/// verdict. `recheck` must be an ascending subset of `alive_list` and
+/// `check_results` position-aligned with `recheck`. Shared by both engines so
+/// traced replays are identical across scan modes *and* execution shapes.
+pub(crate) fn assemble_trace_checks(
+    alive_list: &[u32],
+    recheck: &[usize],
+    check_results: &[NodeCheck],
+    cached_size: &[usize],
+    checks: &mut Vec<NodeCheck>,
+) {
+    let mut ri = 0usize;
+    for &slot32 in alive_list {
+        let slot = slot32 as usize;
+        let check = if recheck.get(ri) == Some(&slot) {
+            let check = check_results[ri];
+            ri += 1;
+            check
+        } else {
+            NodeCheck {
+                slot,
+                size_bytes: cached_size[slot],
+                invalidated: false,
+            }
+        };
+        checks.push(check);
+    }
+    debug_assert_eq!(ri, recheck.len(), "every re-check slot is alive");
+}
+
+/// Result of [`fold_transfers`]: the unmatched census plus the trace events
+/// (empty unless requested).
+pub(crate) struct TransferFold {
+    pub unmatched: usize,
+    pub events: Vec<TransferEvent>,
+}
+
+/// The canonical post-P3 fold over the transfer stream: resets and rebuilds
+/// the first-touch update order, counts unmatched transfers, emits the trace
+/// transfer events, and marks the next iteration's dirty frontier. Both
+/// engines run this identical fold over their canonical streams, which is what
+/// keeps their traces and frontiers bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fold_transfers(
+    transfers: &[(usize, TransferNode)],
+    resolved: &[Option<usize>],
+    matched: &[bool],
+    frontier: bool,
+    want_events: bool,
+    touched: &mut [bool],
+    touched_order: &mut Vec<usize>,
+    dirty: &mut [bool],
+    dirty_list: &mut Vec<usize>,
+) -> TransferFold {
+    for &slot in touched_order.iter() {
+        touched[slot] = false;
+    }
+    touched_order.clear();
+    let mut unmatched = 0usize;
+    let mut events: Vec<TransferEvent> =
+        Vec::with_capacity(if want_events { transfers.len() } else { 0 });
+    for (i, (source_slot, transfer)) in transfers.iter().enumerate() {
+        match resolved[i] {
+            Some(dest_slot) => {
+                if want_events {
+                    events.push(TransferEvent {
+                        source_slot: *source_slot,
+                        dest_slot,
+                        size_bytes: transfer.size_bytes(),
+                    });
+                }
+                if matched[i] {
+                    if !touched[dest_slot] {
+                        touched[dest_slot] = true;
+                        touched_order.push(dest_slot);
+                    }
+                } else {
+                    unmatched += 1;
+                }
+                if frontier && !dirty[dest_slot] {
+                    dirty[dest_slot] = true;
+                    dirty_list.push(dest_slot);
+                }
+            }
+            None => unmatched += 1,
+        }
+    }
+    TransferFold { unmatched, events }
+}
+
+/// Removes the sorted slot set `removed` from the sorted `alive` list in place
+/// (one forward pass; both inputs ascending).
+pub(crate) fn remove_sorted(alive: &mut Vec<u32>, removed: &[usize]) {
+    if removed.is_empty() {
+        return;
+    }
+    debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+    let mut write = 0usize;
+    let mut ri = 0usize;
+    for read in 0..alive.len() {
+        let slot = alive[read];
+        if ri < removed.len() && removed[ri] == slot as usize {
+            ri += 1;
+            continue;
+        }
+        alive[write] = slot;
+        write += 1;
+    }
+    debug_assert_eq!(ri, removed.len(), "every removed slot was alive");
+    alive.truncate(write);
 }
 
 /// Evaluates the invalidation predicate for `slots` (ascending), writing one
@@ -790,6 +934,16 @@ fn apply_transfers_sharded(graph: &mut PakGraph, scratch: &mut CompactionScratch
 /// deduplicated neighbour set cannot change the verdict: every condition is
 /// universally quantified over the neighbours.
 pub fn is_invalidation_target(graph: &PakGraph, node: &MacroNode) -> bool {
+    is_invalidation_target_with(|k1mer| graph.contains(k1mer), node)
+}
+
+/// [`is_invalidation_target`] generalized over the aliveness oracle, so the
+/// sharded engine can route neighbour lookups through the owner shards while
+/// evaluating the very same predicate.
+pub(crate) fn is_invalidation_target_with<F: Fn(&nmp_pak_genome::Kmer) -> bool>(
+    contains: F,
+    node: &MacroNode,
+) -> bool {
     if !node.is_fully_interior() {
         return false;
     }
@@ -807,7 +961,7 @@ pub fn is_invalidation_target(graph: &PakGraph, node: &MacroNode) -> bool {
             // neighbour) would drop its TransferNodes and lose assembled sequence,
             // so such nodes are kept. This is conservative — compaction stops
             // earlier than PaKman's — but it keeps the walk lossless; see DESIGN.md.
-            if !graph.contains(&neighbour) {
+            if !contains(&neighbour) {
                 return false;
             }
             neighbour_count += 1;
@@ -821,8 +975,9 @@ pub fn is_invalidation_target(graph: &PakGraph, node: &MacroNode) -> bool {
 
 /// Applies one TransferNode to its destination node, splitting paths as necessary so
 /// that exactly `transfer.count` units of flow receive the new extension. Returns
-/// `false` if no matching extension was found.
-fn apply_transfer(dest: &mut MacroNode, transfer: &TransferNode) -> bool {
+/// `false` if no matching extension was found. Shared with the sharded engine,
+/// whose per-shard P3 applies mailbox deliveries with this exact function.
+pub(crate) fn apply_transfer(dest: &mut MacroNode, transfer: &TransferNode) -> bool {
     let mut remaining = transfer.count;
     let mut new_paths = Vec::new();
     let paths = dest.paths_mut();

@@ -24,6 +24,76 @@ pub enum CompactionMode {
     Frontier,
 }
 
+/// Sharded subgraph execution knob: how many owner-computes shards the
+/// PaK-graph is partitioned into.
+///
+/// Every (k-1)-mer has one *owner* shard (a stable hash of its packed code,
+/// [`nmp_pak_genome::shard_of_packed`]); construction and compaction run
+/// per-shard with boundary traffic exchanged through the inter-shard mailbox
+/// once per iteration. Output is **bit-identical** to single-graph execution at
+/// every shard count — sharding changes where work happens, never what it
+/// computes. A shard maps onto one NMP channel in the hardware model, so the
+/// natural production value is the channel count ([`ShardConfig::per_channel`];
+/// the paper's system has 8 channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of owner-computes shards. `1` keeps the monolithic single-graph
+    /// execution path; values above 1 route construction and compaction through
+    /// the sharded engine.
+    pub shard_count: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::single()
+    }
+}
+
+impl ShardConfig {
+    /// The default number of NMP channels (Table 2's 8-channel system), the
+    /// natural shard count for channel-mapped execution.
+    pub const DEFAULT_CHANNELS: usize = 8;
+
+    /// Single-graph execution (no sharding).
+    pub fn single() -> Self {
+        ShardConfig { shard_count: 1 }
+    }
+
+    /// One shard per NMP channel for `channels` channels (clamped to ≥ 1).
+    pub fn per_channel(channels: usize) -> Self {
+        ShardConfig {
+            shard_count: channels.max(1),
+        }
+    }
+
+    /// One shard per channel of the paper's default 8-channel system.
+    pub fn default_channels() -> Self {
+        ShardConfig::per_channel(Self::DEFAULT_CHANNELS)
+    }
+
+    /// `true` when the sharded execution engine is engaged.
+    pub fn is_sharded(&self) -> bool {
+        self.shard_count > 1
+    }
+
+    /// Validates the shard configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::InvalidConfig`] for a zero shard count. A shard
+    /// count exceeding the number of alive MacroNodes is *not* an error —
+    /// some shards simply own zero nodes — but the sharded builder emits a
+    /// warning, since those shards (channels) sit idle.
+    pub fn validate(&self) -> Result<(), PakmanError> {
+        if self.shard_count == 0 {
+            return Err(PakmanError::InvalidConfig {
+                message: "shard count must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for the PaKman assembly pipeline.
 ///
 /// The defaults follow the paper's setup (Table 2): k = 32 with 100 bp reads, a
@@ -46,6 +116,10 @@ pub struct PakmanConfig {
     /// Stage-P1 scan strategy for Iterative Compaction (frontier-driven by
     /// default; output is bit-identical either way).
     pub compaction_mode: CompactionMode,
+    /// Owner-computes sharding of the PaK-graph (see [`ShardConfig`]). The
+    /// default is single-graph execution; any shard count produces bit-identical
+    /// output.
+    pub shards: ShardConfig,
     /// Record a [`crate::trace::CompactionTrace`] during Iterative Compaction so the
     /// memory-system simulators can replay it.
     pub record_trace: bool,
@@ -62,6 +136,7 @@ impl Default for PakmanConfig {
             max_compaction_iterations: 10_000,
             threads: 4,
             compaction_mode: CompactionMode::default(),
+            shards: ShardConfig::default(),
             record_trace: false,
             min_contig_length: 0,
         }
@@ -96,6 +171,7 @@ impl PakmanConfig {
                 message: "minimum k-mer count must be at least 1".to_string(),
             });
         }
+        self.shards.validate()?;
         Ok(())
     }
 }
@@ -144,6 +220,27 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn shard_config_rejects_zero_and_clamps_channels() {
+        assert!(ShardConfig { shard_count: 0 }.validate().is_err());
+        assert!(PakmanConfig {
+            shards: ShardConfig { shard_count: 0 },
+            ..PakmanConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ShardConfig::single().validate().is_ok());
+        assert!(!ShardConfig::single().is_sharded());
+        assert_eq!(ShardConfig::per_channel(0).shard_count, 1);
+        assert_eq!(
+            ShardConfig::default_channels().shard_count,
+            ShardConfig::DEFAULT_CHANNELS
+        );
+        assert!(ShardConfig::default_channels().is_sharded());
+        // The default configuration keeps the single-graph path.
+        assert_eq!(PakmanConfig::default().shards, ShardConfig::single());
     }
 
     #[test]

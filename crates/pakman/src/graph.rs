@@ -180,6 +180,29 @@ impl PakGraph {
         }
     }
 
+    /// Builds a graph directly from its sorted parts: `keys[i]` is the packed
+    /// (k-1)-mer of `slots[i]`, ascending. Crate-internal — the sharded builder
+    /// assembles per-shard graphs from pre-partitioned streams, and the sharded
+    /// compactor reconstitutes the global graph (dead slots included) without
+    /// re-sorting.
+    pub(crate) fn from_parts(keys: Vec<u64>, slots: Vec<Option<MacroNode>>, k: usize) -> PakGraph {
+        debug_assert!(k >= 2, "k = {k} must be at least 2 to form (k-1)-mers");
+        debug_assert_eq!(keys.len(), slots.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        PakGraph {
+            slots,
+            index: RankIndex::build(keys, k - 1),
+            k,
+        }
+    }
+
+    /// The packed (k-1)-mer key of every slot, ascending (the slot order).
+    /// Crate-internal: the sharded layer derives its global rank mapping from
+    /// the per-shard key vectors.
+    pub(crate) fn slot_keys(&self) -> &[u64] {
+        &self.index.keys
+    }
+
     /// Builds a graph from already-constructed MacroNodes (used when merging batches).
     /// Nodes are re-sorted into ascending (k-1)-mer order.
     pub fn from_nodes(mut nodes: Vec<MacroNode>, k: usize) -> PakGraph {
@@ -288,6 +311,13 @@ impl PakGraph {
         self.slots.into_iter().flatten().collect()
     }
 
+    /// Consumes the graph into its raw slot vector (dead slots included).
+    /// Crate-internal: the sharded layer stitches per-shard slot vectors back
+    /// into the exact global layout.
+    pub(crate) fn into_slots(self) -> Vec<Option<MacroNode>> {
+        self.slots
+    }
+
     /// Total number of graph edges (distinct suffix extensions over alive nodes).
     pub fn edge_count(&self) -> usize {
         self.iter_alive()
@@ -344,7 +374,9 @@ fn node_split_points(
 /// Builds the MacroNodes of one node-key segment: a linear merge-scan over the
 /// sorted prefix-extension records and the suffix-extension stream, accumulating
 /// per-base counts in fixed `[u32; 4]` arrays (no map, no per-entry allocation).
-fn build_segment(
+/// Crate-internal: the sharded builder runs one segment per shard over the
+/// owner-partitioned streams.
+pub(crate) fn build_segment(
     prefix_records: &[(u64, u64)],
     counted: &[CountedKmer],
     k1_len: usize,

@@ -192,6 +192,37 @@ pub fn count_kmers(
     Ok((counted, stats))
 }
 
+/// Partitions the sorted counted stream by owner shard for owner-computes
+/// sharded construction: record `i` of the result's shard `s` is the `i`-th
+/// counted k-mer (in global ascending order) whose *prefix* (k-1)-mer —
+/// `packed >> 2`, the MacroNode that receives the k-mer's suffix extension — is
+/// owned by shard `s` under [`nmp_pak_genome::shard_of_packed`].
+///
+/// The partition is stable, so each per-shard stream is itself ascending and
+/// concatenating the streams in shard-merge order reproduces the global stream.
+/// Prefix-extension records (owned by the *suffix* (k-1)-mer's shard) are
+/// exchanged separately during construction — the construction-time equivalent
+/// of the compaction mailbox.
+pub fn partition_counted_by_owner(
+    counted: &[CountedKmer],
+    shard_count: usize,
+) -> Vec<Vec<CountedKmer>> {
+    let shards = shard_count.max(1);
+    let mut out: Vec<Vec<CountedKmer>> = Vec::with_capacity(shards);
+    // Size each stream in one counting pass so the scatter never reallocates.
+    let mut sizes = vec![0usize; shards];
+    for ck in counted {
+        sizes[nmp_pak_genome::shard_of_packed(ck.kmer.packed() >> 2, shards)] += 1;
+    }
+    for &size in &sizes {
+        out.push(Vec::with_capacity(size));
+    }
+    for ck in counted {
+        out[nmp_pak_genome::shard_of_packed(ck.kmer.packed() >> 2, shards)].push(*ck);
+    }
+    out
+}
+
 /// Finishes one bucket: merges its pre-sorted runs pairwise until two remain and
 /// fuses the run-length count into the final merge.
 fn merge_count_bucket(
@@ -564,6 +595,41 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn owner_partition_is_a_stable_cover() {
+        let reads = reads_from(&["ACGTACGTACGTTTTACG", "GGGCCCAAATTTACGTAG"]);
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k: 7,
+                min_count: 1,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        for shards in [1usize, 3, 8, 64] {
+            let parts = partition_counted_by_owner(&counted, shards);
+            assert_eq!(parts.len(), shards);
+            // Every stream is ascending and owned by its shard.
+            for (s, part) in parts.iter().enumerate() {
+                for pair in part.windows(2) {
+                    assert!(pair[0].kmer < pair[1].kmer);
+                }
+                for ck in part {
+                    assert_eq!(
+                        nmp_pak_genome::shard_of_packed(ck.kmer.packed() >> 2, shards),
+                        s
+                    );
+                }
+            }
+            // The streams cover the input exactly once.
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, counted.len());
+        }
+        // One shard reproduces the input verbatim.
+        assert_eq!(partition_counted_by_owner(&counted, 1)[0], counted);
     }
 
     #[test]

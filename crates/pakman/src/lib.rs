@@ -56,6 +56,7 @@ pub mod macronode;
 pub mod memory;
 pub(crate) mod par;
 pub mod pipeline;
+pub mod shard;
 pub mod stage;
 #[cfg(test)]
 pub(crate) mod test_util;
@@ -68,7 +69,7 @@ pub use compaction::{
     compact, compact_with_scratch, CompactionOutcome, CompactionProfile, CompactionScratch,
     CompactionStats, IterationProfile, IterationStats, SizeHistogram,
 };
-pub use config::{CompactionMode, PakmanConfig};
+pub use config::{CompactionMode, PakmanConfig, ShardConfig};
 pub use contig::{AssemblyStats, Contig};
 pub use error::PakmanError;
 pub use graph::PakGraph;
@@ -76,6 +77,7 @@ pub use kmer_count::{count_kmers, CountedKmer, KmerCounterConfig};
 pub use macronode::{MacroNode, ThroughPath};
 pub use memory::MemoryFootprint;
 pub use pipeline::{AssemblyOutput, PakmanAssembler, PhaseTimings};
+pub use shard::{compact_sharded, MailboxIterationStats, ShardedGraph, ShardingTelemetry};
 pub use stage::{AssemblyPipeline, DrainedReads, FrontArtifact, Stage};
 pub use trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
-pub use transfer::TransferNode;
+pub use transfer::{ShardMailbox, TransferNode};

@@ -218,6 +218,13 @@ impl MacroNode {
         self.k1mer
     }
 
+    /// The owner-computes shard this node lives on when the graph is split into
+    /// `shard_count` shards (a stable hash of the packed (k-1)-mer; see
+    /// [`nmp_pak_genome::shard_of_packed`]).
+    pub fn owner_shard(&self, shard_count: usize) -> usize {
+        nmp_pak_genome::shard_of_packed(self.k1mer.packed(), shard_count)
+    }
+
     /// The sequence-flow paths through this node.
     pub fn paths(&self) -> &[ThroughPath] {
         &self.paths

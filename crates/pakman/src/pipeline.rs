@@ -13,6 +13,7 @@ use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::kmer_count::KmerCountStats;
 use crate::memory::MemoryFootprint;
+use crate::shard::ShardingTelemetry;
 use crate::stage::AssemblyPipeline;
 use crate::trace::CompactionTrace;
 use nmp_pak_genome::{ReadSource, SequencingRead};
@@ -79,6 +80,10 @@ pub struct AssemblyOutput {
     pub compaction_profile: CompactionProfile,
     /// Compaction access trace (when requested in the configuration).
     pub trace: Option<CompactionTrace>,
+    /// Measured per-shard load and inter-shard mailbox traffic, recorded when
+    /// [`PakmanConfig::shards`](crate::config::ShardConfig) engages sharded
+    /// execution (`None` on the single-graph path).
+    pub sharding: Option<ShardingTelemetry>,
     /// Memory-footprint model for this workload.
     pub footprint: MemoryFootprint,
     /// The compacted PaK-graph (useful for merging batches or re-walking).

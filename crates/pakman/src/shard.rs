@@ -1,0 +1,1032 @@
+//! Sharded subgraph execution: the owner-computes decomposition of the
+//! PaK-graph, mapped one shard per NMP channel.
+//!
+//! Distributed PaKman partitions MacroNodes across MPI ranks by hashing each
+//! (k-1)-mer and compacts the per-rank subgraphs mostly independently, with
+//! boundary traffic exchanged via `MPI_Alltoallv` once per iteration. NMP-PaK's
+//! scalability claim rests on the same decomposition mapped onto channels: each
+//! channel's local memory holds one subgraph, and only TransferNodes whose
+//! destination lives on another channel cross the inter-DIMM network. This
+//! module is that execution model in software:
+//!
+//! * [`ShardedGraph`] — one [`PakGraph`] per shard (nodes assigned by the
+//!   stable ownership hash [`nmp_pak_genome::shard_of_packed`]) plus the global
+//!   rank mapping that ties local slots back to the single-graph slot space, so
+//!   traces and statistics stay expressed in global slots;
+//! * [`ShardedGraph::from_counted_kmers`] — shard-parallel construction from
+//!   the owner-partitioned counted streams, with prefix-extension records
+//!   exchanged to their owner at build time (the construction-time mailbox);
+//! * [`compact_sharded`] — Iterative Compaction with P1/P2/P3 running
+//!   per-shard and a batched, slot-ordered [`ShardMailbox`] exchanged **once
+//!   per iteration** for cross-shard TransferNodes;
+//! * [`ShardingTelemetry`] — the measured per-shard load and inter-shard
+//!   traffic the hardware models consume instead of assuming uniformity.
+//!
+//! **Determinism contract.** Sharding changes *where* work executes, never what
+//! it computes: contigs, statistics, and the recorded trace are bit-identical
+//! to the single-graph path at every shard count and thread count. The
+//! load-bearing facts are (1) ownership is a pure function of the (k-1)-mer,
+//! (2) each node is fully assembled on its owner (all of a key's extension
+//! contributions are routed there), (3) the mailbox is a stable partition of
+//! the canonical transfer stream, so per-destination delivery order equals the
+//! serial order, and (4) every reduction (histogram, counts) is order-free and
+//! every ordered artifact (trace events, dirty set) is re-serialized from the
+//! canonical global-slot order.
+
+use crate::compaction::{
+    apply_transfer, assemble_trace_checks, fold_census, fold_transfers,
+    is_invalidation_target_with, remove_sorted, CompactionOutcome, CompactionProfile,
+    CompactionStats, IterationProfile, IterationStats, SizeHistogram,
+};
+use crate::config::{CompactionMode, PakmanConfig};
+use crate::graph::{build_segment, PakGraph};
+use crate::kmer_count::{partition_counted_by_owner, CountedKmer};
+use crate::macronode::MacroNode;
+use crate::par::radix_sort_pairs;
+use crate::trace::{CompactionTrace, IterationTrace, NodeCheck, UpdateEvent};
+use crate::transfer::{ShardMailbox, TransferNode};
+use nmp_pak_genome::{shard_of_packed, Kmer};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One shard's built parts: slot keys (ascending) and the slot vector.
+type ShardParts = (Vec<u64>, Vec<Option<MacroNode>>);
+
+/// The PaK-graph split into owner-computes shards, with the global rank mapping
+/// that keeps every externally visible artifact (traces, statistics, the
+/// compacted output graph) in single-graph slot coordinates.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    /// One subgraph per shard; local slots ascend in (k-1)-mer order.
+    shards: Vec<PakGraph>,
+    /// Packed (k-1)-mer of every global slot, ascending — identical to the
+    /// single-graph slot layout.
+    global_keys: Vec<u64>,
+    /// Global slot → (owner shard, local slot).
+    route: Vec<(u32, u32)>,
+    /// Per shard: local slot → global slot (ascending, since local key order is
+    /// a subsequence of the global key order).
+    global_slots: Vec<Vec<u32>>,
+    /// k-mer length the graph was built for.
+    k: usize,
+}
+
+impl ShardedGraph {
+    /// Builds the sharded graph from the sorted counted k-mer stream:
+    /// owner-partitioned per-shard streams, a construction-time exchange of
+    /// prefix-extension records to their owner shard, and one merge-scan build
+    /// per shard (shard-parallel over up to `threads` workers).
+    ///
+    /// Every node comes out bit-identical to [`PakGraph::from_counted_kmers`]'s
+    /// — all of a (k-1)-mer's extension contributions are routed to its owner —
+    /// and the global slot layout (ascending keys over the union) is identical
+    /// too. A shard count of 1 delegates to the single-graph builder outright.
+    ///
+    /// Warns (without panicking) when there are more shards than MacroNodes:
+    /// the surplus shards own zero nodes and the corresponding channels idle.
+    pub fn from_counted_kmers(
+        counted: &[CountedKmer],
+        k: usize,
+        shard_count: usize,
+        threads: usize,
+    ) -> ShardedGraph {
+        let shard_count = shard_count.max(1);
+        if shard_count == 1 {
+            return ShardedGraph::from_single(PakGraph::from_counted_kmers(counted, k, threads));
+        }
+        debug_assert!(k >= 2, "k = {k} must be at least 2 to form (k-1)-mers");
+        let k1_len = k - 1;
+        let k1_shift = (2 * k1_len) as u32;
+        let k1_mask = (1u64 << k1_shift) - 1;
+
+        // Owner-partitioned suffix streams: counted k-mers grouped by the owner
+        // of their prefix (k-1)-mer (the node receiving the suffix extension).
+        let suffix_streams = partition_counted_by_owner(counted, shard_count);
+
+        // The construction-time exchange: prefix-extension records belong to
+        // the *suffix* (k-1)-mer's owner, which is in general a different shard
+        // than the k-mer's own — the same all-to-all pattern the compaction
+        // mailbox batches per iteration.
+        let mut sizes = vec![0usize; shard_count];
+        for ck in counted {
+            sizes[shard_of_packed(ck.kmer.packed() & k1_mask, shard_count)] += 1;
+        }
+        let mut jobs: Vec<(usize, Vec<(u64, u64)>)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &size)| (s, Vec::with_capacity(size)))
+            .collect();
+        for ck in counted {
+            let packed = ck.kmer.packed();
+            let key = packed & k1_mask;
+            let record = (key << 2) | (packed >> k1_shift);
+            jobs[shard_of_packed(key, shard_count)]
+                .1
+                .push((record, ck.count as u64));
+        }
+
+        // Shard-parallel build: each shard radix-sorts its received records and
+        // runs the single-graph merge-scan over its two streams.
+        let workers = threads.clamp(1, shard_count);
+        let per_worker = shard_count.div_ceil(workers);
+        let mut parts: Vec<Option<ShardParts>> = (0..shard_count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for chunk in jobs.chunks_mut(per_worker) {
+                let suffix_streams = &suffix_streams;
+                handles.push(scope.spawn(move || {
+                    let mut built = Vec::with_capacity(chunk.len());
+                    for (shard, records) in chunk.iter_mut() {
+                        radix_sort_pairs(records, k1_shift + 2);
+                        built.push((
+                            *shard,
+                            build_segment(records, &suffix_streams[*shard], k1_len),
+                        ));
+                    }
+                    built
+                }));
+            }
+            for handle in handles {
+                for (shard, part) in handle.join().expect("shard build worker panicked") {
+                    parts[shard] = Some(part);
+                }
+            }
+        });
+
+        let mut shards = Vec::with_capacity(shard_count);
+        for part in parts {
+            let (keys, slots) = part.expect("every shard was built");
+            shards.push(PakGraph::from_parts(keys, slots, k));
+        }
+        ShardedGraph::from_shards(shards, k)
+    }
+
+    /// Wraps an already-built single graph as a one-shard sharded graph (the
+    /// identity mapping). Used by the `shard_count == 1` fast path and the
+    /// overhead benchmark, which runs the full sharded engine over one shard.
+    pub fn from_single(graph: PakGraph) -> ShardedGraph {
+        let n = graph.slot_count();
+        let k = graph.k();
+        debug_assert!(n <= u32::MAX as usize);
+        ShardedGraph {
+            global_keys: graph.slot_keys().to_vec(),
+            route: (0..n as u32).map(|local| (0, local)).collect(),
+            global_slots: vec![(0..n as u32).collect()],
+            shards: vec![graph],
+            k,
+        }
+    }
+
+    /// Assembles the global rank mapping over per-shard graphs (ascending
+    /// merge of the per-shard key sequences).
+    fn from_shards(shards: Vec<PakGraph>, k: usize) -> ShardedGraph {
+        let shard_count = shards.len();
+        let total: usize = shards.iter().map(PakGraph::slot_count).sum();
+        debug_assert!(total <= u32::MAX as usize);
+        if shard_count > total {
+            eprintln!(
+                "warning: {shard_count} shards over {total} MacroNodes — \
+                 {unowned} shard(s) own zero k-mers and their channels idle",
+                unowned = shard_count - total
+            );
+        }
+        // Merge the per-shard key sequences into the global ascending order by
+        // radix-sorting (key, shard/local) pairs — keys are globally unique, so
+        // this is a total order and runs in O(total) passes.
+        let key_bits = (2 * (k - 1)) as u32;
+        let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(total);
+        for (shard, graph) in shards.iter().enumerate() {
+            for (local, &key) in graph.slot_keys().iter().enumerate() {
+                pairs.push((key, ((shard as u64) << 32) | local as u64));
+            }
+        }
+        radix_sort_pairs(&mut pairs, key_bits);
+        let mut global_keys = Vec::with_capacity(total);
+        let mut route = Vec::with_capacity(total);
+        let mut global_slots: Vec<Vec<u32>> = shards
+            .iter()
+            .map(|g| Vec::with_capacity(g.slot_count()))
+            .collect();
+        for &(key, packed_route) in &pairs {
+            let shard = (packed_route >> 32) as usize;
+            let local = packed_route as u32;
+            global_slots[shard].push(global_keys.len() as u32);
+            route.push((shard as u32, local));
+            global_keys.push(key);
+        }
+        debug_assert!(global_keys.windows(2).all(|w| w[0] < w[1]));
+        ShardedGraph {
+            shards,
+            global_keys,
+            route,
+            global_slots,
+            k,
+        }
+    }
+
+    /// The k-mer length this graph was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The subgraph of shard `shard`.
+    pub fn shard(&self, shard: usize) -> &PakGraph {
+        &self.shards[shard]
+    }
+
+    /// Total number of global slots (alive + invalidated).
+    pub fn global_slot_count(&self) -> usize {
+        self.route.len()
+    }
+
+    /// The owner shard of global slot `slot`.
+    #[inline]
+    pub fn shard_of_global(&self, slot: usize) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        self.route[slot].0 as usize
+    }
+
+    /// Total alive MacroNodes across all shards.
+    pub fn alive_count(&self) -> usize {
+        self.shards.iter().map(PakGraph::alive_count).sum()
+    }
+
+    /// Alive MacroNodes per shard — the per-channel residency the hardware
+    /// model reads as measured (not assumed) load.
+    pub fn per_shard_alive(&self) -> Vec<usize> {
+        self.shards.iter().map(PakGraph::alive_count).collect()
+    }
+
+    /// The alive node at global slot `slot`, if any.
+    ///
+    /// The one-shard fast paths here and below skip the route/ownership
+    /// indirection when the mapping is the identity, keeping the sharded
+    /// engine's single-shard overhead within the benchmark gate.
+    #[inline]
+    pub fn node_global(&self, slot: usize) -> Option<&MacroNode> {
+        if self.shards.len() == 1 {
+            return self.shards[0].node(slot);
+        }
+        let (shard, local) = self.route[slot];
+        self.shards[shard as usize].node(local as usize)
+    }
+
+    /// Invalidates the node at global slot `slot` on its owner shard.
+    pub fn invalidate_global(&mut self, slot: usize) -> Option<MacroNode> {
+        if self.shards.len() == 1 {
+            return self.shards[0].invalidate(slot);
+        }
+        let (shard, local) = self.route[slot];
+        self.shards[shard as usize].invalidate(local as usize)
+    }
+
+    /// `true` if a node with this (k-1)-mer is alive — resolved on its owner
+    /// shard, exactly as a PE would consult its channel's mapping table.
+    #[inline]
+    pub fn contains(&self, k1mer: &Kmer) -> bool {
+        if self.shards.len() == 1 {
+            return self.shards[0].contains(k1mer);
+        }
+        self.shards[shard_of_packed(k1mer.packed(), self.shards.len())].contains(k1mer)
+    }
+
+    /// The global slot of the alive node with this (k-1)-mer, if any.
+    pub fn index_of_global(&self, k1mer: &Kmer) -> Option<usize> {
+        let shard = shard_of_packed(k1mer.packed(), self.shards.len());
+        let local = self.shards[shard].index_of(k1mer)?;
+        Some(self.global_slots[shard][local] as usize)
+    }
+
+    /// Reassembles the single global graph (dead slots included), preserving
+    /// the exact single-graph slot layout so downstream consumers — the walk,
+    /// batch merging, the memory-trace layout — see an identical structure.
+    pub fn into_global_graph(self) -> PakGraph {
+        let ShardedGraph {
+            shards,
+            global_keys,
+            route,
+            k,
+            ..
+        } = self;
+        let mut shard_slots: Vec<Vec<Option<MacroNode>>> =
+            shards.into_iter().map(PakGraph::into_slots).collect();
+        let mut slots = Vec::with_capacity(route.len());
+        for &(shard, local) in &route {
+            slots.push(shard_slots[shard as usize][local as usize].take());
+        }
+        PakGraph::from_parts(global_keys, slots, k)
+    }
+}
+
+/// Mailbox traffic of one compaction iteration (the per-iteration exchange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailboxIterationStats {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// TransferNodes routed through the mailbox.
+    pub transfers: usize,
+    /// TransferNodes whose destination shard differed from their source shard.
+    pub cross_shard_transfers: usize,
+    /// Total payload bytes routed.
+    pub bytes: u64,
+    /// Payload bytes that crossed shards (the inter-channel traffic).
+    pub cross_shard_bytes: u64,
+}
+
+/// Measured per-shard load and inter-shard traffic of one sharded run — the
+/// telemetry the `nmphw` channel model and the PANDA cost model consume instead
+/// of assuming uniform work and uniform traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingTelemetry {
+    /// Number of shards the run executed with.
+    pub shard_count: usize,
+    /// Alive MacroNodes per shard before compaction.
+    pub initial_alive_per_shard: Vec<usize>,
+    /// Alive MacroNodes per shard after compaction.
+    pub final_alive_per_shard: Vec<usize>,
+    /// P1 invalidation predicates evaluated per shard across the run — the
+    /// per-channel compute load.
+    pub checked_per_shard: Vec<u64>,
+    /// Per-iteration mailbox traffic.
+    pub mailbox: Vec<MailboxIterationStats>,
+    /// Whole-run shard→shard payload bytes, flattened
+    /// `source * shard_count + destination`.
+    pub route_bytes: Vec<u64>,
+}
+
+impl ShardingTelemetry {
+    /// Per-shard load imbalance: max over mean of the per-shard P1 work
+    /// (falls back to the initial residency when no predicate ran). 1.0 means
+    /// perfectly balanced; the hardware model multiplies its
+    /// perfectly-parallel critical path by this factor.
+    ///
+    /// The mean runs over *working* shards only, matching the channel model's
+    /// convention (`nmphw::ChannelLoadStats::imbalance` excludes idle
+    /// channels): a shard that owns zero k-mers reflects over-partitioning,
+    /// not skew among the lanes that actually execute in lock-step.
+    pub fn load_imbalance(&self) -> f64 {
+        let ratio = |counts: &[u64]| -> Option<f64> {
+            let working: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+            let total: u64 = working.iter().sum();
+            if working.is_empty() || total == 0 {
+                return None;
+            }
+            let mean = total as f64 / working.len() as f64;
+            let max = working.iter().copied().max().unwrap_or(0) as f64;
+            Some(max / mean)
+        };
+        let residency: Vec<u64> = self
+            .initial_alive_per_shard
+            .iter()
+            .map(|&n| n as u64)
+            .collect();
+        ratio(&self.checked_per_shard)
+            .or_else(|| ratio(&residency))
+            .unwrap_or(1.0)
+    }
+
+    /// Total TransferNodes routed across the run.
+    pub fn total_transfers(&self) -> usize {
+        self.mailbox.iter().map(|m| m.transfers).sum()
+    }
+
+    /// Total mailbox payload bytes across the run.
+    pub fn total_mailbox_bytes(&self) -> u64 {
+        self.mailbox.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total payload bytes that crossed shards across the run.
+    pub fn total_cross_shard_bytes(&self) -> u64 {
+        self.mailbox.iter().map(|m| m.cross_shard_bytes).sum()
+    }
+
+    /// Fraction of mailbox bytes that crossed shards (0 when nothing moved).
+    pub fn cross_shard_fraction(&self) -> f64 {
+        let total = self.total_mailbox_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_cross_shard_bytes() as f64 / total as f64
+    }
+
+    /// Bytes routed from shard `src` to shard `dst` across the run.
+    pub fn routed_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.route_bytes[src * self.shard_count + dst]
+    }
+}
+
+/// Runs Iterative Compaction over the sharded graph: P1/P2/P3 execute
+/// per-shard, cross-shard TransferNodes travel through a batched slot-ordered
+/// [`ShardMailbox`] exchanged once per iteration, and the outcome — statistics,
+/// trace, compacted nodes — is **bit-identical** to [`crate::compaction::compact`]
+/// on the equivalent single graph, at every shard count, thread count, and
+/// [`CompactionMode`].
+pub fn compact_sharded(
+    sharded: &mut ShardedGraph,
+    config: &PakmanConfig,
+) -> (CompactionOutcome, ShardingTelemetry) {
+    let shard_count = sharded.shard_count();
+    let slot_count = sharded.global_slot_count();
+    let initial_nodes = sharded.alive_count();
+    let frontier = config.compaction_mode == CompactionMode::Frontier;
+
+    let mut trace = config.record_trace.then(|| {
+        let mut sizes = vec![0usize; slot_count];
+        for (slot, size) in sizes.iter_mut().enumerate() {
+            if let Some(node) = sharded.node_global(slot) {
+                *size = node.size_bytes();
+            }
+        }
+        CompactionTrace::new(slot_count, sizes)
+    });
+
+    let mut stats = CompactionStats {
+        initial_nodes,
+        final_nodes: initial_nodes,
+        ..CompactionStats::default()
+    };
+    let mut profile = CompactionProfile::default();
+    let mut telemetry = ShardingTelemetry {
+        shard_count,
+        initial_alive_per_shard: sharded.per_shard_alive(),
+        final_alive_per_shard: Vec::new(),
+        checked_per_shard: vec![0; shard_count],
+        mailbox: Vec::new(),
+        route_bytes: vec![0; shard_count * shard_count],
+    };
+
+    // Global-slot-indexed census state, mirroring the single-graph scratch.
+    let mut alive_list: Vec<u32> = (0..slot_count as u32)
+        .filter(|&slot| sharded.node_global(slot as usize).is_some())
+        .collect();
+    let mut alive = initial_nodes;
+    let mut cached_size = vec![0usize; slot_count];
+    let mut dirty = vec![false; slot_count];
+    let mut dirty_list: Vec<usize> = Vec::new();
+    let mut running_hist = SizeHistogram::new();
+    let mut census_primed = false;
+
+    let mut mailbox = ShardMailbox::new(shard_count);
+    let mut recheck: Vec<usize> = Vec::new();
+    let mut check_results: Vec<NodeCheck> = Vec::new();
+    let mut invalidated: Vec<usize> = Vec::new();
+    let mut transfers: Vec<(usize, TransferNode)> = Vec::new();
+    let mut resolved: Vec<Option<usize>> = Vec::new();
+    let mut matched: Vec<bool> = Vec::new();
+    let mut touched = vec![false; slot_count];
+    let mut touched_order: Vec<usize> = Vec::new();
+    let mut checks: Vec<NodeCheck> = Vec::new();
+
+    for iteration in 0..config.max_compaction_iterations {
+        let alive_before = alive;
+        if alive_before <= config.compaction_node_threshold {
+            stats.converged = true;
+            break;
+        }
+
+        // ---- Stage P1: per-shard invalidation checks over the global
+        // frontier (read-only; neighbour lookups route to the owner shard) ----
+        let p1_start = Instant::now();
+        recheck.clear();
+        if !frontier || iteration == 0 {
+            recheck.extend(alive_list.iter().map(|&slot| slot as usize));
+        } else {
+            dirty_list.sort_unstable();
+            for &slot in &dirty_list {
+                dirty[slot] = false;
+                recheck.push(slot);
+            }
+            dirty_list.clear();
+        }
+        run_sharded_checks(sharded, &recheck, config.threads, &mut check_results);
+        for &slot in &recheck {
+            telemetry.checked_per_shard[sharded.shard_of_global(slot)] += 1;
+        }
+
+        fold_census(
+            &check_results,
+            census_primed,
+            &mut running_hist,
+            &mut cached_size,
+            &mut invalidated,
+        );
+        census_primed = true;
+        let histogram = running_hist.clone();
+
+        if trace.is_some() {
+            assemble_trace_checks(
+                &alive_list,
+                &recheck,
+                &check_results,
+                &cached_size,
+                &mut checks,
+            );
+        }
+        let p1 = p1_start.elapsed();
+        profile.iterations.push(IterationProfile {
+            iteration,
+            p1,
+            p2: Duration::ZERO,
+            p3: Duration::ZERO,
+            checked_nodes: recheck.len(),
+            alive_nodes: alive_before,
+        });
+
+        if invalidated.is_empty() {
+            stats.iterations.push(IterationStats {
+                iteration,
+                alive_before,
+                invalidated: 0,
+                transfers: 0,
+                unmatched_transfers: 0,
+                histogram,
+            });
+            if let Some(trace) = trace.as_mut() {
+                trace.iterations.push(IterationTrace {
+                    checks: std::mem::take(&mut checks),
+                    transfers: Vec::new(),
+                    updates: Vec::new(),
+                });
+            }
+            stats.converged = true;
+            break;
+        }
+
+        // ---- Stage P2: per-shard TransferNode extraction (canonical
+        // global-slot-major stream), then invalidation on the owner shards ----
+        let p2_start = Instant::now();
+        extract_sharded_transfers(sharded, &invalidated, config.threads, &mut transfers);
+        for &slot in &invalidated {
+            sharded.invalidate_global(slot);
+            running_hist.unrecord(cached_size[slot]);
+        }
+        remove_sorted(&mut alive_list, &invalidated);
+        alive -= invalidated.len();
+        let p2 = p2_start.elapsed();
+
+        // ---- The inter-shard mailbox: one batched exchange per iteration.
+        // Stable partition of the canonical stream → slot-ordered delivery.
+        let p3_start = Instant::now();
+        mailbox.route(&transfers, |i| sharded.shard_of_global(transfers[i].0));
+        telemetry.mailbox.push(MailboxIterationStats {
+            iteration,
+            transfers: mailbox.transfer_count(),
+            cross_shard_transfers: mailbox.cross_shard_transfer_count(),
+            bytes: mailbox.total_bytes(),
+            cross_shard_bytes: mailbox.cross_shard_bytes(),
+        });
+        for (cell, routed) in telemetry.route_bytes.iter_mut().zip(mailbox.route_bytes()) {
+            *cell += routed;
+        }
+
+        // ---- Stage P3: every destination shard drains its inbox in mailbox
+        // (= canonical per-destination) order, resolving against its own rank
+        // index and applying locally — shards in parallel, no locks.
+        resolved.clear();
+        resolved.resize(transfers.len(), None);
+        matched.clear();
+        matched.resize(transfers.len(), false);
+        apply_mailbox(
+            sharded,
+            &mailbox,
+            &transfers,
+            config.threads,
+            &mut resolved,
+            &mut matched,
+        );
+
+        // ---- Canonical fold over the global stream: unmatched census,
+        // first-touch update order, trace events, and the next frontier —
+        // the exact fold the single-graph engine runs ([`fold_transfers`]).
+        let fold = fold_transfers(
+            &transfers,
+            &resolved,
+            &matched,
+            frontier,
+            trace.is_some(),
+            &mut touched,
+            &mut touched_order,
+            &mut dirty,
+            &mut dirty_list,
+        );
+        let unmatched = fold.unmatched;
+        let transfer_events = fold.events;
+
+        let updates: Vec<UpdateEvent> = if trace.is_some() {
+            touched_order
+                .iter()
+                .map(|&dest_slot| UpdateEvent {
+                    dest_slot,
+                    size_bytes: sharded
+                        .node_global(dest_slot)
+                        .map(MacroNode::size_bytes)
+                        .unwrap_or(0),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let p3 = p3_start.elapsed();
+        if let Some(entry) = profile.iterations.last_mut() {
+            entry.p2 = p2;
+            entry.p3 = p3;
+        }
+
+        stats.total_transfers += transfers.len();
+        stats.iterations.push(IterationStats {
+            iteration,
+            alive_before,
+            invalidated: invalidated.len(),
+            transfers: transfers.len(),
+            unmatched_transfers: unmatched,
+            histogram,
+        });
+        if let Some(trace) = trace.as_mut() {
+            trace.iterations.push(IterationTrace {
+                checks: std::mem::take(&mut checks),
+                transfers: transfer_events,
+                updates,
+            });
+        }
+    }
+
+    stats.final_nodes = sharded.alive_count();
+    if stats.final_nodes <= config.compaction_node_threshold {
+        stats.converged = true;
+    }
+    telemetry.final_alive_per_shard = sharded.per_shard_alive();
+    (
+        CompactionOutcome {
+            stats,
+            trace,
+            profile,
+        },
+        telemetry,
+    )
+}
+
+/// Evaluates the invalidation predicate for the global `slots` (ascending) on
+/// their owner shards, writing position-aligned results — the sharded
+/// equivalent of the single-graph `run_checks_into`.
+fn run_sharded_checks(
+    sharded: &ShardedGraph,
+    slots: &[usize],
+    threads: usize,
+    results: &mut Vec<NodeCheck>,
+) {
+    results.clear();
+    results.resize(
+        slots.len(),
+        NodeCheck {
+            slot: 0,
+            size_bytes: 0,
+            invalidated: false,
+        },
+    );
+    let check_one = |slot: usize| {
+        let node = sharded.node_global(slot).expect("slot is alive");
+        NodeCheck {
+            slot,
+            size_bytes: node.size_bytes(),
+            invalidated: is_invalidation_target_with(|k1mer| sharded.contains(k1mer), node),
+        }
+    };
+    let threads = threads.max(1).min(slots.len().max(1));
+    if threads <= 1 || slots.len() < 64 {
+        for (out, &slot) in results.iter_mut().zip(slots) {
+            *out = check_one(slot);
+        }
+        return;
+    }
+    let chunk = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (out_chunk, slot_chunk) in results.chunks_mut(chunk).zip(slots.chunks(chunk)) {
+            let check_one = &check_one;
+            scope.spawn(move || {
+                for (out, &slot) in out_chunk.iter_mut().zip(slot_chunk) {
+                    *out = check_one(slot);
+                }
+            });
+        }
+    });
+}
+
+/// Extracts the TransferNodes of every invalidated global slot (ascending)
+/// into the canonical global-slot-major stream, parallel over contiguous
+/// chunks merged in order.
+fn extract_sharded_transfers(
+    sharded: &ShardedGraph,
+    invalidated: &[usize],
+    threads: usize,
+    out: &mut Vec<(usize, TransferNode)>,
+) {
+    out.clear();
+    let extract_one = |slot: usize, buffer: &mut Vec<(usize, TransferNode)>| {
+        let node = sharded
+            .node_global(slot)
+            .expect("invalidated slot was alive");
+        for path in node.paths() {
+            if let Some((pred, succ)) = TransferNode::extract_pair(node, path) {
+                buffer.push((slot, pred));
+                buffer.push((slot, succ));
+            }
+        }
+    };
+    let threads = threads.max(1).min(invalidated.len().max(1));
+    if threads <= 1 || invalidated.len() < 32 {
+        for &slot in invalidated {
+            extract_one(slot, out);
+        }
+        return;
+    }
+    let chunk = invalidated.len().div_ceil(threads);
+    let mut buffers: Vec<Vec<(usize, TransferNode)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for slot_chunk in invalidated.chunks(chunk) {
+            let extract_one = &extract_one;
+            handles.push(scope.spawn(move || {
+                let mut buffer = Vec::with_capacity(slot_chunk.len() * 2);
+                for &slot in slot_chunk {
+                    extract_one(slot, &mut buffer);
+                }
+                buffer
+            }));
+        }
+        for handle in handles {
+            buffers.push(handle.join().expect("extraction worker panicked"));
+        }
+    });
+    for mut buffer in buffers {
+        out.append(&mut buffer);
+    }
+}
+
+/// Stage P3 proper: each destination shard applies its inbox in mailbox order
+/// against its own subgraph (shard-parallel when threads allow), scattering the
+/// resolved global destinations and matched flags back into canonical-stream
+/// positions.
+fn apply_mailbox(
+    sharded: &mut ShardedGraph,
+    mailbox: &ShardMailbox,
+    transfers: &[(usize, TransferNode)],
+    threads: usize,
+    resolved: &mut [Option<usize>],
+    matched: &mut [bool],
+) {
+    let apply_inbox = |shard_graph: &mut PakGraph, globals: &[u32], inbox: &[u32]| {
+        let mut out: Vec<(Option<usize>, bool)> = Vec::with_capacity(inbox.len());
+        for &index in inbox {
+            let transfer = &transfers[index as usize].1;
+            match shard_graph.index_of(&transfer.destination) {
+                Some(local) => {
+                    let node = shard_graph.node_mut(local).expect("destination is alive");
+                    let did_match = apply_transfer(node, transfer);
+                    out.push((Some(globals[local] as usize), did_match));
+                }
+                None => out.push((None, false)),
+            }
+        }
+        out
+    };
+
+    let scatter = |inbox: &[u32],
+                   out: Vec<(Option<usize>, bool)>,
+                   resolved: &mut [Option<usize>],
+                   matched: &mut [bool]| {
+        for (&index, (dest, did_match)) in inbox.iter().zip(out) {
+            resolved[index as usize] = dest;
+            matched[index as usize] = did_match;
+        }
+    };
+
+    if threads <= 1 || sharded.shards.len() == 1 {
+        for (shard, shard_graph) in sharded.shards.iter_mut().enumerate() {
+            let inbox = mailbox.inbox(shard);
+            if inbox.is_empty() {
+                continue;
+            }
+            let out = apply_inbox(shard_graph, &sharded.global_slots[shard], inbox);
+            scatter(inbox, out, resolved, matched);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ((shard, shard_graph), globals) in sharded
+            .shards
+            .iter_mut()
+            .enumerate()
+            .zip(&sharded.global_slots)
+        {
+            let inbox = mailbox.inbox(shard);
+            if inbox.is_empty() {
+                continue;
+            }
+            let apply_inbox = &apply_inbox;
+            handles.push((
+                inbox,
+                scope.spawn(move || apply_inbox(shard_graph, globals, inbox)),
+            ));
+        }
+        for (inbox, handle) in handles {
+            let out = handle.join().expect("shard P3 worker panicked");
+            scatter(inbox, out, resolved, matched);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compaction::compact;
+    use crate::kmer_count::{count_kmers, KmerCounterConfig};
+    use crate::test_util::reads_for;
+    use crate::walk::generate_contigs;
+
+    fn counted_for(k: usize) -> Vec<CountedKmer> {
+        let reads = reads_for(4_000, 15.0, 0x5A4D);
+        count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k,
+                min_count: 1,
+                threads: 1,
+            },
+        )
+        .unwrap()
+        .0
+    }
+
+    fn cfg(threads: usize) -> PakmanConfig {
+        PakmanConfig {
+            k: 17,
+            min_kmer_count: 1,
+            compaction_node_threshold: 10,
+            threads,
+            record_trace: true,
+            ..PakmanConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_construction_matches_single_graph_node_for_node() {
+        let counted = counted_for(17);
+        let reference = PakGraph::from_counted_kmers(&counted, 17, 1);
+        for shards in [1usize, 2, 7, 32] {
+            let sharded = ShardedGraph::from_counted_kmers(&counted, 17, shards, 4);
+            assert_eq!(sharded.global_slot_count(), reference.slot_count());
+            assert_eq!(sharded.alive_count(), reference.alive_count());
+            // Ownership is respected and the global mapping inverts correctly.
+            for shard in 0..sharded.shard_count() {
+                for (_, node) in sharded.shard(shard).iter_alive() {
+                    assert_eq!(node.owner_shard(shards), shard);
+                }
+            }
+            // The stitched global graph equals the reference slot for slot.
+            let global = sharded.into_global_graph();
+            for slot in 0..reference.slot_count() {
+                assert_eq!(global.node(slot), reference.node(slot), "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_compaction_is_bit_identical_to_single_graph() {
+        let counted = counted_for(17);
+        let mut reference_graph = PakGraph::from_counted_kmers(&counted, 17, 1);
+        let reference = compact(&mut reference_graph, &cfg(1));
+
+        for shards in [1usize, 2, 7, 32] {
+            for threads in [1usize, 4] {
+                let mut sharded = ShardedGraph::from_counted_kmers(&counted, 17, shards, threads);
+                let (outcome, telemetry) = compact_sharded(&mut sharded, &cfg(threads));
+                let what = format!("shards = {shards}, threads = {threads}");
+                assert_eq!(outcome.stats, reference.stats, "stats diverged: {what}");
+                assert_eq!(outcome.trace, reference.trace, "trace diverged: {what}");
+                assert_eq!(telemetry.shard_count, shards);
+                assert_eq!(
+                    telemetry.initial_alive_per_shard.iter().sum::<usize>(),
+                    reference.stats.initial_nodes
+                );
+                assert_eq!(
+                    telemetry.final_alive_per_shard.iter().sum::<usize>(),
+                    reference.stats.final_nodes
+                );
+                // Every transfer went through the mailbox.
+                assert_eq!(telemetry.total_transfers(), reference.stats.total_transfers);
+                let global = sharded.into_global_graph();
+                for slot in 0..reference_graph.slot_count() {
+                    assert_eq!(
+                        global.node(slot),
+                        reference_graph.node(slot),
+                        "graph diverged at slot {slot}: {what}"
+                    );
+                }
+                let contigs = generate_contigs(&global, 0);
+                let reference_contigs = generate_contigs(&reference_graph, 0);
+                assert_eq!(contigs, reference_contigs, "contigs diverged: {what}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_scan_mode_matches_too() {
+        let counted = counted_for(17);
+        let full_cfg = PakmanConfig {
+            compaction_mode: CompactionMode::FullScan,
+            ..cfg(2)
+        };
+        let mut reference_graph = PakGraph::from_counted_kmers(&counted, 17, 1);
+        let reference = compact(&mut reference_graph, &full_cfg);
+        let mut sharded = ShardedGraph::from_counted_kmers(&counted, 17, 5, 2);
+        let (outcome, _) = compact_sharded(&mut sharded, &full_cfg);
+        assert_eq!(outcome.stats, reference.stats);
+        assert_eq!(outcome.trace, reference.trace);
+        // A full scan checks every alive node on every iteration.
+        for it in &outcome.profile.iterations {
+            assert_eq!(it.checked_nodes, it.alive_nodes);
+        }
+    }
+
+    #[test]
+    fn cross_shard_traffic_appears_once_sharded() {
+        let counted = counted_for(17);
+        let mut sharded = ShardedGraph::from_counted_kmers(&counted, 17, 8, 2);
+        let (_, telemetry) = compact_sharded(&mut sharded, &cfg(2));
+        assert!(telemetry.total_mailbox_bytes() > 0);
+        // With 8 hash-assigned shards most destinations live elsewhere (≈ 7/8).
+        assert!(
+            telemetry.cross_shard_fraction() > 0.5,
+            "cross fraction = {}",
+            telemetry.cross_shard_fraction()
+        );
+        // The route matrix is conserved against the per-iteration ledger.
+        let matrix_total: u64 = telemetry.route_bytes.iter().sum();
+        assert_eq!(matrix_total, telemetry.total_mailbox_bytes());
+        assert!(telemetry.load_imbalance() >= 1.0);
+
+        // One shard: everything stays local.
+        let mut single = ShardedGraph::from_counted_kmers(&counted, 17, 1, 2);
+        let (_, telemetry) = compact_sharded(&mut single, &cfg(2));
+        assert_eq!(telemetry.total_cross_shard_bytes(), 0);
+        assert_eq!(telemetry.cross_shard_fraction(), 0.0);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_warns_but_works() {
+        // A tiny read set: far fewer (k-1)-mers than shards, so some shards own
+        // zero k-mers. The build must warn (not panic) and stay bit-identical.
+        let reads = crate::test_util::reads_from(&["ACGTACCTGATCAGT", "ACGTACCTGATCAGT"]);
+        let (counted, _) = count_kmers(
+            &reads,
+            KmerCounterConfig {
+                k: 7,
+                min_count: 1,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let reference = PakGraph::from_counted_kmers(&counted, 7, 1);
+        let sharded = ShardedGraph::from_counted_kmers(&counted, 7, 64, 2);
+        assert!(sharded.per_shard_alive().contains(&0));
+        assert_eq!(sharded.alive_count(), reference.alive_count());
+        let mut sharded = sharded;
+        let mut reference = reference;
+        let config = PakmanConfig {
+            k: 7,
+            min_kmer_count: 1,
+            compaction_node_threshold: 0,
+            threads: 2,
+            record_trace: true,
+            ..PakmanConfig::default()
+        };
+        let single_outcome = compact(&mut reference, &config);
+        let (outcome, telemetry) = compact_sharded(&mut sharded, &config);
+        assert_eq!(outcome.stats, single_outcome.stats);
+        assert_eq!(outcome.trace, single_outcome.trace);
+        assert_eq!(telemetry.shard_count, 64);
+    }
+
+    #[test]
+    fn global_lookup_roundtrips() {
+        let counted = counted_for(15);
+        let sharded = ShardedGraph::from_counted_kmers(&counted, 15, 7, 2);
+        for slot in 0..sharded.global_slot_count() {
+            let node = sharded.node_global(slot).expect("freshly built: all alive");
+            assert_eq!(sharded.index_of_global(&node.k1mer()), Some(slot));
+            assert!(sharded.contains(&node.k1mer()));
+            assert_eq!(
+                sharded.shard_of_global(slot),
+                node.owner_shard(sharded.shard_count())
+            );
+        }
+    }
+}

@@ -23,12 +23,13 @@
 //! [`AssemblyPipeline::run_source`]) an entire streaming source.
 
 use crate::compaction::{compact, CompactionProfile, CompactionStats};
-use crate::config::PakmanConfig;
+use crate::config::{PakmanConfig, ShardConfig};
 use crate::contig::Contig;
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::kmer_count::{count_kmers, CountedKmer, KmerCountStats, KmerCounterConfig};
 use crate::pipeline::PhaseTimings;
+use crate::shard::{compact_sharded, ShardedGraph, ShardingTelemetry};
 use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
 use nmp_pak_genome::{ReadChunk, ReadSource, SequencingRead};
@@ -76,11 +77,43 @@ pub struct CountedBatch {
     pub total_read_bases: u64,
 }
 
+/// The wired, uncompacted PaK-graph in whichever execution shape stage C built
+/// it: the monolithic single graph, or the owner-computes sharded graph when
+/// [`ShardConfig`] engages sharded execution. Both shapes hold bit-identical
+/// node content; they differ only in where compaction's work will execute.
+#[derive(Debug)]
+pub enum BuiltGraph {
+    /// One monolithic graph (the classic path; also `shard_count == 1`).
+    Single(PakGraph),
+    /// One subgraph per owner-computes shard plus the global rank mapping.
+    Sharded(ShardedGraph),
+}
+
+impl BuiltGraph {
+    /// Number of alive MacroNodes.
+    pub fn alive_count(&self) -> usize {
+        match self {
+            BuiltGraph::Single(graph) => graph.alive_count(),
+            BuiltGraph::Sharded(sharded) => sharded.alive_count(),
+        }
+    }
+
+    /// Sum of MacroNode sizes in bytes over alive nodes.
+    pub fn total_size_bytes(&self) -> usize {
+        match self {
+            BuiltGraph::Single(graph) => graph.total_size_bytes(),
+            BuiltGraph::Sharded(sharded) => (0..sharded.shard_count())
+                .map(|s| sharded.shard(s).total_size_bytes())
+                .sum(),
+        }
+    }
+}
+
 /// Artifact of step C: the wired, uncompacted PaK-graph.
 #[derive(Debug)]
 pub struct ConstructedGraph {
-    /// The freshly built graph.
-    pub graph: PakGraph,
+    /// The freshly built graph (single or sharded — see [`BuiltGraph`]).
+    pub graph: BuiltGraph,
     /// Total MacroNode bytes at construction time (footprint model input).
     pub macronode_bytes: u64,
     /// Counting statistics, carried through.
@@ -92,7 +125,9 @@ pub struct ConstructedGraph {
 /// Artifact of step D: the compacted graph plus compaction telemetry.
 #[derive(Debug)]
 pub struct CompactedGraph {
-    /// The compacted graph.
+    /// The compacted graph, always reassembled into the global slot layout
+    /// (sharded runs stitch their shards back together, dead slots included,
+    /// so downstream consumers see the identical structure).
     pub graph: PakGraph,
     /// Whole-run compaction statistics.
     pub stats: CompactionStats,
@@ -100,6 +135,8 @@ pub struct CompactedGraph {
     pub trace: Option<CompactionTrace>,
     /// Per-iteration stage timings and checked-node counts.
     pub profile: CompactionProfile,
+    /// Measured per-shard load and mailbox traffic (sharded execution only).
+    pub sharding: Option<ShardingTelemetry>,
 }
 
 /// Reads materialized from a streaming source by [`AccessStage::drain`]: step
@@ -219,11 +256,13 @@ impl<'r> Stage<ReadAccess<'r>> for CountStage {
 }
 
 /// Step C: MacroNode construction and wiring (parallel single-pass build over the
-/// sorted counted stream).
+/// sorted counted stream; shard-parallel per-owner builds under sharded
+/// execution).
 #[derive(Debug, Clone, Copy)]
 pub struct ConstructStage {
     k: usize,
     threads: usize,
+    shards: ShardConfig,
 }
 
 impl ConstructStage {
@@ -232,6 +271,7 @@ impl ConstructStage {
         ConstructStage {
             k: config.k,
             threads: config.threads,
+            shards: config.shards,
         }
     }
 }
@@ -244,7 +284,20 @@ impl Stage<CountedBatch> for ConstructStage {
     }
 
     fn run(&self, counted: CountedBatch) -> Result<ConstructedGraph, PakmanError> {
-        let graph = PakGraph::from_counted_kmers(&counted.counted, self.k, self.threads);
+        let graph = if self.shards.is_sharded() {
+            BuiltGraph::Sharded(ShardedGraph::from_counted_kmers(
+                &counted.counted,
+                self.k,
+                self.shards.shard_count,
+                self.threads,
+            ))
+        } else {
+            BuiltGraph::Single(PakGraph::from_counted_kmers(
+                &counted.counted,
+                self.k,
+                self.threads,
+            ))
+        };
         let macronode_bytes = graph.total_size_bytes() as u64;
         Ok(ConstructedGraph {
             graph,
@@ -276,14 +329,28 @@ impl Stage<ConstructedGraph> for CompactStage {
     }
 
     fn run(&self, built: ConstructedGraph) -> Result<CompactedGraph, PakmanError> {
-        let mut graph = built.graph;
-        let outcome = compact(&mut graph, &self.config);
-        Ok(CompactedGraph {
-            graph,
-            stats: outcome.stats,
-            trace: outcome.trace,
-            profile: outcome.profile,
-        })
+        match built.graph {
+            BuiltGraph::Single(mut graph) => {
+                let outcome = compact(&mut graph, &self.config);
+                Ok(CompactedGraph {
+                    graph,
+                    stats: outcome.stats,
+                    trace: outcome.trace,
+                    profile: outcome.profile,
+                    sharding: None,
+                })
+            }
+            BuiltGraph::Sharded(mut sharded) => {
+                let (outcome, telemetry) = compact_sharded(&mut sharded, &self.config);
+                Ok(CompactedGraph {
+                    graph: sharded.into_global_graph(),
+                    stats: outcome.stats,
+                    trace: outcome.trace,
+                    profile: outcome.profile,
+                    sharding: Some(telemetry),
+                })
+            }
+        }
     }
 }
 
@@ -455,6 +522,7 @@ impl AssemblyPipeline {
             compaction: compacted.stats,
             compaction_profile: compacted.profile,
             trace: compacted.trace,
+            sharding: compacted.sharding,
             footprint,
             graph: compacted.graph,
         })
@@ -561,6 +629,34 @@ mod tests {
             pipeline.front(&[]),
             Err(PakmanError::EmptyInput { .. })
         ));
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_single_graph_bit_for_bit() {
+        let reads = reads_for(4_000, 15.0, 101);
+        let single = AssemblyPipeline::new(cfg(17)).unwrap().run(&reads).unwrap();
+        assert!(single.sharding.is_none());
+        let sharded_cfg = PakmanConfig {
+            shards: ShardConfig::per_channel(8),
+            ..cfg(17)
+        };
+        let sharded = AssemblyPipeline::new(sharded_cfg)
+            .unwrap()
+            .run(&reads)
+            .unwrap();
+        assert_eq!(sharded.contigs, single.contigs);
+        assert_eq!(sharded.stats, single.stats);
+        assert_eq!(sharded.kmer_stats, single.kmer_stats);
+        assert_eq!(sharded.compaction, single.compaction);
+        assert_eq!(sharded.trace, single.trace);
+        let telemetry = sharded.sharding.expect("sharded run records telemetry");
+        assert_eq!(telemetry.shard_count, 8);
+        assert!(telemetry.total_mailbox_bytes() > 0);
+        // The reassembled graph preserves the global slot layout.
+        assert_eq!(sharded.graph.slot_count(), single.graph.slot_count());
+        for slot in 0..single.graph.slot_count() {
+            assert_eq!(sharded.graph.node(slot), single.graph.node(slot));
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Sharded-execution determinism: the owner-computes decomposition must be
+//! invisible in every output bit. For every shard count and thread count —
+//! including under the k-deep pipelined batch schedule — contigs, assembly and
+//! compaction statistics, and the recorded access trace must equal the
+//! single-graph reference exactly; only the telemetry (where work happened,
+//! what crossed shards) may differ.
+
+use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SequencingRead};
+use nmp_pak_pakman::{
+    AssemblyOutput, BatchAssembler, BatchSchedule, PakmanAssembler, PakmanConfig, ShardConfig,
+};
+
+const SHARD_SWEEP: [usize; 4] = [1, 2, 7, 32];
+const THREAD_SWEEP: [usize; 3] = [1, 4, 8];
+
+fn simulated_reads(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
+    let genome = ReferenceGenome::builder()
+        .length(length)
+        .seed(seed)
+        .build()
+        .unwrap();
+    ReadSimulator::new(SequencerConfig {
+        coverage,
+        substitution_error_rate: 0.001,
+        seed: seed + 1,
+        ..SequencerConfig::default()
+    })
+    .simulate(&genome)
+    .unwrap()
+}
+
+fn config(shards: usize, threads: usize) -> PakmanConfig {
+    PakmanConfig {
+        k: 21,
+        min_kmer_count: 2,
+        compaction_node_threshold: 10,
+        threads,
+        record_trace: true,
+        shards: ShardConfig {
+            shard_count: shards,
+        },
+        ..PakmanConfig::default()
+    }
+}
+
+fn assemble(reads: &[SequencingRead], shards: usize, threads: usize) -> AssemblyOutput {
+    PakmanAssembler::new(config(shards, threads))
+        .assemble(reads)
+        .unwrap()
+}
+
+#[test]
+fn sharded_assembly_is_bit_identical_across_shard_and_thread_counts() {
+    let reads = simulated_reads(8_000, 25.0, 0x54A2D);
+    let reference = assemble(&reads, 1, 1);
+    assert!(!reference.contigs.is_empty());
+    assert!(
+        reference.sharding.is_none(),
+        "shard_count 1 stays single-graph"
+    );
+
+    for shards in SHARD_SWEEP {
+        for threads in THREAD_SWEEP {
+            let run = assemble(&reads, shards, threads);
+            let what = format!("shards = {shards}, threads = {threads}");
+            assert_eq!(run.contigs, reference.contigs, "contigs diverged: {what}");
+            assert_eq!(run.stats, reference.stats, "stats diverged: {what}");
+            assert_eq!(
+                run.kmer_stats, reference.kmer_stats,
+                "k-mer stats diverged: {what}"
+            );
+            assert_eq!(
+                run.compaction, reference.compaction,
+                "compaction stats diverged: {what}"
+            );
+            assert_eq!(run.trace, reference.trace, "trace diverged: {what}");
+            if shards > 1 {
+                let telemetry = run.sharding.expect("sharded runs record telemetry");
+                assert_eq!(telemetry.shard_count, shards);
+                assert_eq!(
+                    telemetry.initial_alive_per_shard.iter().sum::<usize>(),
+                    reference.compaction.initial_nodes,
+                    "{what}"
+                );
+                assert_eq!(
+                    telemetry.total_transfers(),
+                    reference.compaction.total_transfers,
+                    "every transfer goes through the mailbox: {what}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharding_telemetry_is_deterministic() {
+    // Telemetry is derived data, so it must be identical across thread counts
+    // for a fixed shard count (where work lands depends on ownership, never on
+    // scheduling).
+    let reads = simulated_reads(8_000, 25.0, 0x54A2D);
+    let reference = assemble(&reads, 7, 1).sharding.unwrap();
+    for threads in [4usize, 8] {
+        let telemetry = assemble(&reads, 7, threads).sharding.unwrap();
+        assert_eq!(
+            telemetry, reference,
+            "telemetry diverged at threads = {threads}"
+        );
+    }
+    // Sharded runs move real traffic across shards.
+    assert!(reference.total_mailbox_bytes() > 0);
+    assert!(reference.cross_shard_fraction() > 0.0);
+}
+
+#[test]
+fn sharded_batched_pipelined_schedule_matches_single_graph_sequential() {
+    // The stacked fast paths — owner-computes sharding composed with the k-deep
+    // overlapped batch scheduler — must still reproduce the fully conservative
+    // configuration (single graph, sequential schedule, one thread) bit for bit.
+    let reads = simulated_reads(8_000, 25.0, 0xBA7C5);
+    let reference = BatchAssembler::with_schedule(config(1, 1), 0.25, BatchSchedule::Sequential)
+        .assemble(&reads)
+        .unwrap();
+    assert!(reference.batch_compaction.len() >= 2);
+
+    for shards in [2usize, 7] {
+        for threads in [1usize, 4] {
+            let pipelined = BatchAssembler::with_schedule(
+                config(shards, threads),
+                0.25,
+                BatchSchedule::Pipelined {
+                    depth: 3,
+                    max_inflight_bytes: None,
+                },
+            )
+            .assemble(&reads)
+            .unwrap();
+            let what = format!("shards = {shards}, threads = {threads}");
+            assert_eq!(
+                pipelined.contigs, reference.contigs,
+                "contigs diverged: {what}"
+            );
+            assert_eq!(pipelined.stats, reference.stats, "stats diverged: {what}");
+            assert_eq!(
+                pipelined.batch_compaction, reference.batch_compaction,
+                "per-batch compaction diverged: {what}"
+            );
+            assert_eq!(
+                pipelined.batch_traces, reference.batch_traces,
+                "per-batch traces diverged: {what}"
+            );
+            // Every sharded batch surfaces its telemetry, in batch-index order.
+            assert_eq!(
+                pipelined.batch_sharding.len(),
+                pipelined.batch_compaction.len(),
+                "missing per-batch telemetry: {what}"
+            );
+            assert!(pipelined
+                .batch_sharding
+                .iter()
+                .all(|t| t.shard_count == shards));
+            assert!(reference.batch_sharding.is_empty());
+        }
+    }
+}
+
+#[test]
+fn zero_kmer_shards_are_harmless_at_pipeline_level() {
+    // A workload far smaller than the shard count: many shards own zero
+    // k-mers. The run must warn (not panic) and still match the single-graph
+    // output exactly.
+    let reads = simulated_reads(2_000, 8.0, 0xE0E0);
+    let small_config = |shards: usize| PakmanConfig {
+        k: 15,
+        min_kmer_count: 1,
+        compaction_node_threshold: 0,
+        threads: 2,
+        record_trace: true,
+        shards: ShardConfig {
+            shard_count: shards,
+        },
+        ..PakmanConfig::default()
+    };
+    let reference = PakmanAssembler::new(small_config(1))
+        .assemble(&reads)
+        .unwrap();
+    let sharded = PakmanAssembler::new(small_config(4096))
+        .assemble(&reads)
+        .unwrap();
+    assert_eq!(sharded.contigs, reference.contigs);
+    assert_eq!(sharded.stats, reference.stats);
+    assert_eq!(sharded.compaction, reference.compaction);
+    assert_eq!(sharded.trace, reference.trace);
+    let telemetry = sharded.sharding.unwrap();
+    assert_eq!(telemetry.shard_count, 4096);
+    assert!(
+        telemetry.initial_alive_per_shard.contains(&0),
+        "with 4096 shards over a tiny graph, some shard owns zero k-mers"
+    );
+}

@@ -12,6 +12,8 @@
 //!                        # (per-iteration P1/P2/P3 table, full-scan vs frontier)
 //! experiments sharding   # only the sharded-execution comparison (per-shard
 //!                        # load imbalance + inter-shard mailbox traffic)
+//! experiments spill      # only the external-memory counting comparison
+//!                        # (budget-capped spill vs in-memory, bit-identity)
 //! NMP_PAK_BENCH_SCALE=standard experiments   # the scale recorded in EXPERIMENTS.md
 //! NMP_PAK_BENCH_OUT=/tmp/b.json experiments pipeline      # report path override
 //! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
@@ -23,11 +25,14 @@
 //!                                        # frontier compactor vs the pre-refactor one
 //! NMP_PAK_BENCH_MAX_SHARD_OVERHEAD=1.15 experiments sharding # gate the sharded
 //!                                        # engine's 1-shard overhead vs single-graph
+//! NMP_PAK_BENCH_MAX_SPILL_OVERHEAD=12.0 experiments spill # gate the budget-capped
+//!                                        # counter's wall-clock overhead vs in-memory
 //! ```
 
 use nmp_pak_bench::pipeline_bench::{
     report_to_json, run_compaction_bench_standalone, run_pipeline_bench,
-    run_sharding_bench_standalone, CompactionComparison, ShardingComparison,
+    run_sharding_bench_standalone, run_spill_bench_standalone, CompactionComparison,
+    ShardingComparison, SpillComparison,
 };
 use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
 use nmp_pak_core::experiments::Experiments;
@@ -36,15 +41,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
-    // The compaction and sharding engine comparisons need no prepared
+    // The compaction, sharding, and spill engine comparisons need no prepared
     // experiment context; when only they are asked for, skip the backend
     // simulations.
-    if !args.is_empty() && args.iter().all(|a| a == "compaction" || a == "sharding") {
+    if !args.is_empty()
+        && args
+            .iter()
+            .all(|a| a == "compaction" || a == "sharding" || a == "spill")
+    {
         if args.iter().any(|a| a == "compaction") {
             compaction_bench();
         }
         if args.iter().any(|a| a == "sharding") {
             sharding_bench();
+        }
+        if args.iter().any(|a| a == "spill") {
+            spill_bench();
         }
         return;
     }
@@ -109,6 +121,68 @@ fn main() {
     }
     if wanted("sharding") && !args.is_empty() {
         sharding_bench();
+    }
+    if wanted("spill") && !args.is_empty() {
+        spill_bench();
+    }
+}
+
+/// Times the budget-capped external-memory counter against the unconstrained
+/// in-memory counter on the benchmark workload, prints the spill telemetry,
+/// and applies the `NMP_PAK_BENCH_MAX_SPILL_OVERHEAD` gate.
+fn spill_bench() {
+    heading("Spill benchmark — external-memory counting vs in-memory");
+    let cmp = run_spill_bench_standalone(3);
+    print_spill_comparison(&cmp);
+    check_spill_gate(&cmp);
+}
+
+fn print_spill_comparison(cmp: &SpillComparison) {
+    let t = &cmp.telemetry;
+    println!(
+        "counting ({} threads): in-memory {:>9.3} ms   spilled {:>9.3} ms   overhead {:.2}x",
+        cmp.threads,
+        cmp.in_memory.as_secs_f64() * 1e3,
+        cmp.spilled.as_secs_f64() * 1e3,
+        cmp.overhead(),
+    );
+    println!(
+        "budget {} B over {} partitions: spilled {} B in {} runs, {} merge pass(es), \
+         peak resident {} B",
+        t.budget_bytes,
+        t.partitions,
+        t.bytes_spilled,
+        t.runs_written,
+        t.merge_passes,
+        t.peak_resident_bytes,
+    );
+}
+
+/// Optional regression gate: `NMP_PAK_BENCH_MAX_SPILL_OVERHEAD=12.0` fails the
+/// run when the budget-capped counter's wall-clock overhead over the in-memory
+/// counter exceeds the threshold, or when the budget stops producing real disk
+/// traffic (which would mean the spill path is being bypassed).
+fn check_spill_gate(cmp: &SpillComparison) {
+    let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MAX_SPILL_OVERHEAD") else {
+        return;
+    };
+    let threshold: f64 = threshold
+        .parse()
+        .expect("NMP_PAK_BENCH_MAX_SPILL_OVERHEAD must be a number");
+    if cmp.overhead() > threshold {
+        eprintln!(
+            "spill benchmark regression: spilled-counting overhead {:.2}x exceeds \
+             the allowed {threshold}x",
+            cmp.overhead()
+        );
+        std::process::exit(1);
+    }
+    if cmp.telemetry.bytes_spilled == 0 || cmp.telemetry.merge_passes == 0 {
+        eprintln!(
+            "spill benchmark regression: the byte budget moved no data to disk — \
+             the spill path is being bypassed"
+        );
+        std::process::exit(1);
     }
 }
 
@@ -281,6 +355,7 @@ fn pipeline_bench() {
     );
     print_compaction_comparison(&report.compaction);
     print_sharding_comparison(&report.sharding);
+    print_spill_comparison(&report.spill);
 
     let streaming = &report.batch_streaming;
     println!(
@@ -333,6 +408,10 @@ fn pipeline_bench() {
     // Optional sharding gate: bounds the sharded engine's bookkeeping overhead
     // at one shard and requires real cross-shard mailbox traffic when sharded.
     check_sharding_gate(&report.sharding);
+
+    // Optional spill gate: bounds the external-memory counter's wall-clock
+    // overhead and requires the byte budget to move real data to disk.
+    check_spill_gate(&report.spill);
 
     // Optional streaming gate: NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP=1.0 requires the
     // overlapped schedule's critical path to beat the sequential one. The gate

@@ -10,9 +10,10 @@ use crate::baseline::{build_graph_baseline, compact_baseline, count_kmers_baseli
 use nmp_pak_core::workload::Workload;
 use nmp_pak_nmphw::{ChannelLoadStats, NmpSystem};
 use nmp_pak_pakman::{
-    compact_sharded, compact_with_scratch, count_kmers, AssemblyOutput, BatchAssembler,
-    BatchSchedule, CompactionMode, CompactionProfile, CompactionScratch, KmerCounterConfig,
-    PakGraph, PakmanAssembler, PakmanConfig, ShardedGraph, ShardingTelemetry,
+    compact_sharded, compact_with_scratch, count_kmers, count_kmers_spilled, AssemblyOutput,
+    BatchAssembler, BatchSchedule, CompactionMode, CompactionProfile, CompactionScratch,
+    KmerCounterConfig, PakGraph, PakmanAssembler, PakmanConfig, ShardedGraph, ShardingTelemetry,
+    SpillConfig, SpillTelemetry,
 };
 use std::time::{Duration, Instant};
 
@@ -32,6 +33,12 @@ pub const BENCH_PIPELINE_DEPTH: usize = 3;
 /// Shard counts swept by the sharded-execution benchmark (1 is the overhead
 /// probe; 8 matches the paper's channel count).
 pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+/// Resident-byte budget of the external-memory counting benchmark — small
+/// enough that the standard workload (≈ 600 k extracted k-mers ≈ 4.8 MB) must
+/// evict and merge repeatedly, the regime the spill path exists for.
+pub const BENCH_SPILL_BUDGET_BYTES: u64 = 256 * 1024;
+/// Disk partitions of the spill benchmark (the paper's 8-channel owner map).
+pub const BENCH_SPILL_PARTITIONS: usize = 8;
 
 /// One timed phase pair: optimized vs pre-refactor baseline.
 #[derive(Debug, Clone, Copy)]
@@ -231,6 +238,39 @@ impl ShardingComparison {
     }
 }
 
+/// Wall-clock and telemetry comparison of external-memory k-mer counting under
+/// [`BENCH_SPILL_BUDGET_BYTES`] versus the unconstrained in-memory counter on
+/// identical inputs.
+///
+/// Both sides produce bit-identical counted streams and statistics — asserted
+/// on every run — so the interesting numbers are the wall-clock *overhead* of
+/// spilling (gated in CI via `NMP_PAK_BENCH_MAX_SPILL_OVERHEAD`) and the
+/// recorded spill telemetry: how many bytes went to disk, how many merge
+/// passes the read-back needed, and the resident high-water mark the budget
+/// actually enforced.
+#[derive(Debug, Clone, Copy)]
+pub struct SpillComparison {
+    /// Unconstrained in-memory counting wall clock (best of reps).
+    pub in_memory: Duration,
+    /// Budget-capped spilled counting wall clock (best of reps).
+    pub spilled: Duration,
+    /// Telemetry of the fastest spilled run (deterministic across runs).
+    pub telemetry: SpillTelemetry,
+    /// Worker threads used by both counters.
+    pub threads: usize,
+}
+
+impl SpillComparison {
+    /// Spilled / in-memory wall clock (1.0 = free; the CI gate bounds this).
+    pub fn overhead(&self) -> f64 {
+        let in_memory = self.in_memory.as_secs_f64();
+        if in_memory == 0.0 {
+            return f64::INFINITY;
+        }
+        self.spilled.as_secs_f64() / in_memory
+    }
+}
+
 /// The full benchmark report behind `BENCH_pipeline.json`.
 #[derive(Debug, Clone)]
 pub struct PipelineBenchReport {
@@ -250,6 +290,8 @@ pub struct PipelineBenchReport {
     pub compaction: CompactionComparison,
     /// Sharded-execution comparison (owner-computes shards vs single graph).
     pub sharding: ShardingComparison,
+    /// External-memory counting comparison (budget-capped spill vs in-memory).
+    pub spill: SpillComparison,
     /// Full optimized assembly output (timings of all phases, quality stats).
     pub assembly: AssemblyOutput,
 }
@@ -343,6 +385,7 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
     let batch_streaming = run_batch_streaming_bench(&workload.reads, &config, reps);
     let compaction = run_compaction_bench(&counted, &config, reps);
     let sharding = run_sharding_bench(&counted, &config, reps);
+    let spill = run_spill_bench(&workload.reads, &config, reps);
 
     PipelineBenchReport {
         threads,
@@ -359,7 +402,69 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
         batch_streaming,
         compaction,
         sharding,
+        spill,
         assembly: assembly.expect("at least one repetition ran"),
+    }
+}
+
+/// Runs only the external-memory counting comparison on the standard benchmark
+/// workload (the `experiments spill` subcommand).
+pub fn run_spill_bench_standalone(reps: usize) -> SpillComparison {
+    let (workload, config) = bench_workload_and_config("bench_spill");
+    run_spill_bench(&workload.reads, &config, reps.max(1))
+}
+
+/// Times the budget-capped spilled counter against the unconstrained in-memory
+/// counter on identical reads (best-of-`reps` each), asserting on every
+/// repetition that the counted stream, the statistics, and the telemetry
+/// invariants (bytes spilled > 0, ≥ 1 merge pass) hold.
+fn run_spill_bench(
+    reads: &[nmp_pak_genome::SequencingRead],
+    config: &PakmanConfig,
+    reps: usize,
+) -> SpillComparison {
+    let counter_config = KmerCounterConfig::from(config);
+    let spill_config = SpillConfig::bounded(BENCH_SPILL_BUDGET_BYTES);
+
+    let mut best_in_memory = Duration::MAX;
+    let mut best_spilled = Duration::MAX;
+    let mut telemetry = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let (in_memory, in_memory_stats) =
+            count_kmers(reads, counter_config).expect("in-memory counting succeeds");
+        best_in_memory = best_in_memory.min(t.elapsed());
+
+        let t = Instant::now();
+        let (spilled, spilled_stats, run_telemetry) =
+            count_kmers_spilled(reads, counter_config, &spill_config, BENCH_SPILL_PARTITIONS)
+                .expect("spilled counting succeeds");
+        let elapsed = t.elapsed();
+        if elapsed < best_spilled {
+            best_spilled = elapsed;
+            telemetry = Some(run_telemetry);
+        }
+
+        assert_eq!(spilled, in_memory, "spilled counted stream diverged");
+        assert_eq!(
+            spilled_stats, in_memory_stats,
+            "spilled counting stats diverged"
+        );
+        assert!(
+            run_telemetry.bytes_spilled > 0,
+            "the {BENCH_SPILL_BUDGET_BYTES}-byte budget must force spilling"
+        );
+        assert!(
+            run_telemetry.merge_passes >= 1,
+            "read-back merges at least once"
+        );
+    }
+
+    SpillComparison {
+        in_memory: best_in_memory,
+        spilled: best_spilled,
+        telemetry: telemetry.expect("at least one repetition ran"),
+        threads: config.threads,
     }
 }
 
@@ -837,6 +942,18 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
             "    \"overhead_at_one\": {sharding_overhead:.3},\n",
             "    \"runs\": [\n{sharding_runs}\n    ]\n",
             "  }},\n",
+            "  \"spill\": {{\n",
+            "    \"threads\": {spill_threads},\n",
+            "    \"budget_bytes\": {spill_budget},\n",
+            "    \"partitions\": {spill_partitions},\n",
+            "    \"in_memory_s\": {spill_in_memory_s:.6},\n",
+            "    \"spilled_s\": {spill_spilled_s:.6},\n",
+            "    \"overhead\": {spill_overhead:.3},\n",
+            "    \"bytes_spilled\": {spill_bytes},\n",
+            "    \"runs_written\": {spill_runs},\n",
+            "    \"merge_passes\": {spill_merge_passes},\n",
+            "    \"peak_resident_bytes\": {spill_peak_resident}\n",
+            "  }},\n",
             "  \"batch_streaming\": {{\n",
             "    \"batches\": {batches},\n",
             "    \"available_cores\": {available_cores},\n",
@@ -895,6 +1012,16 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
         sharding_single_s = secs(&report.sharding.single_graph),
         sharding_overhead = report.sharding.overhead_at_one(),
         sharding_runs = sharding_runs_json(&report.sharding, "      "),
+        spill_threads = report.spill.threads,
+        spill_budget = BENCH_SPILL_BUDGET_BYTES,
+        spill_partitions = report.spill.telemetry.partitions,
+        spill_in_memory_s = secs(&report.spill.in_memory),
+        spill_spilled_s = secs(&report.spill.spilled),
+        spill_overhead = report.spill.overhead(),
+        spill_bytes = report.spill.telemetry.bytes_spilled,
+        spill_runs = report.spill.telemetry.runs_written,
+        spill_merge_passes = report.spill.telemetry.merge_passes,
+        spill_peak_resident = report.spill.telemetry.peak_resident_bytes,
         batches = report.batch_streaming.batches,
         available_cores = report.batch_streaming.available_cores,
         pipeline_depth = BENCH_PIPELINE_DEPTH,
@@ -941,9 +1068,29 @@ mod tests {
             "\"sharding\"",
             "\"overhead_at_one\"",
             "\"cross_channel_bytes\"",
+            "\"spill\"",
+            "\"bytes_spilled\"",
+            "\"merge_passes\"",
+            "\"peak_resident_bytes\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // Spill invariants: the budget forced real disk traffic, the read-back
+        // merged at least once, the resident high-water mark stayed in the
+        // budget's regime (waves target budget/2; eviction can briefly overshoot
+        // one wave's extraction), and the overhead ratio is a positive finite
+        // number.
+        assert!(report.spill.telemetry.bytes_spilled > 0);
+        assert!(report.spill.telemetry.runs_written > 0);
+        assert!(report.spill.telemetry.merge_passes >= 1);
+        assert!(report.spill.telemetry.peak_resident_bytes > 0);
+        assert_eq!(
+            report.spill.telemetry.budget_bytes,
+            BENCH_SPILL_BUDGET_BYTES
+        );
+        assert_eq!(report.spill.telemetry.partitions, BENCH_SPILL_PARTITIONS);
+        assert!(report.spill.overhead().is_finite());
+        assert!(report.spill.overhead() > 0.0);
         // Sharding invariants: the sweep includes the 1-shard overhead probe,
         // real shard counts move real cross-shard traffic, and the overhead
         // ratio is a positive finite number.

@@ -327,6 +327,14 @@ impl Experiments {
         )
     }
 
+    /// The run's external-memory counting telemetry, recorded when the
+    /// assembly ran under a [`nmp_pak_pakman::SpillConfig`] resident-byte
+    /// budget (`None` on the in-memory counting path). The `experiments spill`
+    /// subcommand reports the same quantities for the standalone benchmark.
+    pub fn spill_telemetry(&self) -> Option<nmp_pak_pakman::SpillTelemetry> {
+        self.assembly.spill
+    }
+
     /// Folds the run's sharding telemetry (if the software ran sharded) onto
     /// the NMP channel model: per-channel measured work/residency and the
     /// intra- vs cross-channel split of the mailbox traffic.
@@ -426,6 +434,23 @@ mod tests {
         assert_eq!(streamed.assembly.contigs, direct.assembly.contigs);
         assert_eq!(streamed.backends.len(), direct.backends.len());
         assert!(streamed.workload.genome.is_none());
+    }
+
+    #[test]
+    fn spill_telemetry_is_surfaced_for_budget_capped_runs() {
+        let in_memory = prepared();
+        assert!(in_memory.spill_telemetry().is_none());
+
+        let mut assembler = NmpPakAssembler::default();
+        assembler.pakman.spill = nmp_pak_pakman::SpillConfig::bounded(4 * 1024);
+        let spilled = Experiments::prepare(Workload::tiny(17).unwrap(), assembler).unwrap();
+        let telemetry = spilled
+            .spill_telemetry()
+            .expect("budget-capped run records spill telemetry");
+        assert_eq!(telemetry.budget_bytes, 4 * 1024);
+        // Counting under the budget must not change the assembly.
+        assert_eq!(spilled.assembly.contigs, in_memory.assembly.contigs);
+        assert_eq!(spilled.assembly.stats, in_memory.assembly.stats);
     }
 
     #[test]

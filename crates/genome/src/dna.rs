@@ -147,23 +147,32 @@ impl DnaString {
 
     /// Appends one base.
     pub fn push(&mut self, base: Base) {
+        self.push_code(base.code());
+    }
+
+    /// Appends one base given as its 2-bit code (the representation
+    /// [`DnaString::codes`] yields), skipping the enum round-trip. Only the low
+    /// two bits are used; callers on the packed fast path (the graph walk)
+    /// append codes straight from another packed sequence.
+    pub fn push_code(&mut self, code: u8) {
+        let code = code & 0b11;
         let byte_idx = self.len / 4;
         let shift = (self.len % 4) * 2;
         match &mut self.repr {
             Repr::Inline(buf) if byte_idx < INLINE_BYTES => {
                 // Bytes beyond the sequence are zero by invariant; just OR the bits.
-                buf[byte_idx] |= base.code() << shift;
+                buf[byte_idx] |= code << shift;
             }
             Repr::Inline(_) => {
                 self.spill_to_heap(byte_idx + 1);
-                self.push(base);
+                self.push_code(code);
                 return;
             }
             Repr::Heap(v) => {
                 if byte_idx == v.len() {
                     v.push(0);
                 }
-                v[byte_idx] |= base.code() << shift;
+                v[byte_idx] |= code << shift;
             }
         }
         self.len += 1;
@@ -373,6 +382,30 @@ impl ExactSizeIterator for Iter<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_code_matches_push_across_the_inline_boundary() {
+        // Long enough to spill from the inline buffer to the heap.
+        let mut by_base = DnaString::new();
+        let mut by_code = DnaString::new();
+        for i in 0..200usize {
+            let base = match i % 4 {
+                0 => Base::A,
+                1 => Base::C,
+                2 => Base::G,
+                _ => Base::T,
+            };
+            by_base.push(base);
+            by_code.push_code(base.code());
+        }
+        assert_eq!(by_base, by_code);
+        assert_eq!(by_base.to_string(), by_code.to_string());
+        // High bits of the code are masked, preserving the packed invariant.
+        let mut masked = DnaString::new();
+        masked.push_code(0b1111_1110);
+        assert_eq!(masked.base(0), Base::from_code(0b10));
+        assert_eq!(masked.len(), 1);
+    }
 
     #[test]
     fn push_and_get_round_trip() {

@@ -24,6 +24,30 @@ pub struct FastaRecord {
     pub sequence: DnaString,
 }
 
+/// Writes one FASTA record to `writer`, wrapping sequence lines at `width`
+/// characters. This is the streaming primitive behind [`write_fasta`]: callers
+/// producing records one at a time (e.g. a graph walk) emit each as it is
+/// generated instead of materializing the whole record set.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_fasta_record<W: Write>(
+    writer: &mut W,
+    name: &str,
+    sequence: &DnaString,
+    width: usize,
+) -> Result<(), GenomeError> {
+    let width = width.max(1);
+    writeln!(writer, ">{name}")?;
+    let text = sequence.to_ascii();
+    for chunk in text.as_bytes().chunks(width) {
+        writer.write_all(chunk)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
 /// Writes FASTA records to `writer`, wrapping sequence lines at `width` characters.
 ///
 /// # Errors
@@ -34,14 +58,8 @@ pub fn write_fasta<W: Write>(
     records: &[FastaRecord],
     width: usize,
 ) -> Result<(), GenomeError> {
-    let width = width.max(1);
     for record in records {
-        writeln!(writer, ">{}", record.name)?;
-        let text = record.sequence.to_ascii();
-        for chunk in text.as_bytes().chunks(width) {
-            writer.write_all(chunk)?;
-            writer.write_all(b"\n")?;
-        }
+        write_fasta_record(&mut writer, &record.name, &record.sequence, width)?;
     }
     Ok(())
 }
@@ -333,6 +351,21 @@ mod tests {
         write_fasta(&mut buf, &records, 4).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text, ">x\nACGT\nACGT\nACGT\n");
+    }
+
+    #[test]
+    fn single_record_writer_matches_the_batch_writer() {
+        let record = FastaRecord {
+            name: "contig_0 length=12".to_string(),
+            sequence: "ACGTACGTACGT".parse().unwrap(),
+        };
+        let mut streamed = Vec::new();
+        write_fasta_record(&mut streamed, &record.name, &record.sequence, 5).unwrap();
+        let mut batch = Vec::new();
+        write_fasta(&mut batch, std::slice::from_ref(&record), 5).unwrap();
+        assert_eq!(streamed, batch);
+        let parsed = read_fasta(Cursor::new(streamed)).unwrap();
+        assert_eq!(parsed, vec![record]);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! borrows from the wrapped slice. Chunks outlive the `&mut self` borrow of
 //! [`ReadSource::next_chunk`], which is what lets a pipelined scheduler keep
 //! several chunks in flight on worker threads while pulling the next one.
+//!
+//! [`PrefetchSource`] wraps any owning source with a dedicated parse/generate
+//! worker thread behind a bounded two-slot channel, double-buffering ingestion
+//! so disk latency overlaps the consumer's compute even in a sequential
+//! schedule.
 
 use crate::error::GenomeError;
 use crate::fasta::{FastaReader, FastqReader};
@@ -277,6 +282,11 @@ enum RecordStream<R: BufRead> {
 pub struct FastaFastqSource<R: BufRead> {
     stream: RecordStream<R>,
     chunk_reads: usize,
+    /// Size of the backing file in bytes, when known (set by
+    /// [`FastaFastqSource::open`] from file metadata, or explicitly via
+    /// [`FastaFastqSource::with_size_hint`]). Feeds [`ReadSource::bases_hint`]
+    /// so byte-budget admission works for streamed files.
+    byte_size: Option<u64>,
 }
 
 impl<R: BufRead> FastaFastqSource<R> {
@@ -285,6 +295,7 @@ impl<R: BufRead> FastaFastqSource<R> {
         FastaFastqSource {
             stream: RecordStream::Fasta(FastaReader::new(reader)),
             chunk_reads: DEFAULT_CHUNK_READS,
+            byte_size: None,
         }
     }
 
@@ -293,6 +304,7 @@ impl<R: BufRead> FastaFastqSource<R> {
         FastaFastqSource {
             stream: RecordStream::Fastq(FastqReader::new(reader)),
             chunk_reads: DEFAULT_CHUNK_READS,
+            byte_size: None,
         }
     }
 
@@ -320,6 +332,15 @@ impl<R: BufRead> FastaFastqSource<R> {
         self
     }
 
+    /// Declares the byte size of the backing data, enabling
+    /// [`ReadSource::bases_hint`] for readers that are not files (network
+    /// streams, compressed wrappers). [`FastaFastqSource::open`] sets this
+    /// automatically from file metadata.
+    pub fn with_size_hint(mut self, byte_size: u64) -> FastaFastqSource<R> {
+        self.byte_size = Some(byte_size);
+        self
+    }
+
     /// The format this source is parsing.
     pub fn format(&self) -> SequenceFileFormat {
         match self.stream {
@@ -339,13 +360,19 @@ impl<R: BufRead> FastaFastqSource<R> {
 }
 
 impl FastaFastqSource<BufReader<File>> {
-    /// Opens a FASTA/FASTQ file, sniffing the format from its content.
+    /// Opens a FASTA/FASTQ file, sniffing the format from its content. The
+    /// file's metadata size becomes the source's size hint, so byte-budget
+    /// admission ([`ReadSource::bases_hint`]) works for streamed files.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from opening or probing the file.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, GenomeError> {
-        FastaFastqSource::sniff(BufReader::new(File::open(path)?))
+        let file = File::open(path)?;
+        let byte_size = file.metadata().map(|m| m.len()).ok();
+        let mut source = FastaFastqSource::sniff(BufReader::new(file))?;
+        source.byte_size = byte_size;
+        Ok(source)
     }
 }
 
@@ -363,6 +390,142 @@ impl<R: BufRead> ReadSource<'static> for FastaFastqSource<R> {
         } else {
             Some(ReadChunk::Owned(reads))
         })
+    }
+
+    fn bases_hint(&self) -> Option<u64> {
+        // An upper bound from the file size: FASTA bases are at most the byte
+        // count (headers and newlines only subtract), and every FASTQ base
+        // carries at least one quality byte, halving the bound.
+        self.byte_size.map(|bytes| match self.format() {
+            SequenceFileFormat::Fasta => bytes,
+            SequenceFileFormat::Fastq => bytes / 2,
+        })
+    }
+}
+
+/// Double-buffered prefetching adapter over any owning [`ReadSource`].
+///
+/// Parsing/generation moves onto a dedicated worker thread that pushes chunks
+/// through a bounded channel ([`PrefetchSource::DEFAULT_DEPTH`] slots, the
+/// classic double buffer): while the consumer computes on chunk *i*, the worker
+/// is already parsing chunk *i + 1*, so disk latency hides under stage B even
+/// in a `Sequential` batch schedule. The chunk stream — order, boundaries,
+/// contents — is exactly the inner source's, so wrapping a source cannot
+/// change any assembly bit.
+///
+/// Dropping the source mid-stream shuts the worker down cleanly: the receiver
+/// is closed first (unblocking a worker parked on a full channel), then the
+/// worker is joined.
+#[derive(Debug)]
+pub struct PrefetchSource {
+    /// `None` once the stream ended or the source shut down. Dropping the
+    /// receiver is what unblocks and terminates the worker, so shutdown order
+    /// matters: receiver first, then join.
+    rx: Option<std::sync::mpsc::Receiver<Result<ReadChunk<'static>, GenomeError>>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    /// Hints captured from the inner source at construction and counted down
+    /// as chunks are consumed (the worker owns the source afterwards).
+    reads_lower: usize,
+    reads_upper: Option<usize>,
+    bases_upper: Option<u64>,
+}
+
+impl PrefetchSource {
+    /// Default channel depth: two slots — one chunk being consumed, one being
+    /// parsed ahead.
+    pub const DEFAULT_DEPTH: usize = 2;
+
+    /// Wraps `source` with a prefetching worker at the default depth.
+    pub fn new<S>(source: S) -> PrefetchSource
+    where
+        S: ReadSource<'static> + Send + 'static,
+    {
+        PrefetchSource::with_depth(source, Self::DEFAULT_DEPTH)
+    }
+
+    /// Wraps `source` with a prefetching worker and a `depth`-slot channel
+    /// (clamped to at least 1).
+    pub fn with_depth<S>(mut source: S, depth: usize) -> PrefetchSource
+    where
+        S: ReadSource<'static> + Send + 'static,
+    {
+        let (reads_lower, reads_upper) = source.reads_hint();
+        let bases_upper = source.bases_hint();
+        let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
+        let worker = std::thread::spawn(move || loop {
+            match source.next_chunk() {
+                Ok(Some(chunk)) => {
+                    if tx.send(Ok(chunk)).is_err() {
+                        // Receiver dropped: the consumer is done with us.
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    let _ = tx.send(Err(err));
+                    break;
+                }
+            }
+        });
+        PrefetchSource {
+            rx: Some(rx),
+            worker: Some(worker),
+            reads_lower,
+            reads_upper,
+            bases_upper,
+        }
+    }
+
+    /// Closes the channel and joins the worker (receiver first — see the
+    /// struct docs).
+    fn shutdown(&mut self) {
+        drop(self.rx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl ReadSource<'static> for PrefetchSource {
+    fn next_chunk(&mut self) -> Result<Option<ReadChunk<'static>>, GenomeError> {
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(chunk)) => {
+                self.reads_lower = self.reads_lower.saturating_sub(chunk.len());
+                if let Some(upper) = &mut self.reads_upper {
+                    *upper = upper.saturating_sub(chunk.len());
+                }
+                if let Some(bases) = &mut self.bases_upper {
+                    *bases = bases.saturating_sub(chunk.total_bases());
+                }
+                Ok(Some(chunk))
+            }
+            Ok(Err(err)) => {
+                self.shutdown();
+                Err(err)
+            }
+            // Sender dropped without an error: the inner source is exhausted.
+            Err(std::sync::mpsc::RecvError) => {
+                self.shutdown();
+                Ok(None)
+            }
+        }
+    }
+
+    fn reads_hint(&self) -> (usize, Option<usize>) {
+        (self.reads_lower, self.reads_upper)
+    }
+
+    fn bases_hint(&self) -> Option<u64> {
+        self.bases_upper
+    }
+}
+
+impl Drop for PrefetchSource {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -594,6 +757,121 @@ mod tests {
             assert_eq!(parsed.id(), original.id());
             assert_eq!(parsed.sequence(), original.sequence());
         }
+    }
+
+    #[test]
+    fn file_sources_hint_bases_from_the_byte_size() {
+        let fasta = FastaFastqSource::fasta(Cursor::new(">x\nACGT\n")).with_size_hint(1_000);
+        assert_eq!(fasta.bases_hint(), Some(1_000));
+        let fastq =
+            FastaFastqSource::fastq(Cursor::new("@x\nACGT\n+\nIIII\n")).with_size_hint(1_000);
+        assert_eq!(fastq.bases_hint(), Some(500));
+        // Without a hint, the bound is unknown.
+        assert_eq!(
+            FastaFastqSource::fasta(Cursor::new(">x\nACGT\n")).bases_hint(),
+            None
+        );
+    }
+
+    #[test]
+    fn open_sets_the_size_hint_from_file_metadata() {
+        let dir = std::env::temp_dir().join(format!("nmp-pak-src-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fasta");
+        let text = ">r0\nACGTACGT\n>r1\nTTGGCCAA\n";
+        std::fs::write(&path, text).unwrap();
+        let source = FastaFastqSource::open(&path).unwrap();
+        assert_eq!(source.format(), SequenceFileFormat::Fasta);
+        assert_eq!(source.bases_hint(), Some(text.len() as u64));
+        let reads = collect_reads(source).unwrap();
+        assert_eq!(reads.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefetch_source_streams_the_same_chunks() {
+        let reads = sample_reads(20);
+        let mut text = Vec::new();
+        write_fastq(&mut text, &reads).unwrap();
+        let direct =
+            collect_reads(FastaFastqSource::fastq(Cursor::new(text.clone())).with_chunk_reads(3))
+                .unwrap();
+        let prefetched = collect_reads(PrefetchSource::new(
+            FastaFastqSource::fastq(Cursor::new(text)).with_chunk_reads(3),
+        ))
+        .unwrap();
+        assert_eq!(prefetched, direct);
+        // The FASTQ round trip fills in constant qualities; ids and sequences
+        // must still match the originals exactly.
+        assert_eq!(prefetched.len(), reads.len());
+        for (got, want) in prefetched.iter().zip(&reads) {
+            assert_eq!(got.id(), want.id());
+            assert_eq!(got.sequence(), want.sequence());
+        }
+    }
+
+    #[test]
+    fn prefetch_source_counts_hints_down() {
+        let genome = ReferenceGenome::builder()
+            .length(1_000)
+            .no_repeats()
+            .seed(3)
+            .build()
+            .unwrap();
+        let inner = SyntheticSource::new(
+            genome,
+            SequencerConfig {
+                coverage: 2.0,
+                ..SequencerConfig::default()
+            },
+        )
+        .unwrap()
+        .with_chunk_reads(8);
+        let (total, _) = inner.reads_hint();
+        let bases = inner.bases_hint().unwrap();
+        let mut source = PrefetchSource::new(inner);
+        assert_eq!(source.reads_hint(), (total, Some(total)));
+        assert_eq!(source.bases_hint(), Some(bases));
+        let chunk = source.next_chunk().unwrap().unwrap();
+        assert_eq!(source.reads_hint().0, total - chunk.len());
+        assert_eq!(
+            source.bases_hint(),
+            Some(bases - chunk.total_bases()),
+            "bases hint counts down by consumed bases"
+        );
+    }
+
+    #[test]
+    fn prefetch_source_propagates_parse_errors() {
+        // Truncated FASTQ record: the worker forwards the error.
+        let text = "@x\nACGT\n+\n";
+        let mut source = PrefetchSource::new(FastaFastqSource::fastq(Cursor::new(text)));
+        assert!(source.next_chunk().is_err());
+        // After the error the stream is closed.
+        assert!(source.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn dropping_a_prefetch_source_mid_stream_does_not_hang() {
+        let genome = ReferenceGenome::builder()
+            .length(5_000)
+            .no_repeats()
+            .seed(7)
+            .build()
+            .unwrap();
+        let inner = SyntheticSource::new(
+            genome,
+            SequencerConfig {
+                coverage: 10.0,
+                ..SequencerConfig::default()
+            },
+        )
+        .unwrap()
+        .with_chunk_reads(4);
+        let mut source = PrefetchSource::with_depth(inner, 1);
+        // Consume one chunk, then drop with the worker parked on a full channel.
+        source.next_chunk().unwrap().unwrap();
+        drop(source);
     }
 
     #[test]

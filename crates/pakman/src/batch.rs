@@ -39,9 +39,10 @@ use crate::config::PakmanConfig;
 use crate::contig::{AssemblyStats, Contig};
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
-use crate::memory::MemoryFootprint;
+use crate::memory::{MemoryBudget, MemoryFootprint};
 use crate::pipeline::{AssemblyOutput, PhaseTimings};
 use crate::shard::ShardingTelemetry;
+use crate::spill::SpillTelemetry;
 use crate::stage::{AssemblyPipeline, FrontArtifact};
 use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
@@ -202,6 +203,9 @@ pub struct BatchAssemblyOutput {
     /// Per-batch sharded-execution telemetry, in batch-index order (empty
     /// unless [`crate::config::ShardConfig`] engages sharded execution).
     pub batch_sharding: Vec<ShardingTelemetry>,
+    /// Per-batch external-memory counting telemetry, in batch-index order
+    /// (empty unless [`crate::config::SpillConfig`] bounds the counter).
+    pub batch_spill: Vec<SpillTelemetry>,
     /// Peak footprint of the largest single batch (the batched peak, §4.4).
     pub peak_batch_footprint: MemoryFootprint,
     /// Footprint the same workload would need without batching.
@@ -341,6 +345,7 @@ impl BatchAssembler {
         let mut batch_timings = Vec::with_capacity(outcomes.len());
         let mut batch_traces = Vec::new();
         let mut batch_sharding = Vec::new();
+        let mut batch_spill = Vec::new();
         let mut peak_batch_footprint = MemoryFootprint::default();
         let mut total_read_bases = 0u64;
         let mut total_kmers = 0u64;
@@ -366,6 +371,9 @@ impl BatchAssembler {
             }
             if let Some(sharding) = output.sharding {
                 batch_sharding.push(sharding);
+            }
+            if let Some(spill) = output.spill {
+                batch_spill.push(spill);
             }
             merged_nodes.extend(output.graph.into_nodes());
         }
@@ -394,6 +402,7 @@ impl BatchAssembler {
             batch_timings,
             batch_traces,
             batch_sharding,
+            batch_spill,
             peak_batch_footprint,
             unbatched_footprint,
             peak_inflight_read_bytes,
@@ -472,11 +481,12 @@ fn run_pipelined<'r, S: ReadSource<'r>>(
         let mut window: Window<'_, 'r> = Window {
             inflight: VecDeque::new(),
             staged: None,
-            inflight_bytes: 0,
-            peak_bytes: 0,
+            budget: match max_inflight_bytes {
+                Some(bytes) => MemoryBudget::bounded(bytes),
+                None => MemoryBudget::unbounded(),
+            },
             exhausted: false,
             depth,
-            max_inflight_bytes,
         };
 
         loop {
@@ -485,7 +495,7 @@ fn run_pipelined<'r, S: ReadSource<'r>>(
                 break;
             };
             let front = batch.handle.join().expect("front-stage worker panicked")?;
-            window.inflight_bytes -= batch.bytes;
+            window.budget.release(batch.bytes);
             // Admit the replacement *before* finishing, so the next fronts run
             // while this batch compacts — the paper's overlap of compaction
             // with counting, now `depth` batches deep.
@@ -496,7 +506,7 @@ fn run_pipelined<'r, S: ReadSource<'r>>(
                 output,
             });
         }
-        Ok((outcomes, window.peak_bytes))
+        Ok((outcomes, window.budget.peak_bytes()))
     })
 }
 
@@ -507,17 +517,18 @@ struct Inflight<'scope> {
     handle: std::thread::ScopedJoinHandle<'scope, Result<Option<FrontArtifact>, PakmanError>>,
 }
 
-/// The pipelined scheduler's in-flight window state.
+/// The pipelined scheduler's in-flight window state. Resident read bytes are
+/// accounted through the same [`MemoryBudget`] machinery as the external-memory
+/// counter's spill budget (the shared-accounting contract in DESIGN.md).
 struct Window<'scope, 'r> {
     inflight: VecDeque<Inflight<'scope>>,
     /// A chunk pulled from the source but blocked by the byte budget. Its bytes
     /// already count as in-flight: it is resident.
     staged: Option<ReadChunk<'r>>,
-    inflight_bytes: u64,
-    peak_bytes: u64,
+    /// Ledger over the admitted read bytes; bounded by `max_inflight_bytes`.
+    budget: MemoryBudget,
     exhausted: bool,
     depth: usize,
-    max_inflight_bytes: Option<u64>,
 }
 
 impl<'scope, 'r: 'scope> Window<'scope, 'r> {
@@ -539,8 +550,7 @@ impl<'scope, 'r: 'scope> Window<'scope, 'r> {
                     match source.next_chunk()? {
                         Some(chunk) if chunk.is_empty() => continue,
                         Some(chunk) => {
-                            self.inflight_bytes += chunk.approx_read_bytes();
-                            self.peak_bytes = self.peak_bytes.max(self.inflight_bytes);
+                            self.budget.charge(chunk.approx_read_bytes());
                             chunk
                         }
                         None => {
@@ -550,10 +560,7 @@ impl<'scope, 'r: 'scope> Window<'scope, 'r> {
                     }
                 }
             };
-            let over_budget = self
-                .max_inflight_bytes
-                .is_some_and(|budget| self.inflight_bytes > budget);
-            if over_budget && !self.inflight.is_empty() {
+            if self.budget.is_over() && !self.inflight.is_empty() {
                 self.staged = Some(chunk);
                 break;
             }

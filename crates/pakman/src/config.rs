@@ -94,6 +94,87 @@ impl ShardConfig {
     }
 }
 
+/// External-memory k-mer counting knob: the byte budget the bucket-major
+/// counter's resident value-partitioned buckets may occupy before the largest
+/// buckets are flushed to disk as sorted packed-`u64` runs.
+///
+/// Spill files are partitioned by the frozen
+/// [`nmp_pak_genome::shard_of_packed`] owner hash — the same hash that assigns
+/// MacroNodes to shards — so on-disk partitions align with shard ownership for
+/// free. Counting with any budget is **bit-identical** to in-memory counting:
+/// the read-back is a k-way merge of sorted runs fused with the identical
+/// run-length count + prune, so spilling changes where the bytes live, never
+/// what is counted. The budget is accounted through the same
+/// [`crate::memory::MemoryBudget`] machinery as the batch scheduler's
+/// `max_inflight_bytes` window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpillConfig {
+    /// Byte budget for the counter's resident buckets. `None` keeps counting
+    /// fully in memory (the default); `Some(bytes)` engages the spill path,
+    /// which flushes the largest buckets once the resident extracted k-mers
+    /// exceed the budget.
+    pub max_resident_bytes: Option<u64>,
+    /// Maximum number of sorted runs fused per k-way merge pass during
+    /// read-back; partitions holding more runs are reduced by intermediate
+    /// merge passes first.
+    pub merge_fan_in: usize,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig::in_memory()
+    }
+}
+
+impl SpillConfig {
+    /// Default merge fan-in: wide enough that a toy workload merges in one
+    /// pass, narrow enough that cursor buffers stay cache-friendly.
+    pub const DEFAULT_MERGE_FAN_IN: usize = 16;
+
+    /// Fully in-memory counting (no spill).
+    pub fn in_memory() -> Self {
+        SpillConfig {
+            max_resident_bytes: None,
+            merge_fan_in: Self::DEFAULT_MERGE_FAN_IN,
+        }
+    }
+
+    /// External-memory counting under a resident-byte budget.
+    pub fn bounded(max_resident_bytes: u64) -> Self {
+        SpillConfig {
+            max_resident_bytes: Some(max_resident_bytes),
+            merge_fan_in: Self::DEFAULT_MERGE_FAN_IN,
+        }
+    }
+
+    /// `true` when the external-memory counting path is engaged.
+    pub fn is_bounded(&self) -> bool {
+        self.max_resident_bytes.is_some()
+    }
+
+    /// Validates the spill configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::InvalidConfig`] for a zero-byte budget or a merge
+    /// fan-in below 2. A budget far smaller than the workload is *not* an
+    /// error — the counter simply spills every extraction wave.
+    pub fn validate(&self) -> Result<(), PakmanError> {
+        if self.max_resident_bytes == Some(0) {
+            return Err(PakmanError::InvalidConfig {
+                message: "spill budget must be positive (use None for in-memory counting)"
+                    .to_string(),
+            });
+        }
+        if self.merge_fan_in < 2 {
+            return Err(PakmanError::InvalidConfig {
+                message: format!("merge fan-in {} must be at least 2", self.merge_fan_in),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for the PaKman assembly pipeline.
 ///
 /// The defaults follow the paper's setup (Table 2): k = 32 with 100 bp reads, a
@@ -120,6 +201,9 @@ pub struct PakmanConfig {
     /// default is single-graph execution; any shard count produces bit-identical
     /// output.
     pub shards: ShardConfig,
+    /// External-memory k-mer counting budget (see [`SpillConfig`]). The default
+    /// is fully in-memory counting; any budget produces bit-identical output.
+    pub spill: SpillConfig,
     /// Record a [`crate::trace::CompactionTrace`] during Iterative Compaction so the
     /// memory-system simulators can replay it.
     pub record_trace: bool,
@@ -137,6 +221,7 @@ impl Default for PakmanConfig {
             threads: 4,
             compaction_mode: CompactionMode::default(),
             shards: ShardConfig::default(),
+            spill: SpillConfig::default(),
             record_trace: false,
             min_contig_length: 0,
         }
@@ -172,6 +257,7 @@ impl PakmanConfig {
             });
         }
         self.shards.validate()?;
+        self.spill.validate()?;
         Ok(())
     }
 }
@@ -241,6 +327,29 @@ mod tests {
         assert!(ShardConfig::default_channels().is_sharded());
         // The default configuration keeps the single-graph path.
         assert_eq!(PakmanConfig::default().shards, ShardConfig::single());
+    }
+
+    #[test]
+    fn spill_config_validates_budget_and_fan_in() {
+        assert!(SpillConfig::in_memory().validate().is_ok());
+        assert!(!SpillConfig::in_memory().is_bounded());
+        assert!(SpillConfig::bounded(64 * 1024).validate().is_ok());
+        assert!(SpillConfig::bounded(64 * 1024).is_bounded());
+        assert!(SpillConfig::bounded(0).validate().is_err());
+        assert!(SpillConfig {
+            merge_fan_in: 1,
+            ..SpillConfig::in_memory()
+        }
+        .validate()
+        .is_err());
+        assert!(PakmanConfig {
+            spill: SpillConfig::bounded(0),
+            ..PakmanConfig::default()
+        }
+        .validate()
+        .is_err());
+        // The default configuration keeps the in-memory path.
+        assert_eq!(PakmanConfig::default().spill, SpillConfig::in_memory());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum PakmanError {
     },
     /// An underlying DNA/sequence error.
     Genome(GenomeError),
+    /// A spill-file I/O or framing failure in the external-memory counting path
+    /// (unwritable spill directory, truncated or corrupt run file).
+    Spill {
+        /// Human readable description including the offending file.
+        message: String,
+    },
 }
 
 impl fmt::Display for PakmanError {
@@ -27,6 +33,7 @@ impl fmt::Display for PakmanError {
             PakmanError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
             PakmanError::EmptyInput { message } => write!(f, "empty input: {message}"),
             PakmanError::Genome(err) => write!(f, "genome error: {err}"),
+            PakmanError::Spill { message } => write!(f, "spill error: {message}"),
         }
     }
 }
@@ -61,6 +68,11 @@ mod tests {
             message: "no reads".to_string(),
         };
         assert!(err.to_string().contains("no reads"));
+
+        let err = PakmanError::Spill {
+            message: "truncated run in part-3.runs".to_string(),
+        };
+        assert!(err.to_string().contains("part-3.runs"));
     }
 
     #[test]

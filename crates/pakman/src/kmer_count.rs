@@ -20,9 +20,11 @@
 //! globally sorted output: no phase of step B unpacks a base, materializes a
 //! monolithic merged vector, or re-scans the full stream.
 
-use crate::config::PakmanConfig;
+use crate::config::{PakmanConfig, SpillConfig};
 use crate::error::PakmanError;
+use crate::memory::MemoryBudget;
 use crate::par::merge_two;
+use crate::spill::{kway_merge, SpillIoStats, SpillStore, SpillTelemetry};
 use nmp_pak_genome::{Kmer, SequencingRead};
 
 /// Configuration subset used by the k-mer counter.
@@ -79,30 +81,11 @@ pub fn count_kmers(
     reads: &[SequencingRead],
     config: KmerCounterConfig,
 ) -> Result<(Vec<CountedKmer>, KmerCountStats), PakmanError> {
-    if config.k < 2 || config.k > nmp_pak_genome::kmer::MAX_K {
-        return Err(PakmanError::InvalidConfig {
-            message: format!("k = {} must lie in 2..=32", config.k),
-        });
-    }
-    if config.threads == 0 {
-        return Err(PakmanError::InvalidConfig {
-            message: "thread count must be at least 1".to_string(),
-        });
-    }
+    validate_counter_config(&config)?;
 
     let threads = config.threads.min(reads.len().max(1));
     let chunk_size = reads.len().div_ceil(threads).max(1);
-    let kmer_bits = 2 * config.k as u32;
-    let capacity_total: usize = reads
-        .iter()
-        .map(|r| r.len().saturating_sub(config.k - 1))
-        .sum();
-    // Bucket count: aim for per-(thread, bucket) runs of a few hundred elements so
-    // every sort in phase 1 stays cache-resident. Shared by all threads — bucket
-    // boundaries are a pure function of the k-mer value, never of the chunking.
-    let bucket_bits = (usize::BITS - (capacity_total / (512 * threads)).leading_zeros())
-        .min(kmer_bits - 1)
-        .min(12);
+    let bucket_bits = bucket_bits_for(reads, &config, threads);
     let buckets = 1usize << bucket_bits;
 
     // Phase 1 — §4.5 (a)+(b)+(c): per-thread extraction over the packed read
@@ -190,6 +173,283 @@ pub fn count_kmers(
         skipped_reads: skipped_total,
     };
     Ok((counted, stats))
+}
+
+fn validate_counter_config(config: &KmerCounterConfig) -> Result<(), PakmanError> {
+    if config.k < 2 || config.k > nmp_pak_genome::kmer::MAX_K {
+        return Err(PakmanError::InvalidConfig {
+            message: format!("k = {} must lie in 2..=32", config.k),
+        });
+    }
+    if config.threads == 0 {
+        return Err(PakmanError::InvalidConfig {
+            message: "thread count must be at least 1".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Bucket count: aim for per-(thread, bucket) runs of a few hundred elements so
+/// every sort in phase 1 stays cache-resident. Shared by all threads — bucket
+/// boundaries are a pure function of the k-mer value, never of the chunking.
+fn bucket_bits_for(reads: &[SequencingRead], config: &KmerCounterConfig, threads: usize) -> u32 {
+    let kmer_bits = 2 * config.k as u32;
+    let capacity_total: usize = reads
+        .iter()
+        .map(|r| r.len().saturating_sub(config.k - 1))
+        .sum();
+    (usize::BITS - (capacity_total / (512 * threads)).leading_zeros())
+        .min(kmer_bits - 1)
+        .min(12)
+}
+
+/// Counts the k-mers of `reads` under a resident-byte budget, spilling the
+/// largest buckets to disk as sorted runs whenever the extracted k-mer bytes
+/// overflow it (external-memory counting; see `pakman/spill.rs`).
+///
+/// Reads are consumed in *waves* sized to half the budget. Each wave is
+/// extracted and sorted exactly like [`count_kmers`] phase 1, merged into the
+/// single resident sorted run each bucket keeps, and then — if the
+/// [`MemoryBudget`] ledger reports an overdraft — the largest buckets are
+/// flushed through a [`SpillStore`] (largest-first eviction, written in
+/// ascending bucket order so every run is sorted) until residency falls to half
+/// the budget. The final k-way merge over all runs fuses the run-length count
+/// and the `min_count` prune exactly like the in-memory path, so the counted
+/// stream is **bit-identical** to [`count_kmers`] at any budget, thread count
+/// or partition count; only the [`SpillTelemetry`] varies.
+///
+/// `partitions` is the owner-hash disk-partition count, normally the shard
+/// count, so spill files align with shard ownership.
+///
+/// # Errors
+///
+/// * [`PakmanError::InvalidConfig`] for an unsupported `k`, a zero thread
+///   count, an invalid `spill` config or an unbounded budget.
+/// * [`PakmanError::EmptyInput`] if no read is at least `k` bases long.
+/// * [`PakmanError::Spill`] for spill-file I/O or framing failures.
+pub fn count_kmers_spilled(
+    reads: &[SequencingRead],
+    config: KmerCounterConfig,
+    spill: &SpillConfig,
+    partitions: usize,
+) -> Result<(Vec<CountedKmer>, KmerCountStats, SpillTelemetry), PakmanError> {
+    validate_counter_config(&config)?;
+    spill.validate()?;
+    let Some(budget_bytes) = spill.max_resident_bytes else {
+        return Err(PakmanError::InvalidConfig {
+            message: "spilled counting requires a bounded resident-byte budget".to_string(),
+        });
+    };
+    let partitions = partitions.max(1);
+    let budget = MemoryBudget::bounded(budget_bytes);
+
+    let threads = config.threads.min(reads.len().max(1));
+    let bucket_bits = bucket_bits_for(reads, &config, threads);
+    let buckets = 1usize << bucket_bits;
+
+    let mut resident: Vec<Vec<u64>> = vec![Vec::new(); buckets];
+    let mut store = SpillStore::create(partitions)?;
+    let mut total_kmers = 0u64;
+    let mut skipped_total = 0usize;
+
+    // Wave boundaries are a pure function of the reads and the budget — never of
+    // the thread count — so the ingest schedule itself is deterministic.
+    let wave_target = (budget_bytes / 2).max(8);
+    let mut start = 0usize;
+    while start < reads.len() {
+        let mut end = start;
+        let mut wave_bytes = 0u64;
+        while end < reads.len() {
+            let bytes = reads[end].len().saturating_sub(config.k - 1) as u64 * 8;
+            if end > start && wave_bytes + bytes > wave_target {
+                break;
+            }
+            wave_bytes += bytes;
+            end += 1;
+        }
+        let wave = &reads[start..end];
+        start = end;
+
+        // §4.5 (a)+(b)+(c) on the wave, identical to count_kmers phase 1.
+        let wave_threads = threads.min(wave.len());
+        let chunk_size = wave.len().div_ceil(wave_threads).max(1);
+        let mut per_thread: Vec<Vec<Vec<u64>>> = Vec::with_capacity(wave_threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(wave_threads);
+            for chunk in wave.chunks(chunk_size) {
+                let k = config.k;
+                handles.push(scope.spawn(move || extract_sorted_buckets(chunk, k, bucket_bits)));
+            }
+            for handle in handles {
+                let (local, skipped) = handle.join().expect("k-mer counting worker panicked");
+                skipped_total += skipped;
+                per_thread.push(local);
+            }
+        });
+
+        // Regroup bucket-major and charge the new bytes to the shared ledger.
+        let mut wave_runs: Vec<Vec<Vec<u64>>> = (0..buckets).map(|_| Vec::new()).collect();
+        for thread_buckets in per_thread {
+            for (b, run) in thread_buckets.into_iter().enumerate() {
+                if !run.is_empty() {
+                    total_kmers += run.len() as u64;
+                    budget.charge(run.len() as u64 * 8);
+                    wave_runs[b].push(run);
+                }
+            }
+        }
+
+        // Fold the wave into the one sorted resident run per bucket (parallel
+        // over contiguous bucket ranges, same discipline as count_kmers phase 2).
+        let per_worker = buckets.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (res_group, wave_group) in resident
+                .chunks_mut(per_worker)
+                .zip(wave_runs.chunks_mut(per_worker))
+            {
+                scope.spawn(move || {
+                    for (res, runs) in res_group.iter_mut().zip(wave_group.iter_mut()) {
+                        let mut runs = std::mem::take(runs);
+                        if runs.is_empty() {
+                            continue;
+                        }
+                        if !res.is_empty() {
+                            runs.push(std::mem::take(res));
+                        }
+                        *res = merge_runs_to_one(runs);
+                    }
+                });
+            }
+        });
+
+        // Evict largest-first until residency falls to half the budget, so the
+        // next wave has headroom and small hot buckets stay in memory.
+        if budget.is_over() {
+            let mut order: Vec<usize> = (0..buckets).filter(|&b| !resident[b].is_empty()).collect();
+            order.sort_by_key(|&b| (std::cmp::Reverse(resident[b].len()), b));
+            let target = budget_bytes / 2;
+            let mut projected = budget.used();
+            let mut selected = Vec::new();
+            for b in order {
+                if projected <= target {
+                    break;
+                }
+                projected = projected.saturating_sub(resident[b].len() as u64 * 8);
+                selected.push(b);
+            }
+            // Ascending bucket order keeps the flushed stream globally sorted.
+            selected.sort_unstable();
+            let slices: Vec<&Vec<u64>> = selected.iter().map(|&b| &resident[b]).collect();
+            store.flush_buckets(&slices)?;
+            for &b in &selected {
+                budget.release(resident[b].len() as u64 * 8);
+                resident[b] = Vec::new();
+            }
+        }
+    }
+
+    if total_kmers == 0 {
+        return Err(PakmanError::EmptyInput {
+            message: format!("no read is at least k = {} bases long", config.k),
+        });
+    }
+
+    let (counted, distinct, pruned, io) = if store.has_runs() {
+        // Flush the still-resident buckets (ascending bucket order) so the final
+        // merge has a single source of truth: the run files.
+        let remaining: Vec<&Vec<u64>> = resident.iter().filter(|r| !r.is_empty()).collect();
+        if !remaining.is_empty() {
+            store.flush_buckets(&remaining)?;
+        }
+        for run in &mut resident {
+            budget.release(run.len() as u64 * 8);
+            *run = Vec::new();
+        }
+
+        let (mut cursors, io, _store) = store.into_cursors(spill.merge_fan_in)?;
+        let mut counted = Vec::new();
+        let (mut distinct, mut pruned) = (0usize, 0usize);
+        let (k, min_count) = (config.k, config.min_count);
+        let mut current: Option<(u64, u32)> = None;
+        kway_merge(&mut cursors, |value| match current {
+            Some((v, c)) if v == value => current = Some((v, c + 1)),
+            other => {
+                if let Some((v, c)) = other {
+                    distinct += 1;
+                    if c >= min_count {
+                        counted.push(CountedKmer {
+                            kmer: Kmer::from_packed(v, k),
+                            count: c,
+                        });
+                    } else {
+                        pruned += 1;
+                    }
+                }
+                current = Some((value, 1));
+            }
+        })?;
+        if let Some((v, c)) = current {
+            distinct += 1;
+            if c >= min_count {
+                counted.push(CountedKmer {
+                    kmer: Kmer::from_packed(v, k),
+                    count: c,
+                });
+            } else {
+                pruned += 1;
+            }
+        }
+        (counted, distinct, pruned, io)
+    } else {
+        // The workload never overflowed the budget: finish entirely in memory,
+        // bucket by bucket in ascending order, exactly like count_kmers.
+        let mut counted = Vec::new();
+        let (mut distinct, mut pruned) = (0usize, 0usize);
+        for run in &resident {
+            if run.is_empty() {
+                continue;
+            }
+            let (c, d, p) = run_length_count(run, config.k, config.min_count);
+            counted.extend(c);
+            distinct += d;
+            pruned += p;
+        }
+        (counted, distinct, pruned, SpillIoStats::default())
+    };
+    debug_assert!(counted.windows(2).all(|w| w[0].kmer < w[1].kmer));
+
+    let stats = KmerCountStats {
+        total_kmers,
+        distinct_kmers: distinct,
+        pruned_kmers: pruned,
+        skipped_reads: skipped_total,
+    };
+    let telemetry = SpillTelemetry {
+        budget_bytes,
+        bytes_spilled: io.bytes_spilled,
+        runs_written: io.runs_written,
+        merge_passes: io.merge_passes,
+        peak_resident_bytes: budget.peak_bytes(),
+        partitions,
+    };
+    Ok((counted, stats, telemetry))
+}
+
+/// Pairwise-merges pre-sorted runs into one. No counting or pruning happens
+/// here — duplicates must survive until the final fused merge.
+fn merge_runs_to_one(mut runs: Vec<Vec<u64>>) -> Vec<u64> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
 }
 
 /// Partitions the sorted counted stream by owner shard for owner-computes
@@ -630,6 +890,72 @@ mod tests {
         }
         // One shard reproduces the input verbatim.
         assert_eq!(partition_counted_by_owner(&counted, 1)[0], counted);
+    }
+
+    /// Deterministic pseudo-random reads big enough to overflow tiny budgets.
+    fn synthetic_reads(count: usize, len: usize, seed: u64) -> Vec<SequencingRead> {
+        let bases = ['A', 'C', 'G', 'T'];
+        let mut state = seed | 1;
+        let mut strings = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s.push(bases[(state >> 33) as usize % 4]);
+            }
+            strings.push(s);
+        }
+        reads_from(&strings.iter().map(String::as_str).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn spilled_counting_is_bit_identical_to_in_memory() {
+        let reads = synthetic_reads(200, 80, 0xBEC4);
+        let config = KmerCounterConfig {
+            k: 11,
+            min_count: 2,
+            threads: 4,
+        };
+        let (expected, expected_stats) = count_kmers(&reads, config).unwrap();
+        let spill = SpillConfig::bounded(4 * 1024);
+        let (counted, stats, telemetry) = count_kmers_spilled(&reads, config, &spill, 8).unwrap();
+        assert!(telemetry.bytes_spilled > 0, "{telemetry:?}");
+        assert!(telemetry.merge_passes >= 1, "{telemetry:?}");
+        assert!(telemetry.peak_resident_bytes > 0);
+        assert_eq!(telemetry.partitions, 8);
+        assert_eq!(counted, expected);
+        assert_eq!(stats, expected_stats);
+    }
+
+    #[test]
+    fn spilled_counting_without_overflow_stays_in_memory() {
+        let reads = reads_from(&["ACGTACGTACGTTTTACG", "GGGCCCAAATTTACGTAG"]);
+        let config = KmerCounterConfig {
+            k: 7,
+            min_count: 1,
+            threads: 2,
+        };
+        let (expected, expected_stats) = count_kmers(&reads, config).unwrap();
+        let (counted, stats, telemetry) =
+            count_kmers_spilled(&reads, config, &SpillConfig::bounded(1 << 20), 4).unwrap();
+        assert_eq!(telemetry.bytes_spilled, 0);
+        assert_eq!(telemetry.merge_passes, 0);
+        assert_eq!(counted, expected);
+        assert_eq!(stats, expected_stats);
+    }
+
+    #[test]
+    fn spilled_counting_requires_a_bounded_budget() {
+        let reads = reads_from(&["ACGTACGT"]);
+        let config = KmerCounterConfig {
+            k: 5,
+            min_count: 1,
+            threads: 1,
+        };
+        let err = count_kmers_spilled(&reads, config, &SpillConfig::in_memory(), 1).unwrap_err();
+        assert!(matches!(err, PakmanError::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod memory;
 pub(crate) mod par;
 pub mod pipeline;
 pub mod shard;
+pub mod spill;
 pub mod stage;
 #[cfg(test)]
 pub(crate) mod test_util;
@@ -69,15 +70,17 @@ pub use compaction::{
     compact, compact_with_scratch, CompactionOutcome, CompactionProfile, CompactionScratch,
     CompactionStats, IterationProfile, IterationStats, SizeHistogram,
 };
-pub use config::{CompactionMode, PakmanConfig, ShardConfig};
+pub use config::{CompactionMode, PakmanConfig, ShardConfig, SpillConfig};
 pub use contig::{AssemblyStats, Contig};
 pub use error::PakmanError;
 pub use graph::PakGraph;
-pub use kmer_count::{count_kmers, CountedKmer, KmerCounterConfig};
+pub use kmer_count::{count_kmers, count_kmers_spilled, CountedKmer, KmerCounterConfig};
 pub use macronode::{MacroNode, ThroughPath};
-pub use memory::MemoryFootprint;
+pub use memory::{MemoryBudget, MemoryFootprint};
 pub use pipeline::{AssemblyOutput, PakmanAssembler, PhaseTimings};
 pub use shard::{compact_sharded, MailboxIterationStats, ShardedGraph, ShardingTelemetry};
+pub use spill::SpillTelemetry;
 pub use stage::{AssemblyPipeline, DrainedReads, FrontArtifact, Stage};
 pub use trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
 pub use transfer::{ShardMailbox, TransferNode};
+pub use walk::{generate_contigs, longest_contig, write_contigs_fasta};

@@ -9,6 +9,89 @@
 //! reproduced at any scale.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live byte-budget accounting shared by every bounded-memory mechanism.
+///
+/// Where [`MemoryFootprint`] is the *analytic* model (what a workload would
+/// need), a `MemoryBudget` is the *runtime* ledger: bytes are charged as data
+/// becomes resident and released when it is evicted, and the high-water mark is
+/// recorded. Both the pipelined batch scheduler's `max_inflight_bytes` window
+/// ([`crate::batch::BatchSchedule::Pipelined`]) and the external-memory
+/// counter's spill budget ([`crate::config::SpillConfig`]) draw from this one
+/// machinery, so "resident bytes" means the same thing on both paths (the
+/// shared-accounting contract in DESIGN.md).
+///
+/// The ledger is advisory, not an allocator: callers decide what to do when
+/// [`MemoryBudget::is_over`] reports an overdraft (stall admission, spill the
+/// largest buckets). Charging is allowed to exceed the capacity so a consumer
+/// larger than the whole budget can still make progress.
+#[derive(Debug, Default)]
+pub struct MemoryBudget {
+    /// Budget in bytes; `None` is unbounded (the ledger still tracks the peak).
+    capacity: Option<u64>,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// A budget of `capacity_bytes`.
+    pub fn bounded(capacity_bytes: u64) -> MemoryBudget {
+        MemoryBudget {
+            capacity: Some(capacity_bytes),
+            ..MemoryBudget::default()
+        }
+    }
+
+    /// An unlimited budget that still records usage and the peak.
+    pub fn unbounded() -> MemoryBudget {
+        MemoryBudget::default()
+    }
+
+    /// The configured capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Charges `bytes` as resident, updating the peak. Returns the new total.
+    pub fn charge(&self, bytes: u64) -> u64 {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Releases `bytes` previously charged (saturating at zero).
+    pub fn release(&self, bytes: u64) {
+        // fetch_update never fails with Some; saturate rather than underflow so a
+        // double-release stays a bookkeeping blemish instead of a wrapping bug.
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                Some(used.saturating_sub(bytes))
+            });
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// `true` when the charged bytes exceed a bounded capacity.
+    pub fn is_over(&self) -> bool {
+        self.capacity.is_some_and(|cap| self.used() > cap)
+    }
+
+    /// `true` if charging `bytes` more would exceed a bounded capacity.
+    pub fn would_exceed(&self, bytes: u64) -> bool {
+        self.capacity
+            .is_some_and(|cap| self.used().saturating_add(bytes) > cap)
+    }
+}
 
 /// Peak-memory model for one assembly run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -160,5 +243,37 @@ mod tests {
         assert_eq!(fp.peak_bytes(), 0);
         assert_eq!(fp.expansion_factor(), 0.0);
         assert_eq!(fp.reduction_factor_vs_unoptimized(0.1), 0.0);
+    }
+
+    #[test]
+    fn budget_tracks_usage_peak_and_overdraft() {
+        let budget = MemoryBudget::bounded(100);
+        assert_eq!(budget.capacity(), Some(100));
+        assert!(!budget.is_over());
+        assert_eq!(budget.charge(60), 60);
+        assert!(!budget.is_over());
+        assert!(budget.would_exceed(41));
+        assert!(!budget.would_exceed(40));
+        assert_eq!(budget.charge(60), 120);
+        assert!(budget.is_over());
+        assert_eq!(budget.peak_bytes(), 120);
+        budget.release(80);
+        assert_eq!(budget.used(), 40);
+        assert!(!budget.is_over());
+        // The peak survives releases.
+        assert_eq!(budget.peak_bytes(), 120);
+        // Over-release saturates instead of wrapping.
+        budget.release(1_000);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn unbounded_budget_never_overdraws() {
+        let budget = MemoryBudget::unbounded();
+        assert_eq!(budget.capacity(), None);
+        budget.charge(u64::MAX / 2);
+        assert!(!budget.is_over());
+        assert!(!budget.would_exceed(u64::MAX / 2));
+        assert_eq!(budget.peak_bytes(), u64::MAX / 2);
     }
 }

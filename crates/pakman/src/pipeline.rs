@@ -84,6 +84,10 @@ pub struct AssemblyOutput {
     /// [`PakmanConfig::shards`](crate::config::ShardConfig) engages sharded
     /// execution (`None` on the single-graph path).
     pub sharding: Option<ShardingTelemetry>,
+    /// External-memory counting telemetry, recorded when
+    /// [`PakmanConfig::spill`](crate::config::SpillConfig) bounds the
+    /// resident-byte budget (`None` on the in-memory counting path).
+    pub spill: Option<crate::spill::SpillTelemetry>,
     /// Memory-footprint model for this workload.
     pub footprint: MemoryFootprint,
     /// The compacted PaK-graph (useful for merging batches or re-walking).

@@ -23,13 +23,16 @@
 //! [`AssemblyPipeline::run_source`]) an entire streaming source.
 
 use crate::compaction::{compact, CompactionProfile, CompactionStats};
-use crate::config::{PakmanConfig, ShardConfig};
+use crate::config::{PakmanConfig, ShardConfig, SpillConfig};
 use crate::contig::Contig;
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
-use crate::kmer_count::{count_kmers, CountedKmer, KmerCountStats, KmerCounterConfig};
+use crate::kmer_count::{
+    count_kmers, count_kmers_spilled, CountedKmer, KmerCountStats, KmerCounterConfig,
+};
 use crate::pipeline::PhaseTimings;
 use crate::shard::{compact_sharded, ShardedGraph, ShardingTelemetry};
+use crate::spill::SpillTelemetry;
 use crate::trace::CompactionTrace;
 use crate::walk::generate_contigs;
 use nmp_pak_genome::{ReadChunk, ReadSource, SequencingRead};
@@ -75,6 +78,9 @@ pub struct CountedBatch {
     pub stats: KmerCountStats,
     /// Carried forward from [`ReadAccess`] for the footprint model.
     pub total_read_bases: u64,
+    /// External-memory counting telemetry when the spill path ran
+    /// ([`SpillConfig`] bounded), `None` on the in-memory path.
+    pub spill: Option<SpillTelemetry>,
 }
 
 /// The wired, uncompacted PaK-graph in whichever execution shape stage C built
@@ -120,6 +126,8 @@ pub struct ConstructedGraph {
     pub kmer_stats: KmerCountStats,
     /// Read census, carried through.
     pub total_read_bases: u64,
+    /// External-memory counting telemetry, carried through.
+    pub spill: Option<SpillTelemetry>,
 }
 
 /// Artifact of step D: the compacted graph plus compaction telemetry.
@@ -219,6 +227,10 @@ impl<'r, 'c> Stage<&'c ReadChunk<'r>> for AccessStage {
 #[derive(Debug, Clone, Copy)]
 pub struct CountStage {
     config: KmerCounterConfig,
+    spill: SpillConfig,
+    /// Owner-hash disk partitions for spill files: the shard count, so spilled
+    /// runs align with shard ownership.
+    partitions: usize,
 }
 
 impl CountStage {
@@ -226,6 +238,8 @@ impl CountStage {
     pub fn new(config: &PakmanConfig) -> Self {
         CountStage {
             config: KmerCounterConfig::from(config),
+            spill: config.spill,
+            partitions: config.shards.shard_count.max(1),
         }
     }
 }
@@ -238,7 +252,14 @@ impl<'r> Stage<ReadAccess<'r>> for CountStage {
     }
 
     fn run(&self, access: ReadAccess<'r>) -> Result<CountedBatch, PakmanError> {
-        let (counted, stats) = count_kmers(access.reads, self.config)?;
+        let (counted, stats, spill) = if self.spill.is_bounded() {
+            let (counted, stats, telemetry) =
+                count_kmers_spilled(access.reads, self.config, &self.spill, self.partitions)?;
+            (counted, stats, Some(telemetry))
+        } else {
+            let (counted, stats) = count_kmers(access.reads, self.config)?;
+            (counted, stats, None)
+        };
         if counted.is_empty() {
             return Err(PakmanError::EmptyInput {
                 message: format!(
@@ -251,6 +272,7 @@ impl<'r> Stage<ReadAccess<'r>> for CountStage {
             counted,
             stats,
             total_read_bases: access.total_bases,
+            spill,
         })
     }
 }
@@ -304,6 +326,7 @@ impl Stage<CountedBatch> for ConstructStage {
             macronode_bytes,
             kmer_stats: counted.stats,
             total_read_bases: counted.total_read_bases,
+            spill: counted.spill,
         })
     }
 }
@@ -492,6 +515,7 @@ impl AssemblyPipeline {
         let kmer_stats = built.kmer_stats;
         let total_read_bases = built.total_read_bases;
         let macronode_bytes = built.macronode_bytes;
+        let spill = built.spill;
 
         let t3 = Instant::now();
         let compacted = self.compact.run(built)?;
@@ -523,6 +547,7 @@ impl AssemblyPipeline {
             compaction_profile: compacted.profile,
             trace: compacted.trace,
             sharding: compacted.sharding,
+            spill,
             footprint,
             graph: compacted.graph,
         })

@@ -5,22 +5,92 @@
 //! Fig. 5). The walk starts at nodes carrying terminal-start flow (reads began there),
 //! repeatedly follows the wired through-path with the highest remaining count, and
 //! spells out the visited (k-1)-mer plus every suffix extension along the way.
+//!
+//! The walk core is streaming: [`write_contigs_fasta`] emits each contig straight
+//! to a `Write` sink as the traversal produces it, and [`generate_contigs`]
+//! collects the same stream into a length-sorted `Vec`. Each contig's backing
+//! [`DnaString`] is allocated once, pre-sized from the span of the chosen path,
+//! and filled by appending packed codes — no per-node re-encoding.
 
 use crate::contig::Contig;
+use crate::error::PakmanError;
 use crate::graph::PakGraph;
-use nmp_pak_genome::DnaString;
+use nmp_pak_genome::{fasta, DnaString, Kmer};
+use std::io::Write;
+use std::ops::ControlFlow;
 
 /// Generates contigs from a (typically compacted) PaK-graph.
 ///
 /// Contigs shorter than `min_length` bases are discarded. The result is sorted by
 /// decreasing length.
 pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
+    let mut contigs = Vec::new();
+    walk_contigs(graph, min_length, &mut |contig| {
+        contigs.push(contig);
+        ControlFlow::Continue(())
+    });
+    contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    contigs
+}
+
+/// Streams the graph's contigs to `writer` as FASTA records (80-column lines),
+/// in walk order, skipping contigs shorter than `min_length` bases. Returns the
+/// number of records written.
+///
+/// Unlike [`generate_contigs`] + [`nmp_pak_genome::fasta::write_fasta`], this
+/// never holds more than one contig in memory, so writing the assembly of a
+/// budget-capped run (see [`crate::config::SpillConfig`]) does not reintroduce
+/// an O(assembly) resident buffer. Records are named `contig_{i} length={len}`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_contigs_fasta<W: Write>(
+    graph: &PakGraph,
+    min_length: usize,
+    writer: &mut W,
+) -> Result<usize, PakmanError> {
+    let mut written = 0usize;
+    let mut io_error: Option<PakmanError> = None;
+    walk_contigs(graph, min_length, &mut |contig| {
+        let name = format!("contig_{written} length={}", contig.len());
+        match fasta::write_fasta_record(writer, &name, &contig.sequence, 80) {
+            Ok(()) => {
+                written += 1;
+                ControlFlow::Continue(())
+            }
+            Err(err) => {
+                io_error = Some(err.into());
+                ControlFlow::Break(())
+            }
+        }
+    });
+    match io_error {
+        Some(err) => Err(err),
+        None => Ok(written),
+    }
+}
+
+/// The streaming walk core: traverses the graph's three start-point passes and
+/// hands each contig of at least `min_length` bases to `emit`, stopping early if
+/// `emit` breaks.
+fn walk_contigs(
+    graph: &PakGraph,
+    min_length: usize,
+    emit: &mut dyn FnMut(Contig) -> ControlFlow<()>,
+) {
     let mut used: Vec<Vec<bool>> = vec![Vec::new(); graph.slot_count()];
     for (slot, node) in graph.iter_alive() {
         used[slot] = vec![false; node.paths().len()];
     }
 
-    let mut contigs = Vec::new();
+    let deliver = |contig: Contig, emit: &mut dyn FnMut(Contig) -> ControlFlow<()>| {
+        if contig.len() >= min_length {
+            emit(contig)
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
 
     // Pass 1: start from true source nodes (no incoming interior flow at all). Reads
     // that merely *start* at an otherwise covered node contribute redundant terminal
@@ -33,7 +103,9 @@ pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
             let path = &node.paths()[path_idx];
             if path.suffix.is_some() && !used[slot][path_idx] {
                 let contig = walk_from(graph, &mut used, slot, path_idx);
-                contigs.push(contig);
+                if deliver(contig, emit).is_break() {
+                    return;
+                }
             }
         }
     }
@@ -48,7 +120,9 @@ pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
                 if let Some(suffix) = path.suffix.as_ref() {
                     if graph.contains(&node.successor_k1mer(suffix)) {
                         let contig = walk_from(graph, &mut used, slot, path_idx);
-                        contigs.push(contig);
+                        if deliver(contig, emit).is_break() {
+                            return;
+                        }
                     }
                 }
             }
@@ -58,24 +132,22 @@ pub fn generate_contigs(graph: &PakGraph, min_length: usize) -> Vec<Contig> {
     // Pass 3: isolated nodes with only terminal flow still carry their (k-1)-mer.
     for (slot, node) in graph.iter_alive() {
         if node.paths().iter().all(|p| p.suffix.is_none()) && used[slot].iter().all(|u| !u) {
-            contigs.push(Contig::new(node.k1mer().to_dna_string()));
             for flag in &mut used[slot] {
                 *flag = true;
             }
+            let contig = Contig::new(node.k1mer().to_dna_string());
+            if deliver(contig, emit).is_break() {
+                return;
+            }
         }
     }
-
-    let mut contigs: Vec<Contig> = contigs
-        .into_iter()
-        .filter(|c| c.len() >= min_length)
-        .collect();
-    contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
-    contigs
 }
 
-/// Walks forward from `(slot, path_idx)`, spelling the node's (k-1)-mer followed by
-/// every suffix extension along the wired path, until the chain ends or every
-/// continuation has already been used.
+/// Walks forward from `(slot, path_idx)`, collecting the suffix extension of every
+/// wired step, until the chain ends or every continuation has already been used.
+/// The contig is then spelled in one pass: a single allocation pre-sized to the
+/// walk's span, the start (k-1)-mer appended code by code, and each suffix spliced
+/// in packed form via [`DnaString::extend_from`].
 fn walk_from(
     graph: &PakGraph,
     used: &mut [Vec<bool>],
@@ -83,11 +155,11 @@ fn walk_from(
     start_path: usize,
 ) -> Contig {
     let start_node = graph.node(start_slot).expect("start slot is alive");
-    let mut sequence = start_node.k1mer().to_dna_string();
-    let k1_len = start_node.k1mer().k();
+    let start_k1mer = start_node.k1mer();
 
     let mut slot = start_slot;
     let mut path_idx = start_path;
+    let mut suffixes: Vec<&DnaString> = Vec::new();
     // Bound the walk defensively; each step consumes a path so this cannot loop
     // forever, but the explicit cap keeps malformed graphs from degenerating.
     let max_steps = graph.slot_count().saturating_mul(4) + 16;
@@ -106,16 +178,15 @@ fn walk_from(
         let Some(suffix) = path.suffix.as_ref() else {
             break;
         };
-        sequence.extend_from(suffix);
+        suffixes.push(suffix);
 
         // Move to the successor through this suffix. The incoming extension the
         // successor knows us by is the spelled edge minus its own (k-1)-mer.
-        let spell = crate::macronode::spell_suffix(&node.k1mer(), suffix);
         let successor_k1mer = node.successor_k1mer(suffix);
         let Some(next_slot) = graph.index_of(&successor_k1mer) else {
             break;
         };
-        let incoming = spell.slice(0, spell.len() - k1_len);
+        let incoming = incoming_extension(&node.k1mer(), suffix);
 
         let next_node = graph.node(next_slot).expect("successor is alive");
         let exact = next_node
@@ -159,7 +230,37 @@ fn walk_from(
         }
     }
 
+    // Spell the contig in one pre-sized allocation: the walk's span is known
+    // exactly, so no growth reallocation and no per-node re-encoding happens.
+    let k1_len = start_k1mer.k();
+    let span = k1_len + suffixes.iter().map(|s| s.len()).sum::<usize>();
+    let mut sequence = DnaString::with_capacity(span);
+    for i in 0..k1_len {
+        sequence.push_code(((start_k1mer.packed() >> (2 * (k1_len - 1 - i))) & 0b11) as u8);
+    }
+    for suffix in suffixes {
+        sequence.extend_from(suffix);
+    }
+    debug_assert_eq!(sequence.len(), span);
     Contig::new(sequence)
+}
+
+/// The incoming extension a successor node records for the edge `k1mer → suffix`:
+/// the first `suffix.len()` bases of `k1mer + suffix` (the spelled edge minus the
+/// successor's own (k-1)-mer). Equivalent to
+/// `spell_suffix(k1mer, suffix).slice(0, suffix.len())` without materializing the
+/// full spelled edge.
+fn incoming_extension(k1mer: &Kmer, suffix: &DnaString) -> DnaString {
+    let k1_len = k1mer.k();
+    let len = suffix.len();
+    let mut out = DnaString::with_capacity(len);
+    for i in 0..len.min(k1_len) {
+        out.push_code(((k1mer.packed() >> (2 * (k1_len - 1 - i))) & 0b11) as u8);
+    }
+    for code in suffix.codes().take(len.saturating_sub(k1_len)) {
+        out.push_code(code);
+    }
+    out
 }
 
 /// Convenience: returns the longest contig spelled by the graph, if any.
@@ -280,5 +381,67 @@ mod tests {
         let graph = PakGraph::default();
         assert!(generate_contigs(&graph, 0).is_empty());
         assert!(longest_contig(&graph).is_none());
+        let mut sink = Vec::new();
+        assert_eq!(write_contigs_fasta(&graph, 0, &mut sink).unwrap(), 0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn incoming_extension_matches_the_spelled_edge_slice() {
+        let k1mer = Kmer::from_dna(&"ACGTA".parse().unwrap(), 0, 5).unwrap();
+        for suffix_text in ["T", "TG", "TGCA", "TGCAT", "TGCATGCAT"] {
+            let suffix: DnaString = suffix_text.parse().unwrap();
+            let via_spell = crate::macronode::spell_suffix(&k1mer, &suffix).slice(0, suffix.len());
+            assert_eq!(
+                incoming_extension(&k1mer, &suffix),
+                via_spell,
+                "suffix {suffix_text}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_fasta_matches_the_collected_contigs() {
+        let reads = ["ACGTACCTGATCAGTTGCAACGGT", "GGCCTTAAGTCCTA"];
+        let mut graph = graph_from_reads(&reads, 5);
+        compact(
+            &mut graph,
+            &PakmanConfig {
+                compaction_node_threshold: 0,
+                threads: 1,
+                ..PakmanConfig::default()
+            },
+        );
+
+        let mut sink = Vec::new();
+        let written = write_contigs_fasta(&graph, 0, &mut sink).unwrap();
+        let records = nmp_pak_genome::fasta::read_fasta(std::io::Cursor::new(sink)).unwrap();
+        assert_eq!(records.len(), written);
+        assert!(written >= 2);
+
+        // The streamed records are exactly the collected contigs (walk order vs
+        // length order), with self-describing names.
+        let mut streamed: Vec<String> = records.iter().map(|r| r.sequence.to_string()).collect();
+        let mut collected: Vec<String> = generate_contigs(&graph, 0)
+            .iter()
+            .map(|c| c.sequence.to_string())
+            .collect();
+        streamed.sort();
+        collected.sort();
+        assert_eq!(streamed, collected);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(
+                record.name,
+                format!("contig_{i} length={}", record.sequence.len())
+            );
+        }
+    }
+
+    #[test]
+    fn min_length_filter_applies_to_the_streamed_writer() {
+        let graph = graph_from_reads(&["ACGTACCTGATCAG"], 5);
+        let mut sink = Vec::new();
+        assert_eq!(write_contigs_fasta(&graph, 1_000, &mut sink).unwrap(), 0);
+        assert!(sink.is_empty());
     }
 }

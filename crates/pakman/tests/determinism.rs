@@ -10,7 +10,7 @@
 use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SequencingRead};
 use nmp_pak_pakman::{
     AssemblyOutput, BatchAssembler, BatchAssemblyOutput, BatchSchedule, CompactionMode,
-    PakmanAssembler, PakmanConfig,
+    PakmanAssembler, PakmanConfig, ShardConfig, SpillConfig,
 };
 
 fn simulated_reads(length: usize, coverage: f64, seed: u64) -> Vec<SequencingRead> {
@@ -101,6 +101,65 @@ fn assert_batch_outputs_identical(a: &BatchAssemblyOutput, b: &BatchAssemblyOutp
         a.batch_traces, b.batch_traces,
         "per-batch traces diverged: {what}"
     );
+}
+
+#[test]
+fn spilled_counting_is_bit_identical_to_in_memory_across_threads_and_shards() {
+    // The external-memory counting path (64 KiB resident budget — tiny, forcing
+    // repeated evictions and multi-run merges) must reproduce the unconstrained
+    // in-memory assembly bit for bit at every thread count and shard count. The
+    // wave boundaries, eviction schedule, and k-way read-back merge are all
+    // value-ordered, so nothing downstream may observe the budget.
+    let reads = simulated_reads(10_000, 30.0, 0x5B11);
+    let config_for = |threads: usize, shards: usize, spill: SpillConfig| PakmanConfig {
+        k: 21,
+        min_kmer_count: 2,
+        compaction_node_threshold: 10,
+        threads,
+        record_trace: false,
+        shards: ShardConfig {
+            shard_count: shards,
+        },
+        spill,
+        ..PakmanConfig::default()
+    };
+    let reference = PakmanAssembler::new(config_for(1, 1, SpillConfig::in_memory()))
+        .assemble(&reads)
+        .unwrap();
+    assert!(!reference.contigs.is_empty());
+    assert!(reference.spill.is_none(), "in-memory run reports no spill");
+
+    for threads in [1, 4, 8] {
+        for shards in [1, 8] {
+            let spilled =
+                PakmanAssembler::new(config_for(threads, shards, SpillConfig::bounded(64 * 1024)))
+                    .assemble(&reads)
+                    .unwrap();
+            let what = format!("threads = {threads}, shards = {shards}");
+            let telemetry = spilled.spill.expect("bounded run records telemetry");
+            assert!(
+                telemetry.bytes_spilled > 0,
+                "{what}: the 64 KiB budget must force spilling"
+            );
+            assert!(
+                telemetry.merge_passes >= 1,
+                "{what}: read-back requires at least the final merge pass"
+            );
+            assert_eq!(
+                spilled.contigs, reference.contigs,
+                "contigs diverged: {what}"
+            );
+            assert_eq!(spilled.stats, reference.stats, "stats diverged: {what}");
+            assert_eq!(
+                spilled.kmer_stats, reference.kmer_stats,
+                "k-mer stats diverged: {what}"
+            );
+            assert_eq!(
+                spilled.compaction, reference.compaction,
+                "compaction stats diverged: {what}"
+            );
+        }
+    }
 }
 
 #[test]

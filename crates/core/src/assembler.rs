@@ -138,12 +138,15 @@ impl NmpPakAssembler {
     }
 
     /// The simulation context for an assembly: peak footprint plus — when the
-    /// software ran sharded — the *measured* per-shard load imbalance, so
-    /// spatial backends stop assuming perfectly uniform work.
+    /// software ran sharded — the full *measured* sharding telemetry, so
+    /// spatial backends stop assuming perfectly uniform work: scalar-only
+    /// models read the derived load-imbalance factor, while the NMP channel
+    /// model folds per-shard work and the mailbox byte matrix onto its
+    /// channels directly.
     pub fn context_for(assembly: &AssemblyOutput) -> SimulationContext {
         let ctx = SimulationContext::new(assembly.footprint.peak_bytes());
         match &assembly.sharding {
-            Some(telemetry) => ctx.with_load_imbalance(telemetry.load_imbalance()),
+            Some(telemetry) => ctx.with_sharding(telemetry.clone()),
             None => ctx,
         }
     }

@@ -101,7 +101,7 @@ impl CapacityVerdict {
 }
 
 /// Workload-level context shared by every backend simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct SimulationContext {
     /// The workload's peak memory footprint (used for capacity checks).
@@ -113,6 +113,12 @@ pub struct SimulationContext {
     /// partition paces every iteration: these models stretch their
     /// perfectly-parallel critical path by this factor.
     pub load_imbalance: f64,
+    /// Full measured sharded-execution telemetry, when the software ran
+    /// sharded. Backends that model spatial placement directly (the NMP
+    /// channel model) fold this onto their channels — per-channel work shares
+    /// and the measured cross-channel byte fraction — instead of collapsing it
+    /// to the single [`SimulationContext::load_imbalance`] scalar.
+    pub sharding: Option<nmp_pak_pakman::ShardingTelemetry>,
 }
 
 impl SimulationContext {
@@ -122,6 +128,7 @@ impl SimulationContext {
         SimulationContext {
             footprint_bytes,
             load_imbalance: 1.0,
+            sharding: None,
         }
     }
 
@@ -132,6 +139,18 @@ impl SimulationContext {
         } else {
             1.0
         };
+        self
+    }
+
+    /// Attaches the full sharded-execution telemetry and derives
+    /// [`SimulationContext::load_imbalance`] from it, so scalar-only backends
+    /// stay consistent with backends that consume the full telemetry.
+    pub fn with_sharding(
+        mut self,
+        telemetry: nmp_pak_pakman::ShardingTelemetry,
+    ) -> SimulationContext {
+        self = self.with_load_imbalance(telemetry.load_imbalance());
+        self.sharding = Some(telemetry);
         self
     }
 }

@@ -96,10 +96,18 @@ impl CompactionBackend for NmpBackend {
         &self,
         trace: &CompactionTrace,
         layout: &NodeLayout,
-        _ctx: &SimulationContext,
+        ctx: &SimulationContext,
     ) -> BackendResult {
         let system = NmpSystem::new(self.nmp, self.dram, self.cpu);
-        let r = system.simulate(trace, layout);
+        // When the software ran sharded, fold the measured owner-computes
+        // telemetry onto this system's channels: measured per-channel work
+        // shares and cross-channel bytes replace the uniform-placement
+        // assumption.
+        let channel_load = ctx
+            .sharding
+            .as_ref()
+            .map(|telemetry| system.channel_load_from_sharding(telemetry));
+        let r = system.simulate_with_channel_load(trace, layout, channel_load.as_ref());
         BackendResult {
             backend: self.id,
             label: self.label,
@@ -142,5 +150,45 @@ mod tests {
         assert!(result.comm.is_some());
         assert!(result.stall.is_none());
         assert!(result.runtime_ns > 0.0);
+    }
+
+    #[test]
+    fn measured_sharding_telemetry_reaches_the_channel_model() {
+        use nmp_pak_pakman::{MailboxIterationStats, ShardingTelemetry};
+        let (trace, layout) = synthetic();
+        let system = SystemConfig::default();
+        let backend = NmpBackend::pak(&system);
+        let uniform = backend.simulate(&trace, &layout, &SimulationContext::new(1 << 30));
+
+        // One shard measured doing 64× everyone else's work: the busiest
+        // channel paces every lock-step iteration, so runtime must grow.
+        let shards = 8usize;
+        let mut checked = vec![1_000u64; shards];
+        checked[0] *= 64;
+        let telemetry = ShardingTelemetry {
+            shard_count: shards,
+            initial_alive_per_shard: vec![100; shards],
+            final_alive_per_shard: vec![50; shards],
+            checked_per_shard: checked,
+            mailbox: vec![MailboxIterationStats {
+                iteration: 0,
+                transfers: 10,
+                cross_shard_transfers: 10,
+                bytes: 10_000,
+                cross_shard_bytes: 10_000,
+            }],
+            route_bytes: vec![0; shards * shards],
+        };
+        let ctx = SimulationContext::new(1 << 30).with_sharding(telemetry);
+        assert!(ctx.load_imbalance > 4.0);
+        let skewed = backend.simulate(&trace, &layout, &ctx);
+        assert!(
+            skewed.runtime_ns > uniform.runtime_ns,
+            "skewed {} vs uniform {}",
+            skewed.runtime_ns,
+            uniform.runtime_ns
+        );
+        // Traffic accounting describes the trace, not the placement.
+        assert_eq!(skewed.traffic, uniform.traffic);
     }
 }

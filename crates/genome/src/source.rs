@@ -257,6 +257,53 @@ impl<'r> ReadSource<'r> for InMemorySource<'r> {
     }
 }
 
+/// Owning [`ReadSource`] over a materialized read set.
+///
+/// The owning counterpart of [`InMemorySource`], for callers that hand the
+/// reads themselves to a consumer with no slice to borrow from (e.g. a job
+/// server accepting reads in a submitted job spec). Implements
+/// `ReadSource<'static>` and yields owned chunks; the concatenated stream is
+/// exactly the wrapped `Vec`, in order.
+#[derive(Debug, Clone)]
+pub struct OwnedMemorySource {
+    reads: std::collections::VecDeque<SequencingRead>,
+    chunk_reads: usize,
+}
+
+impl OwnedMemorySource {
+    /// A source yielding chunks of at most [`DEFAULT_CHUNK_READS`] reads.
+    pub fn new(reads: Vec<SequencingRead>) -> OwnedMemorySource {
+        OwnedMemorySource::with_chunk_reads(reads, DEFAULT_CHUNK_READS)
+    }
+
+    /// A source yielding chunks of at most `chunk_reads` reads (clamped to at
+    /// least 1).
+    pub fn with_chunk_reads(reads: Vec<SequencingRead>, chunk_reads: usize) -> OwnedMemorySource {
+        OwnedMemorySource {
+            reads: reads.into(),
+            chunk_reads: chunk_reads.max(1),
+        }
+    }
+}
+
+impl ReadSource<'static> for OwnedMemorySource {
+    fn next_chunk(&mut self) -> Result<Option<ReadChunk<'static>>, GenomeError> {
+        if self.reads.is_empty() {
+            return Ok(None);
+        }
+        let take = self.chunk_reads.min(self.reads.len());
+        Ok(Some(ReadChunk::Owned(self.reads.drain(..take).collect())))
+    }
+
+    fn reads_hint(&self) -> (usize, Option<usize>) {
+        (self.reads.len(), Some(self.reads.len()))
+    }
+
+    fn bases_hint(&self) -> Option<u64> {
+        Some(self.reads.iter().map(|r| r.len() as u64).sum())
+    }
+}
+
 /// The on-disk format a [`FastaFastqSource`] is parsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SequenceFileFormat {
@@ -413,16 +460,24 @@ impl<R: BufRead> ReadSource<'static> for FastaFastqSource<R> {
 /// contents — is exactly the inner source's, so wrapping a source cannot
 /// change any assembly bit.
 ///
-/// Dropping the source mid-stream shuts the worker down cleanly: the receiver
-/// is closed first (unblocking a worker parked on a full channel), then the
-/// worker is joined.
+/// Dropping the source mid-stream shuts the worker down cleanly: the stop flag
+/// is raised, the queued chunks are drained (unblocking a worker parked on a
+/// full channel), and the worker is joined — the ingestion thread can never
+/// outlive the source, even when a consumer (e.g. a cancelled assembly job)
+/// abandons it mid-chunk. A worker-side I/O error that the consumer never
+/// pulled is not lost on shutdown: [`PrefetchSource::close`] surfaces it.
 #[derive(Debug)]
 pub struct PrefetchSource {
-    /// `None` once the stream ended or the source shut down. Dropping the
-    /// receiver is what unblocks and terminates the worker, so shutdown order
-    /// matters: receiver first, then join.
+    /// `None` once the stream ended or the source shut down.
     rx: Option<std::sync::mpsc::Receiver<Result<ReadChunk<'static>, GenomeError>>>,
     worker: Option<std::thread::JoinHandle<()>>,
+    /// Raised to tell the worker to stop between chunks; shutdown then drains
+    /// the channel so a worker parked on a full buffer can finish its send and
+    /// observe the flag.
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    /// An error the worker could not deliver through the channel (the consumer
+    /// was already gone). Recovered by [`PrefetchSource::close`].
+    pending_error: std::sync::Arc<std::sync::Mutex<Option<GenomeError>>>,
     /// Hints captured from the inner source at construction and counted down
     /// as chunks are consumed (the worker owns the source afterwards).
     reads_lower: usize,
@@ -452,37 +507,83 @@ impl PrefetchSource {
         let (reads_lower, reads_upper) = source.reads_hint();
         let bases_upper = source.bases_hint();
         let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
-        let worker = std::thread::spawn(move || loop {
-            match source.next_chunk() {
-                Ok(Some(chunk)) => {
-                    if tx.send(Ok(chunk)).is_err() {
-                        // Receiver dropped: the consumer is done with us.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pending_error: std::sync::Arc<std::sync::Mutex<Option<GenomeError>>> =
+            std::sync::Arc::new(std::sync::Mutex::new(None));
+        let worker_stop = std::sync::Arc::clone(&stop);
+        let worker_pending = std::sync::Arc::clone(&pending_error);
+        let worker = std::thread::spawn(move || {
+            while !worker_stop.load(std::sync::atomic::Ordering::Acquire) {
+                match source.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        if tx.send(Ok(chunk)).is_err() {
+                            // Receiver dropped: the consumer is done with us.
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(err) => {
+                        // The consumer may already be gone; park the error
+                        // where `close` can still recover it.
+                        if let Err(std::sync::mpsc::SendError(Err(err))) = tx.send(Err(err)) {
+                            *worker_pending.lock().expect("pending-error lock poisoned") =
+                                Some(err);
+                        }
                         break;
                     }
-                }
-                Ok(None) => break,
-                Err(err) => {
-                    let _ = tx.send(Err(err));
-                    break;
                 }
             }
         });
         PrefetchSource {
             rx: Some(rx),
             worker: Some(worker),
+            stop,
+            pending_error,
             reads_lower,
             reads_upper,
             bases_upper,
         }
     }
 
-    /// Closes the channel and joins the worker (receiver first — see the
-    /// struct docs).
-    fn shutdown(&mut self) {
-        drop(self.rx.take());
+    /// Shuts the source down and surfaces any I/O or parse error the worker
+    /// hit that [`ReadSource::next_chunk`] was never called to observe — e.g.
+    /// when a job is cancelled mid-ingestion and stops pulling chunks. Joins
+    /// the worker thread in all cases.
+    ///
+    /// # Errors
+    ///
+    /// Returns the worker's pending [`GenomeError`], if one was outstanding.
+    pub fn close(mut self) -> Result<(), GenomeError> {
+        match self.shutdown() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Stops and joins the worker, returning any undelivered error: the stop
+    /// flag is raised first, then the queued chunks are drained (a worker
+    /// parked on the full channel completes its send, re-checks the flag, and
+    /// exits), then the worker is joined and the pending-error slot checked.
+    fn shutdown(&mut self) -> Option<GenomeError> {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        let mut queued_error = None;
+        if let Some(rx) = self.rx.take() {
+            // Iteration ends when the worker drops its sender.
+            for message in rx.iter() {
+                if let Err(err) = message {
+                    queued_error.get_or_insert(err);
+                }
+            }
+        }
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
+        queued_error.or_else(|| {
+            self.pending_error
+                .lock()
+                .expect("pending-error lock poisoned")
+                .take()
+        })
     }
 }
 
@@ -503,14 +604,15 @@ impl ReadSource<'static> for PrefetchSource {
                 Ok(Some(chunk))
             }
             Ok(Err(err)) => {
-                self.shutdown();
+                let _ = self.shutdown();
                 Err(err)
             }
-            // Sender dropped without an error: the inner source is exhausted.
-            Err(std::sync::mpsc::RecvError) => {
-                self.shutdown();
-                Ok(None)
-            }
+            // Sender dropped: the inner source is exhausted (or the worker
+            // stashed an undeliverable error, which shutdown recovers).
+            Err(std::sync::mpsc::RecvError) => match self.shutdown() {
+                Some(err) => Err(err),
+                None => Ok(None),
+            },
         }
     }
 
@@ -525,7 +627,10 @@ impl ReadSource<'static> for PrefetchSource {
 
 impl Drop for PrefetchSource {
     fn drop(&mut self) {
-        self.shutdown();
+        // Joins the worker even when dropped mid-chunk; an undelivered error is
+        // recovered but has nowhere to go from a destructor — consumers that
+        // must observe it call [`PrefetchSource::close`] instead of dropping.
+        let _ = self.shutdown();
     }
 }
 

@@ -200,7 +200,53 @@ impl NmpSystem {
 
     /// Simulates the compaction trace, returning runtime and statistics.
     pub fn simulate(&self, trace: &CompactionTrace, layout: &NodeLayout) -> NmpRunResult {
+        self.simulate_with_channel_load(trace, layout, None)
+    }
+
+    /// [`NmpSystem::simulate`] with **measured** per-channel load folded in.
+    ///
+    /// Without `load` this is the uniform-placement model: every byte and PE
+    /// cycle is attributed to the channel the slot-interleaved [`NodeLayout`]
+    /// assigns it to. With `load` (from
+    /// [`NmpSystem::channel_load_from_sharding`]) the *aggregate* per-iteration
+    /// work is redistributed by the measured owner-computes decomposition
+    /// instead:
+    ///
+    /// * check/update bytes and PE cycles land on channels in proportion to
+    ///   each channel's measured share of P1 work, so the measured imbalance —
+    ///   not the interleaved layout — paces the lock-step iteration;
+    /// * interconnect payload bytes split into bridge (cross-channel) versus
+    ///   crossbar (intra-channel) traffic by the measured
+    ///   [`ChannelLoadStats::cross_channel_fraction`].
+    ///
+    /// Totals are conserved: the same bytes and cycles are simulated either
+    /// way, only their placement changes. DRAM [`TrafficSummary`] accounting
+    /// and the [`CommStats`] routing *counts* stay layout-based — they
+    /// describe the trace, not the placement.
+    pub fn simulate_with_channel_load(
+        &self,
+        trace: &CompactionTrace,
+        layout: &NodeLayout,
+        load: Option<&ChannelLoadStats>,
+    ) -> NmpRunResult {
         let channels = self.dram.channels.max(1);
+        // Measured per-channel work shares, normalized over `channels` slots.
+        // A telemetry channel count differing from ours (a different system
+        // config than the one that produced the stats) folds modulo ours.
+        let measured_shares: Option<Vec<f64>> = load.and_then(|stats| {
+            let mut shares = vec![0.0f64; channels];
+            for (ch, &work) in stats.work_per_channel.iter().enumerate() {
+                shares[ch % channels] += work as f64;
+            }
+            let total: f64 = shares.iter().sum();
+            if total > 0.0 {
+                shares.iter_mut().for_each(|s| *s /= total);
+                Some(shares)
+            } else {
+                None
+            }
+        });
+        let measured_cross_fraction = load.map(ChannelLoadStats::cross_channel_fraction);
         let pe_model = PeCycleModel::from_config(&self.nmp);
         let scheduler = HybridScheduler::from_config(&self.nmp);
         let mapping = DimmMappingTable::new(layout.slot_count(), channels);
@@ -281,6 +327,32 @@ impl NmpSystem {
                     comm.cross_dimm += 1;
                     bridge_out_bytes[src_dimm] += transfer.size_bytes as u64;
                 }
+            }
+
+            // Measured placement: redistribute the iteration's aggregate work by
+            // the owner-computes channel shares, and re-split interconnect
+            // payload by the measured cross-channel byte fraction. Totals are
+            // conserved; only where the work lands changes.
+            if let Some(shares) = &measured_shares {
+                let total_bytes: u64 = channel_bytes.iter().sum();
+                let total_cycles: u64 = pe_cycles.iter().flatten().sum();
+                for ch in 0..channels {
+                    channel_bytes[ch] = (total_bytes as f64 * shares[ch]).round() as u64;
+                    // The telemetry has no per-PE resolution: a channel's
+                    // measured compute spreads evenly over its PE array, so the
+                    // per-PE max the timing model takes is the even share.
+                    let ch_cycles = (total_cycles as f64 * shares[ch]).round() as u64;
+                    pe_cycles[ch].fill(ch_cycles.div_ceil(pes as u64));
+                }
+                let payload: u64 =
+                    crossbar_port_bytes.iter().sum::<u64>() + bridge_out_bytes.iter().sum::<u64>();
+                let fraction = measured_cross_fraction.unwrap_or(0.0);
+                let cross = (payload as f64 * fraction).round() as u64;
+                let intra = payload.saturating_sub(cross);
+                for ch in 0..channels {
+                    bridge_out_bytes[ch] = (cross as f64 * shares[ch]).round() as u64;
+                }
+                crossbar_port_bytes.fill(intra.div_ceil(pes as u64));
             }
 
             // Per-channel time: the DIMM interface streams the bytes while the PEs
@@ -582,6 +654,64 @@ mod tests {
             (stats.imbalance() - 4.0 / 3.0).abs() < 1e-12,
             "12 uniform shards on 8 channels: 4 channels host 2 shards → max 200 vs mean 150"
         );
+    }
+
+    /// Telemetry where one shard did `skew`× the others' work and all mailbox
+    /// bytes crossed shards that land on different channels.
+    fn skewed_telemetry(shards: usize, skew: u64) -> nmp_pak_pakman::ShardingTelemetry {
+        use nmp_pak_pakman::{MailboxIterationStats, ShardingTelemetry};
+        let mut checked = vec![1_000u64; shards];
+        checked[0] *= skew;
+        let mut route_bytes = vec![0u64; shards * shards];
+        route_bytes[1] = 10_000; // shard 0 → shard 1: cross-channel
+        ShardingTelemetry {
+            shard_count: shards,
+            initial_alive_per_shard: vec![100; shards],
+            final_alive_per_shard: vec![50; shards],
+            checked_per_shard: checked,
+            mailbox: vec![MailboxIterationStats {
+                iteration: 0,
+                transfers: 10,
+                cross_shard_transfers: 10,
+                bytes: 10_000,
+                cross_shard_bytes: 10_000,
+            }],
+            route_bytes,
+        }
+    }
+
+    #[test]
+    fn measured_skew_slows_the_lock_step_and_balance_matches_uniform() {
+        let (trace, layout) = synthetic_trace(4_000, 5);
+        let sys = system(NmpConfig::default());
+        let uniform = sys.simulate(&trace, &layout);
+
+        // Strongly skewed measured load: one channel hosts ~8× its fair share,
+        // so the lock-step iterations stretch.
+        let skew_load = sys.channel_load_from_sharding(&skewed_telemetry(8, 64));
+        assert!(skew_load.imbalance() > 4.0);
+        let skewed = sys.simulate_with_channel_load(&trace, &layout, Some(&skew_load));
+        assert!(
+            skewed.runtime_ns > uniform.runtime_ns,
+            "skewed {} vs uniform {}",
+            skewed.runtime_ns,
+            uniform.runtime_ns
+        );
+
+        // Balanced measured load: never slower than the layout model — the
+        // even measured spread removes the layout's natural per-PE hotspots
+        // (e.g. the oversized every-97th-slot nodes) — and much faster than
+        // the skewed placement.
+        let flat_load = sys.channel_load_from_sharding(&skewed_telemetry(8, 1));
+        assert!((flat_load.imbalance() - 1.0).abs() < 1e-12);
+        let flat = sys.simulate_with_channel_load(&trace, &layout, Some(&flat_load));
+        assert!(flat.runtime_ns <= uniform.runtime_ns * 1.001);
+        assert!(flat.runtime_ns < skewed.runtime_ns);
+
+        // Placement changes timing only: DRAM traffic and routing counts are
+        // properties of the trace, identical across placements.
+        assert_eq!(skewed.traffic, uniform.traffic);
+        assert_eq!(skewed.comm, uniform.comm);
     }
 
     #[test]

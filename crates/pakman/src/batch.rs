@@ -37,6 +37,7 @@
 use crate::compaction::CompactionStats;
 use crate::config::PakmanConfig;
 use crate::contig::{AssemblyStats, Contig};
+use crate::control::RunControl;
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::memory::{MemoryBudget, MemoryFootprint};
@@ -322,14 +323,33 @@ impl BatchAssembler {
         &self,
         source: impl ReadSource<'r>,
     ) -> Result<BatchAssemblyOutput, PakmanError> {
+        self.assemble_source_controlled(source, &RunControl::default())
+    }
+
+    /// [`BatchAssembler::assemble_source`] under an explicit [`RunControl`]:
+    /// cancellation is polled at every batch boundary, the pipelined window's
+    /// byte ledger is chained into the control's shared ledger (so a server can
+    /// account all jobs against one global budget), and progress observers see
+    /// per-batch stage callbacks. Passing [`RunControl::default`] is exactly
+    /// [`BatchAssembler::assemble_source`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchAssembler::assemble_source`], plus [`PakmanError::Cancelled`]
+    /// when the control's token latches.
+    pub fn assemble_source_controlled<'r>(
+        &self,
+        source: impl ReadSource<'r>,
+        control: &RunControl<'_>,
+    ) -> Result<BatchAssemblyOutput, PakmanError> {
         let pipeline = AssemblyPipeline::new(self.config)?;
         let (outcomes, peak_inflight) = match self.schedule {
-            BatchSchedule::Sequential => run_sequential(&pipeline, source)?,
-            BatchSchedule::Overlapped => run_pipelined(&pipeline, source, 1, None)?,
+            BatchSchedule::Sequential => run_sequential(&pipeline, source, control)?,
+            BatchSchedule::Overlapped => run_pipelined(&pipeline, source, 1, None, control)?,
             BatchSchedule::Pipelined {
                 depth,
                 max_inflight_bytes,
-            } => run_pipelined(&pipeline, source, depth, max_inflight_bytes)?,
+            } => run_pipelined(&pipeline, source, depth, max_inflight_bytes, control)?,
         };
         self.merge(outcomes, peak_inflight)
     }
@@ -415,8 +435,9 @@ impl BatchAssembler {
 fn run_batch(
     pipeline: &AssemblyPipeline,
     batch: &[SequencingRead],
+    control: &RunControl<'_>,
 ) -> Result<Option<AssemblyOutput>, PakmanError> {
-    match pipeline.run(batch) {
+    match pipeline.run_controlled(batch, control) {
         Ok(output) => Ok(Some(output)),
         Err(PakmanError::EmptyInput { .. }) => Ok(None),
         Err(other) => Err(other),
@@ -428,8 +449,9 @@ fn run_batch(
 fn run_front_chunk(
     pipeline: &AssemblyPipeline,
     chunk: ReadChunk<'_>,
+    control: &RunControl<'_>,
 ) -> Result<Option<FrontArtifact>, PakmanError> {
-    match pipeline.front(chunk.reads()) {
+    match pipeline.front_controlled(chunk.reads(), control) {
         Ok(front) => Ok(Some(front)),
         Err(PakmanError::EmptyInput { .. }) => Ok(None),
         Err(other) => Err(other),
@@ -441,15 +463,17 @@ fn run_front_chunk(
 fn run_sequential<'r, S: ReadSource<'r>>(
     pipeline: &AssemblyPipeline,
     mut source: S,
+    control: &RunControl<'_>,
 ) -> Result<(Vec<BatchOutcome>, u64), PakmanError> {
     let mut outcomes = Vec::new();
     let mut peak_bytes = 0u64;
     while let Some(chunk) = source.next_chunk()? {
+        control.check("sequential batch loop")?;
         if chunk.is_empty() {
             continue;
         }
         peak_bytes = peak_bytes.max(chunk.approx_read_bytes());
-        let output = run_batch(pipeline, chunk.reads())?;
+        let output = run_batch(pipeline, chunk.reads(), control)?;
         outcomes.push(BatchOutcome {
             read_bases: chunk.total_bases(),
             output,
@@ -474,6 +498,7 @@ fn run_pipelined<'r, S: ReadSource<'r>>(
     mut source: S,
     depth: usize,
     max_inflight_bytes: Option<u64>,
+    control: &RunControl<'_>,
 ) -> Result<(Vec<BatchOutcome>, u64), PakmanError> {
     let depth = depth.max(1);
     std::thread::scope(|scope| {
@@ -481,31 +506,74 @@ fn run_pipelined<'r, S: ReadSource<'r>>(
         let mut window: Window<'_, 'r> = Window {
             inflight: VecDeque::new(),
             staged: None,
-            budget: match max_inflight_bytes {
+            // Chained into the shared ledger (when one is set) so a multi-job
+            // server sees every window's resident read bytes in one place.
+            budget: control.adopt(match max_inflight_bytes {
                 Some(bytes) => MemoryBudget::bounded(bytes),
                 None => MemoryBudget::unbounded(),
-            },
+            }),
             exhausted: false,
             depth,
         };
 
+        // Errors break out of the loop (instead of `?`-returning) so the
+        // ledger-settling cleanup below runs on every exit path.
+        let mut result: Result<(), PakmanError> = Ok(());
         loop {
-            window.admit(scope, pipeline, &mut source)?;
+            if let Err(err) = control.check("pipelined batch loop") {
+                result = Err(err);
+                break;
+            }
+            if let Err(err) = window.admit(scope, pipeline, &mut source, control) {
+                result = Err(err);
+                break;
+            }
             let Some(batch) = window.inflight.pop_front() else {
                 break;
             };
-            let front = batch.handle.join().expect("front-stage worker panicked")?;
-            window.budget.release(batch.bytes);
+            let front = match batch.handle.join().expect("front-stage worker panicked") {
+                Ok(front) => {
+                    window.budget.release(batch.bytes);
+                    front
+                }
+                Err(err) => {
+                    window.budget.release(batch.bytes);
+                    result = Err(err);
+                    break;
+                }
+            };
             // Admit the replacement *before* finishing, so the next fronts run
             // while this batch compacts — the paper's overlap of compaction
             // with counting, now `depth` batches deep.
-            window.admit(scope, pipeline, &mut source)?;
-            let output = front.map(|f| pipeline.finish(f)).transpose()?;
-            outcomes.push(BatchOutcome {
-                read_bases: batch.read_bases,
-                output,
-            });
+            if let Err(err) = window.admit(scope, pipeline, &mut source, control) {
+                result = Err(err);
+                break;
+            }
+            match front
+                .map(|f| pipeline.finish_controlled(f, control))
+                .transpose()
+            {
+                Ok(output) => outcomes.push(BatchOutcome {
+                    read_bases: batch.read_bases,
+                    output,
+                }),
+                Err(err) => {
+                    result = Err(err);
+                    break;
+                }
+            }
         }
+        // On error (including cancellation) the window may still hold staged or
+        // in-flight charges; settle the ledger before the scope joins workers so
+        // a chained global budget never leaks a dead job's bytes.
+        if let Some(staged) = window.staged.take() {
+            window.budget.release(staged.approx_read_bytes());
+        }
+        for batch in window.inflight.drain(..) {
+            let _ = batch.handle.join().expect("front-stage worker panicked");
+            window.budget.release(batch.bytes);
+        }
+        result?;
         Ok((outcomes, window.budget.peak_bytes()))
     })
 }
@@ -539,6 +607,7 @@ impl<'scope, 'r: 'scope> Window<'scope, 'r> {
         scope: &'scope std::thread::Scope<'scope, 'env>,
         pipeline: &'scope AssemblyPipeline,
         source: &mut S,
+        control: &'scope RunControl<'scope>,
     ) -> Result<(), PakmanError> {
         while self.inflight.len() < self.depth {
             let chunk = match self.staged.take() {
@@ -566,7 +635,7 @@ impl<'scope, 'r: 'scope> Window<'scope, 'r> {
             }
             let bytes = chunk.approx_read_bytes();
             let read_bases = chunk.total_bases();
-            let handle = scope.spawn(move || run_front_chunk(pipeline, chunk));
+            let handle = scope.spawn(move || run_front_chunk(pipeline, chunk, control));
             self.inflight.push_back(Inflight {
                 read_bases,
                 bytes,

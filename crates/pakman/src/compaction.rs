@@ -31,6 +31,8 @@
 //! determinism contract of DESIGN.md.
 
 use crate::config::{CompactionMode, PakmanConfig};
+use crate::control::RunControl;
+use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::macronode::MacroNode;
 use crate::trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
@@ -331,6 +333,35 @@ pub fn compact_with_scratch(
     config: &PakmanConfig,
     scratch: &mut CompactionScratch,
 ) -> CompactionOutcome {
+    compact_with_scratch_controlled(graph, config, scratch, &RunControl::default())
+        .expect("null control never cancels")
+}
+
+/// [`compact`] under a [`RunControl`]: the cancellation token is polled at the
+/// top of every iteration (unwinding with [`PakmanError::Cancelled`]) and the
+/// observer sees one `compaction_iteration` callback per iteration. With the
+/// default (never-cancelled, unobserved) control this is bit-identical to
+/// [`compact`].
+///
+/// # Errors
+///
+/// Returns [`PakmanError::Cancelled`] if the control's token fires between
+/// iterations; the graph is left mid-compaction and should be dropped.
+pub fn compact_controlled(
+    graph: &mut PakGraph,
+    config: &PakmanConfig,
+    control: &RunControl<'_>,
+) -> Result<CompactionOutcome, PakmanError> {
+    let mut scratch = CompactionScratch::new();
+    compact_with_scratch_controlled(graph, config, &mut scratch, control)
+}
+
+pub(crate) fn compact_with_scratch_controlled(
+    graph: &mut PakGraph,
+    config: &PakmanConfig,
+    scratch: &mut CompactionScratch,
+    control: &RunControl<'_>,
+) -> Result<CompactionOutcome, PakmanError> {
     let initial_nodes = graph.alive_count();
     let mut trace = config.record_trace.then(|| {
         let mut sizes = vec![0usize; graph.slot_count()];
@@ -355,7 +386,9 @@ pub fn compact_with_scratch(
     let mut alive = initial_nodes;
 
     for iteration in 0..config.max_compaction_iterations {
+        control.check("compaction")?;
         let alive_before = alive;
+        control.compaction_iteration(iteration, alive_before);
         if alive_before <= config.compaction_node_threshold {
             stats.converged = true;
             break;
@@ -532,11 +565,11 @@ pub fn compact_with_scratch(
     if stats.final_nodes <= config.compaction_node_threshold {
         stats.converged = true;
     }
-    CompactionOutcome {
+    Ok(CompactionOutcome {
         stats,
         trace,
         profile,
-    }
+    })
 }
 
 /// Folds position-aligned P1 results into the incremental alive census: each

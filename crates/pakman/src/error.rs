@@ -25,6 +25,16 @@ pub enum PakmanError {
         /// Human readable description including the offending file.
         message: String,
     },
+    /// The run was cooperatively cancelled via a [`crate::control::CancelToken`].
+    ///
+    /// Cancellation is checked at stage boundaries and between compaction
+    /// iterations, so partially-built artifacts are simply dropped; no output
+    /// is produced past a cancellation point.
+    Cancelled {
+        /// The checkpoint that observed the cancellation (e.g. `"compaction"`,
+        /// `"stage B (k-mer counting)"`).
+        at: String,
+    },
 }
 
 impl fmt::Display for PakmanError {
@@ -34,6 +44,7 @@ impl fmt::Display for PakmanError {
             PakmanError::EmptyInput { message } => write!(f, "empty input: {message}"),
             PakmanError::Genome(err) => write!(f, "genome error: {err}"),
             PakmanError::Spill { message } => write!(f, "spill error: {message}"),
+            PakmanError::Cancelled { at } => write!(f, "cancelled at {at}"),
         }
     }
 }

@@ -21,6 +21,7 @@
 //! monolithic merged vector, or re-scans the full stream.
 
 use crate::config::{PakmanConfig, SpillConfig};
+use crate::control::RunControl;
 use crate::error::PakmanError;
 use crate::memory::MemoryBudget;
 use crate::par::merge_two;
@@ -233,6 +234,26 @@ pub fn count_kmers_spilled(
     spill: &SpillConfig,
     partitions: usize,
 ) -> Result<(Vec<CountedKmer>, KmerCountStats, SpillTelemetry), PakmanError> {
+    count_kmers_spilled_controlled(reads, config, spill, partitions, &RunControl::default())
+}
+
+/// [`count_kmers_spilled`] under a [`RunControl`]: the spill budget is chained
+/// into the control's global ledger (so host-wide pressure from other tenants
+/// triggers eviction exactly like local pressure — the counted stream stays
+/// bit-identical either way, only `SpillTelemetry` varies) and the cancellation
+/// token is polled once per ingest wave.
+///
+/// # Errors
+///
+/// Everything [`count_kmers_spilled`] returns, plus [`PakmanError::Cancelled`]
+/// when the token fires between waves.
+pub fn count_kmers_spilled_controlled(
+    reads: &[SequencingRead],
+    config: KmerCounterConfig,
+    spill: &SpillConfig,
+    partitions: usize,
+    control: &RunControl<'_>,
+) -> Result<(Vec<CountedKmer>, KmerCountStats, SpillTelemetry), PakmanError> {
     validate_counter_config(&config)?;
     spill.validate()?;
     let Some(budget_bytes) = spill.max_resident_bytes else {
@@ -241,8 +262,33 @@ pub fn count_kmers_spilled(
         });
     };
     let partitions = partitions.max(1);
-    let budget = MemoryBudget::bounded(budget_bytes);
+    let budget = control.adopt(MemoryBudget::bounded(budget_bytes));
+    let result = count_spilled_inner(
+        reads,
+        config,
+        spill,
+        partitions,
+        budget_bytes,
+        &budget,
+        control,
+    );
+    // Whatever is still charged (in-memory finish keeps buckets resident; error
+    // and cancellation paths abandon them) must not linger in a chained global
+    // ledger after the local buffers are dropped.
+    budget.release(budget.used());
+    result
+}
 
+#[allow(clippy::too_many_lines)]
+fn count_spilled_inner(
+    reads: &[SequencingRead],
+    config: KmerCounterConfig,
+    spill: &SpillConfig,
+    partitions: usize,
+    budget_bytes: u64,
+    budget: &MemoryBudget,
+    control: &RunControl<'_>,
+) -> Result<(Vec<CountedKmer>, KmerCountStats, SpillTelemetry), PakmanError> {
     let threads = config.threads.min(reads.len().max(1));
     let bucket_bits = bucket_bits_for(reads, &config, threads);
     let buckets = 1usize << bucket_bits;
@@ -257,6 +303,7 @@ pub fn count_kmers_spilled(
     let wave_target = (budget_bytes / 2).max(8);
     let mut start = 0usize;
     while start < reads.len() {
+        control.check("stage B (spilled k-mer counting)")?;
         let mut end = start;
         let mut wave_bytes = 0u64;
         while end < reads.len() {

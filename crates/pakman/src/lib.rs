@@ -49,6 +49,7 @@ pub mod batch;
 pub mod compaction;
 pub mod config;
 pub mod contig;
+pub mod control;
 pub mod error;
 pub mod graph;
 pub mod kmer_count;
@@ -67,20 +68,27 @@ pub mod walk;
 
 pub use batch::{BatchAssembler, BatchAssemblyOutput, BatchPlan, BatchSchedule};
 pub use compaction::{
-    compact, compact_with_scratch, CompactionOutcome, CompactionProfile, CompactionScratch,
-    CompactionStats, IterationProfile, IterationStats, SizeHistogram,
+    compact, compact_controlled, compact_with_scratch, CompactionOutcome, CompactionProfile,
+    CompactionScratch, CompactionStats, IterationProfile, IterationStats, SizeHistogram,
 };
 pub use config::{CompactionMode, PakmanConfig, ShardConfig, SpillConfig};
 pub use contig::{AssemblyStats, Contig};
+pub use control::{CancelToken, NullObserver, ProgressObserver, RunControl};
 pub use error::PakmanError;
 pub use graph::PakGraph;
-pub use kmer_count::{count_kmers, count_kmers_spilled, CountedKmer, KmerCounterConfig};
+pub use kmer_count::{
+    count_kmers, count_kmers_spilled, count_kmers_spilled_controlled, CountedKmer,
+    KmerCounterConfig,
+};
 pub use macronode::{MacroNode, ThroughPath};
 pub use memory::{MemoryBudget, MemoryFootprint};
 pub use pipeline::{AssemblyOutput, PakmanAssembler, PhaseTimings};
-pub use shard::{compact_sharded, MailboxIterationStats, ShardedGraph, ShardingTelemetry};
+pub use shard::{
+    compact_sharded, compact_sharded_controlled, MailboxIterationStats, ShardedGraph,
+    ShardingTelemetry,
+};
 pub use spill::SpillTelemetry;
-pub use stage::{AssemblyPipeline, DrainedReads, FrontArtifact, Stage};
+pub use stage::{AssemblyPipeline, CompactArtifact, DrainedReads, FrontArtifact, Stage};
 pub use trace::{CompactionTrace, IterationTrace, NodeCheck, TransferEvent, UpdateEvent};
 pub use transfer::{ShardMailbox, TransferNode};
-pub use walk::{generate_contigs, longest_contig, write_contigs_fasta};
+pub use walk::{generate_contigs, generate_contigs_threaded, longest_contig, write_contigs_fasta};

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Live byte-budget accounting shared by every bounded-memory mechanism.
 ///
@@ -26,12 +27,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// [`MemoryBudget::is_over`] reports an overdraft (stall admission, spill the
 /// largest buckets). Charging is allowed to exceed the capacity so a consumer
 /// larger than the whole budget can still make progress.
+///
+/// Budgets can be chained: a child created with [`MemoryBudget::with_parent`]
+/// forwards every charge and release to its parent, and reports an overdraft
+/// when *either* its own capacity or the parent's is exceeded. This is how the
+/// job server imposes one host-wide cap across many concurrent assemblies —
+/// each job's batch window and spill budget are children of the server's
+/// global ledger, so global pressure stalls admission or triggers spilling
+/// exactly like local pressure does, without changing any output bit.
 #[derive(Debug, Default)]
 pub struct MemoryBudget {
     /// Budget in bytes; `None` is unbounded (the ledger still tracks the peak).
     capacity: Option<u64>,
     used: AtomicU64,
     peak: AtomicU64,
+    /// Upstream ledger every charge/release is mirrored into.
+    parent: Option<Arc<MemoryBudget>>,
 }
 
 impl MemoryBudget {
@@ -48,20 +59,36 @@ impl MemoryBudget {
         MemoryBudget::default()
     }
 
+    /// Rebinds this budget as a child of `parent`: every subsequent charge and
+    /// release is mirrored into the parent ledger, and overdraft checks
+    /// consider both capacities.
+    pub fn with_parent(mut self, parent: Arc<MemoryBudget>) -> MemoryBudget {
+        self.parent = Some(parent);
+        self
+    }
+
     /// The configured capacity, or `None` when unbounded.
     pub fn capacity(&self) -> Option<u64> {
         self.capacity
     }
 
     /// Charges `bytes` as resident, updating the peak. Returns the new total.
+    /// Chained parents are charged too.
     pub fn charge(&self, bytes: u64) -> u64 {
+        if let Some(parent) = &self.parent {
+            parent.charge(bytes);
+        }
         let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak.fetch_max(now, Ordering::Relaxed);
         now
     }
 
-    /// Releases `bytes` previously charged (saturating at zero).
+    /// Releases `bytes` previously charged (saturating at zero). Chained
+    /// parents see the release too.
     pub fn release(&self, bytes: u64) {
+        if let Some(parent) = &self.parent {
+            parent.release(bytes);
+        }
         // fetch_update never fails with Some; saturate rather than underflow so a
         // double-release stays a bookkeeping blemish instead of a wrapping bug.
         let _ = self
@@ -81,15 +108,19 @@ impl MemoryBudget {
         self.peak.load(Ordering::Relaxed)
     }
 
-    /// `true` when the charged bytes exceed a bounded capacity.
+    /// `true` when the charged bytes exceed a bounded capacity, either this
+    /// ledger's own or (for chained budgets) any ancestor's.
     pub fn is_over(&self) -> bool {
         self.capacity.is_some_and(|cap| self.used() > cap)
+            || self.parent.as_ref().is_some_and(|p| p.is_over())
     }
 
-    /// `true` if charging `bytes` more would exceed a bounded capacity.
+    /// `true` if charging `bytes` more would exceed a bounded capacity, this
+    /// ledger's own or any ancestor's.
     pub fn would_exceed(&self, bytes: u64) -> bool {
         self.capacity
             .is_some_and(|cap| self.used().saturating_add(bytes) > cap)
+            || self.parent.as_ref().is_some_and(|p| p.would_exceed(bytes))
     }
 }
 
@@ -265,6 +296,28 @@ mod tests {
         // Over-release saturates instead of wrapping.
         budget.release(1_000);
         assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn chained_budget_mirrors_into_parent() {
+        let global = Arc::new(MemoryBudget::bounded(100));
+        let child = MemoryBudget::unbounded().with_parent(Arc::clone(&global));
+        child.charge(60);
+        assert_eq!(child.used(), 60);
+        assert_eq!(global.used(), 60);
+        // The child itself is unbounded, but the parent's cap makes it report
+        // overdraft once the *global* ledger is saturated.
+        assert!(!child.is_over());
+        assert!(child.would_exceed(41));
+        global.charge(50);
+        assert!(child.is_over());
+        child.release(60);
+        assert_eq!(child.used(), 0);
+        assert_eq!(global.used(), 50);
+        assert!(!child.is_over());
+        // Peaks are tracked per ledger.
+        assert_eq!(child.peak_bytes(), 60);
+        assert_eq!(global.peak_bytes(), 110);
     }
 
     #[test]

@@ -39,6 +39,8 @@ use crate::compaction::{
     CompactionStats, IterationProfile, IterationStats, SizeHistogram,
 };
 use crate::config::{CompactionMode, PakmanConfig};
+use crate::control::RunControl;
+use crate::error::PakmanError;
 use crate::graph::{build_segment, PakGraph};
 use crate::kmer_count::{partition_counted_by_owner, CountedKmer};
 use crate::macronode::MacroNode;
@@ -432,6 +434,25 @@ pub fn compact_sharded(
     sharded: &mut ShardedGraph,
     config: &PakmanConfig,
 ) -> (CompactionOutcome, ShardingTelemetry) {
+    compact_sharded_controlled(sharded, config, &RunControl::default())
+        .expect("null control never cancels")
+}
+
+/// [`compact_sharded`] under a [`RunControl`]: the cancellation token is polled
+/// at the top of every iteration (before the mailbox exchange, so no shard ever
+/// sees a half-delivered iteration) and the observer gets one
+/// `compaction_iteration` callback per iteration. Bit-identical to
+/// [`compact_sharded`] under the default control.
+///
+/// # Errors
+///
+/// Returns [`PakmanError::Cancelled`] if the control's token fires between
+/// iterations; the sharded graph is left mid-compaction and should be dropped.
+pub fn compact_sharded_controlled(
+    sharded: &mut ShardedGraph,
+    config: &PakmanConfig,
+    control: &RunControl<'_>,
+) -> Result<(CompactionOutcome, ShardingTelemetry), PakmanError> {
     let shard_count = sharded.shard_count();
     let slot_count = sharded.global_slot_count();
     let initial_nodes = sharded.alive_count();
@@ -485,7 +506,9 @@ pub fn compact_sharded(
     let mut checks: Vec<NodeCheck> = Vec::new();
 
     for iteration in 0..config.max_compaction_iterations {
+        control.check("sharded compaction")?;
         let alive_before = alive;
+        control.compaction_iteration(iteration, alive_before);
         if alive_before <= config.compaction_node_threshold {
             stats.converged = true;
             break;
@@ -662,14 +685,14 @@ pub fn compact_sharded(
         stats.converged = true;
     }
     telemetry.final_alive_per_shard = sharded.per_shard_alive();
-    (
+    Ok((
         CompactionOutcome {
             stats,
             trace,
             profile,
         },
         telemetry,
-    )
+    ))
 }
 
 /// Evaluates the invalidation predicate for the global `slots` (ascending) on

@@ -22,19 +22,20 @@
 //! [`ReadChunk`]s pulled from a [`ReadSource`], or (via [`AccessStage::drain`] /
 //! [`AssemblyPipeline::run_source`]) an entire streaming source.
 
-use crate::compaction::{compact, CompactionProfile, CompactionStats};
+use crate::compaction::{compact_controlled, CompactionProfile, CompactionStats};
 use crate::config::{PakmanConfig, ShardConfig, SpillConfig};
 use crate::contig::Contig;
+use crate::control::RunControl;
 use crate::error::PakmanError;
 use crate::graph::PakGraph;
 use crate::kmer_count::{
-    count_kmers, count_kmers_spilled, CountedKmer, KmerCountStats, KmerCounterConfig,
+    count_kmers, count_kmers_spilled_controlled, CountedKmer, KmerCountStats, KmerCounterConfig,
 };
 use crate::pipeline::PhaseTimings;
-use crate::shard::{compact_sharded, ShardedGraph, ShardingTelemetry};
+use crate::shard::{compact_sharded_controlled, ShardedGraph, ShardingTelemetry};
 use crate::spill::SpillTelemetry;
 use crate::trace::CompactionTrace;
-use crate::walk::generate_contigs;
+use crate::walk::generate_contigs_threaded;
 use nmp_pak_genome::{ReadChunk, ReadSource, SequencingRead};
 use std::time::{Duration, Instant};
 
@@ -242,19 +243,27 @@ impl CountStage {
             partitions: config.shards.shard_count.max(1),
         }
     }
-}
 
-impl<'r> Stage<ReadAccess<'r>> for CountStage {
-    type Output = CountedBatch;
-
-    fn name(&self) -> &'static str {
-        "B. k-mer counting"
-    }
-
-    fn run(&self, access: ReadAccess<'r>) -> Result<CountedBatch, PakmanError> {
+    /// [`Stage::run`] under a [`RunControl`]: on the spilled path the resident
+    /// budget is chained into the control's global ledger and cancellation is
+    /// polled between ingest waves. Bit-identical to `run` either way.
+    ///
+    /// # Errors
+    ///
+    /// Everything `run` returns, plus [`PakmanError::Cancelled`].
+    pub fn run_controlled(
+        &self,
+        access: ReadAccess<'_>,
+        control: &RunControl<'_>,
+    ) -> Result<CountedBatch, PakmanError> {
         let (counted, stats, spill) = if self.spill.is_bounded() {
-            let (counted, stats, telemetry) =
-                count_kmers_spilled(access.reads, self.config, &self.spill, self.partitions)?;
+            let (counted, stats, telemetry) = count_kmers_spilled_controlled(
+                access.reads,
+                self.config,
+                &self.spill,
+                self.partitions,
+                control,
+            )?;
             (counted, stats, Some(telemetry))
         } else {
             let (counted, stats) = count_kmers(access.reads, self.config)?;
@@ -274,6 +283,18 @@ impl<'r> Stage<ReadAccess<'r>> for CountStage {
             total_read_bases: access.total_bases,
             spill,
         })
+    }
+}
+
+impl<'r> Stage<ReadAccess<'r>> for CountStage {
+    type Output = CountedBatch;
+
+    fn name(&self) -> &'static str {
+        "B. k-mer counting"
+    }
+
+    fn run(&self, access: ReadAccess<'r>) -> Result<CountedBatch, PakmanError> {
+        self.run_controlled(access, &RunControl::default())
     }
 }
 
@@ -342,19 +363,22 @@ impl CompactStage {
     pub fn new(config: &PakmanConfig) -> Self {
         CompactStage { config: *config }
     }
-}
 
-impl Stage<ConstructedGraph> for CompactStage {
-    type Output = CompactedGraph;
-
-    fn name(&self) -> &'static str {
-        "D. iterative compaction"
-    }
-
-    fn run(&self, built: ConstructedGraph) -> Result<CompactedGraph, PakmanError> {
+    /// [`Stage::run`] under a [`RunControl`]: cancellation is polled between
+    /// compaction iterations and the observer sees per-iteration progress.
+    /// Bit-identical to `run` under the default control.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::Cancelled`] when the token fires mid-compaction.
+    pub fn run_controlled(
+        &self,
+        built: ConstructedGraph,
+        control: &RunControl<'_>,
+    ) -> Result<CompactedGraph, PakmanError> {
         match built.graph {
             BuiltGraph::Single(mut graph) => {
-                let outcome = compact(&mut graph, &self.config);
+                let outcome = compact_controlled(&mut graph, &self.config, control)?;
                 Ok(CompactedGraph {
                     graph,
                     stats: outcome.stats,
@@ -364,7 +388,8 @@ impl Stage<ConstructedGraph> for CompactStage {
                 })
             }
             BuiltGraph::Sharded(mut sharded) => {
-                let (outcome, telemetry) = compact_sharded(&mut sharded, &self.config);
+                let (outcome, telemetry) =
+                    compact_sharded_controlled(&mut sharded, &self.config, control)?;
                 Ok(CompactedGraph {
                     graph: sharded.into_global_graph(),
                     stats: outcome.stats,
@@ -377,10 +402,24 @@ impl Stage<ConstructedGraph> for CompactStage {
     }
 }
 
-/// Step E: graph walk and contig generation.
+impl Stage<ConstructedGraph> for CompactStage {
+    type Output = CompactedGraph;
+
+    fn name(&self) -> &'static str {
+        "D. iterative compaction"
+    }
+
+    fn run(&self, built: ConstructedGraph) -> Result<CompactedGraph, PakmanError> {
+        self.run_controlled(built, &RunControl::default())
+    }
+}
+
+/// Step E: graph walk and contig generation (speculatively parallel over
+/// source nodes, bit-identical to the serial walk — see `pakman::walk`).
 #[derive(Debug, Clone, Copy)]
 pub struct WalkStage {
     min_contig_length: usize,
+    threads: usize,
 }
 
 impl WalkStage {
@@ -388,6 +427,7 @@ impl WalkStage {
     pub fn new(config: &PakmanConfig) -> Self {
         WalkStage {
             min_contig_length: config.min_contig_length,
+            threads: config.threads,
         }
     }
 }
@@ -400,7 +440,11 @@ impl Stage<&CompactedGraph> for WalkStage {
     }
 
     fn run(&self, compacted: &CompactedGraph) -> Result<Vec<Contig>, PakmanError> {
-        Ok(generate_contigs(&compacted.graph, self.min_contig_length))
+        Ok(generate_contigs_threaded(
+            &compacted.graph,
+            self.min_contig_length,
+            self.threads,
+        ))
     }
 }
 
@@ -419,6 +463,36 @@ pub struct FrontArtifact {
     pub kmer_counting: Duration,
     /// Wall-clock of stage C.
     pub macronode_construction: Duration,
+}
+
+/// Everything stages A–D of the pipeline have produced for one run: the
+/// compacted graph plus the carried statistics and timings stage E needs to
+/// assemble the final [`crate::pipeline::AssemblyOutput`].
+///
+/// This is the second hand-off point (after [`FrontArtifact`] at the C/D
+/// boundary): the job server schedules [`AssemblyPipeline::compact_part`] and
+/// [`AssemblyPipeline::walk_part`] as separate work units, so stage work from
+/// different jobs can interleave on one shared pool.
+#[derive(Debug)]
+pub struct CompactArtifact {
+    /// The compacted graph plus compaction telemetry.
+    pub compacted: CompactedGraph,
+    /// Counting statistics, carried through.
+    pub kmer_stats: KmerCountStats,
+    /// Read census, carried through.
+    pub total_read_bases: u64,
+    /// MacroNode bytes at construction time, carried through.
+    pub macronode_bytes: u64,
+    /// External-memory counting telemetry, carried through.
+    pub spill: Option<SpillTelemetry>,
+    /// Wall-clock of stage A.
+    pub access_reads: Duration,
+    /// Wall-clock of stage B.
+    pub kmer_counting: Duration,
+    /// Wall-clock of stage C.
+    pub macronode_construction: Duration,
+    /// Wall-clock of stage D.
+    pub compaction: Duration,
 }
 
 /// The staged A–E assembly pipeline.
@@ -477,14 +551,37 @@ impl AssemblyPipeline {
     /// Returns [`PakmanError::EmptyInput`] when the reads contain no usable
     /// k-mers.
     pub fn front(&self, reads: &[SequencingRead]) -> Result<FrontArtifact, PakmanError> {
+        self.front_controlled(reads, &RunControl::default())
+    }
+
+    /// [`AssemblyPipeline::front`] under a [`RunControl`]: cancellation is
+    /// polled at each stage boundary (and between spill waves inside B), the
+    /// observer sees `stage_started` per stage, and the spill budget chains
+    /// into the control's ledger. Bit-identical to `front` under the default
+    /// control.
+    ///
+    /// # Errors
+    ///
+    /// Everything `front` returns, plus [`PakmanError::Cancelled`].
+    pub fn front_controlled(
+        &self,
+        reads: &[SequencingRead],
+        control: &RunControl<'_>,
+    ) -> Result<FrontArtifact, PakmanError> {
+        control.check("stage A (access reads)")?;
+        control.stage_started(Stage::<&[SequencingRead]>::name(&self.access));
         let t0 = Instant::now();
         let access = self.access.run(reads)?;
         let access_reads = t0.elapsed();
 
+        control.check("stage B (k-mer counting)")?;
+        control.stage_started(Stage::<ReadAccess<'_>>::name(&self.count));
         let t1 = Instant::now();
-        let counted = self.count.run(access)?;
+        let counted = self.count.run_controlled(access, control)?;
         let kmer_counting = t1.elapsed();
 
+        control.check("stage C (MacroNode construction)")?;
+        control.stage_started(Stage::<CountedBatch>::name(&self.construct));
         let t2 = Instant::now();
         let built = self.construct.run(counted)?;
         let macronode_construction = t2.elapsed();
@@ -497,15 +594,19 @@ impl AssemblyPipeline {
         })
     }
 
-    /// Runs stages D–E on a front-half artifact and assembles the final output.
+    /// Runs stage D on a front-half artifact under a [`RunControl`]. Together
+    /// with [`AssemblyPipeline::walk_part`] this is the scheduler-granular
+    /// decomposition of [`AssemblyPipeline::finish`].
     ///
     /// # Errors
     ///
-    /// Propagates stage errors (none occur for a well-formed artifact).
-    pub fn finish(
+    /// Returns [`PakmanError::Cancelled`] when the token fires at the stage
+    /// boundary or between compaction iterations.
+    pub fn compact_part(
         &self,
         front: FrontArtifact,
-    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        control: &RunControl<'_>,
+    ) -> Result<CompactArtifact, PakmanError> {
         let FrontArtifact {
             built,
             access_reads,
@@ -517,10 +618,51 @@ impl AssemblyPipeline {
         let macronode_bytes = built.macronode_bytes;
         let spill = built.spill;
 
+        control.check("stage D (iterative compaction)")?;
+        control.stage_started(Stage::<ConstructedGraph>::name(&self.compact));
         let t3 = Instant::now();
-        let compacted = self.compact.run(built)?;
+        let compacted = self.compact.run_controlled(built, control)?;
         let compaction = t3.elapsed();
 
+        Ok(CompactArtifact {
+            compacted,
+            kmer_stats,
+            total_read_bases,
+            macronode_bytes,
+            spill,
+            access_reads,
+            kmer_counting,
+            macronode_construction,
+            compaction,
+        })
+    }
+
+    /// Runs stage E on a compacted artifact under a [`RunControl`] and
+    /// assembles the final output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PakmanError::Cancelled`] when the token fires at the stage
+    /// boundary.
+    pub fn walk_part(
+        &self,
+        mid: CompactArtifact,
+        control: &RunControl<'_>,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        let CompactArtifact {
+            compacted,
+            kmer_stats,
+            total_read_bases,
+            macronode_bytes,
+            spill,
+            access_reads,
+            kmer_counting,
+            macronode_construction,
+            compaction,
+        } = mid;
+
+        control.check("stage E (graph walk)")?;
+        control.stage_started(Stage::<&CompactedGraph>::name(&self.walk));
         let t4 = Instant::now();
         let contigs = self.walk.run(&compacted)?;
         let walk = t4.elapsed();
@@ -553,6 +695,31 @@ impl AssemblyPipeline {
         })
     }
 
+    /// Runs stages D–E on a front-half artifact and assembles the final output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors (none occur for a well-formed artifact).
+    pub fn finish(
+        &self,
+        front: FrontArtifact,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        self.finish_controlled(front, &RunControl::default())
+    }
+
+    /// [`AssemblyPipeline::finish`] under an explicit [`RunControl`].
+    ///
+    /// # Errors
+    ///
+    /// Everything `finish` returns, plus [`PakmanError::Cancelled`].
+    pub fn finish_controlled(
+        &self,
+        front: FrontArtifact,
+        control: &RunControl<'_>,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        self.walk_part(self.compact_part(front, control)?, control)
+    }
+
     /// Runs the full pipeline (A–E).
     ///
     /// # Errors
@@ -566,6 +733,24 @@ impl AssemblyPipeline {
         self.finish(self.front(reads)?)
     }
 
+    /// Runs the full pipeline (A–E) under a [`RunControl`]: cancellation at
+    /// every stage boundary and between compaction iterations / spill waves,
+    /// `stage_started` + `compaction_iteration` progress callbacks, budgets
+    /// chained into the control's ledger. Bit-identical to
+    /// [`AssemblyPipeline::run`] under the default control.
+    ///
+    /// # Errors
+    ///
+    /// Everything `run` returns, plus [`PakmanError::Cancelled`].
+    pub fn run_controlled(
+        &self,
+        reads: &[SequencingRead],
+        control: &RunControl<'_>,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        let front = self.front_controlled(reads, control)?;
+        self.walk_part(self.compact_part(front, control)?, control)
+    }
+
     /// Runs the full pipeline (A–E) over a streaming source, draining it via
     /// [`AccessStage::drain`]. Ingestion time is charged to stage A's timing.
     ///
@@ -577,12 +762,38 @@ impl AssemblyPipeline {
         &self,
         source: impl ReadSource<'s>,
     ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
+        self.run_source_controlled(source, &RunControl::default())
+    }
+
+    /// [`AssemblyPipeline::run_source`] under an explicit [`RunControl`]: the
+    /// drained read bytes are charged against the control's ledger for the
+    /// duration of the run, and cancellation/progress behave as in
+    /// [`AssemblyPipeline::run_controlled`].
+    ///
+    /// # Errors
+    ///
+    /// Everything `run_source` returns, plus [`PakmanError::Cancelled`].
+    pub fn run_source_controlled<'s>(
+        &self,
+        source: impl ReadSource<'s>,
+        control: &RunControl<'_>,
+    ) -> Result<crate::pipeline::AssemblyOutput, PakmanError> {
         let t0 = Instant::now();
         let drained = self.access.drain(source)?;
         let ingest = t0.elapsed();
-        let mut front = self.front(&drained.reads)?;
-        front.access_reads += ingest;
-        self.finish(front)
+        // Account the resident read set against the shared ledger while the
+        // front half runs; stages B–E keep their own charges.
+        let resident = control.adopt(crate::memory::MemoryBudget::unbounded());
+        resident.charge(drained.total_bases);
+        let result = self
+            .front_controlled(&drained.reads, control)
+            .map(|mut front| {
+                front.access_reads += ingest;
+                front
+            })
+            .and_then(|front| self.finish_controlled(front, control));
+        resident.release(resident.used());
+        result
     }
 }
 

@@ -1,0 +1,121 @@
+//! The per-job progress-event stream.
+
+use nmp_pak_pakman::{CompactionProfile, ProgressObserver, ShardingTelemetry, SpillTelemetry};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+use crate::job::JobId;
+
+/// Condensed result of a finished job, carried by [`JobEvent::Done`].
+///
+/// The telemetry fields are the pipeline's own artifacts
+/// ([`CompactionProfile`], [`ShardingTelemetry`], [`SpillTelemetry`]) so an
+/// event consumer sees exactly what a one-shot caller would read off
+/// [`nmp_pak_pakman::AssemblyOutput`].
+#[derive(Debug, Clone)]
+pub struct JobSummary {
+    /// Number of contigs assembled.
+    pub contig_count: usize,
+    /// Total assembled bases.
+    pub total_length: usize,
+    /// The N50 metric.
+    pub n50: usize,
+    /// Per-iteration compaction profile.
+    pub compaction_profile: CompactionProfile,
+    /// Sharded-execution telemetry, when the job ran sharded.
+    pub sharding: Option<ShardingTelemetry>,
+    /// External-memory counting telemetry, when the job spilled.
+    pub spill: Option<SpillTelemetry>,
+}
+
+/// One event on a job's progress stream, in submission-to-terminal order:
+/// `Submitted`, `Admitted`, then interleaved `StageStarted` /
+/// `CompactionIteration` / `ContigWritten`, closed by exactly one terminal
+/// event (`Done`, `Failed`, or `Cancelled`).
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job entered the server's queue.
+    Submitted {
+        /// The server-assigned id.
+        id: JobId,
+    },
+    /// Admission control reserved the job's bytes in the shared ledger; the
+    /// job is now schedulable.
+    Admitted {
+        /// Bytes reserved in the global [`nmp_pak_pakman::MemoryBudget`]
+        /// ledger until the job terminates.
+        reserved_bytes: u64,
+    },
+    /// A pipeline stage is starting on some worker.
+    StageStarted {
+        /// Checkpoint name, e.g. `"stage D (iterative compaction)"`.
+        stage: &'static str,
+    },
+    /// One Iterative Compaction iteration is starting.
+    CompactionIteration {
+        /// Zero-based iteration index.
+        iteration: usize,
+        /// MacroNodes still alive entering the iteration.
+        alive_nodes: usize,
+    },
+    /// A contig was emitted by the walk stage.
+    ContigWritten {
+        /// Zero-based contig index (longest first).
+        index: usize,
+        /// Contig length in bases.
+        length: usize,
+    },
+    /// Terminal: the job completed; the full output is available via
+    /// [`crate::JobHandle::join`].
+    Done {
+        /// Condensed result and telemetry (boxed: it dwarfs the other
+        /// variants).
+        summary: Box<JobSummary>,
+    },
+    /// Terminal: the job failed.
+    Failed {
+        /// Rendered error.
+        error: String,
+    },
+    /// Terminal: the job observed its cancellation flag.
+    Cancelled {
+        /// The checkpoint that observed the flag.
+        at: String,
+    },
+}
+
+/// Sender half of a job's event stream; dropped events (receiver gone) are
+/// ignored — a client that drops its handle's receiver just stops listening.
+#[derive(Debug)]
+pub(crate) struct EventSink {
+    tx: Mutex<Sender<JobEvent>>,
+}
+
+impl EventSink {
+    pub(crate) fn new(tx: Sender<JobEvent>) -> EventSink {
+        EventSink { tx: Mutex::new(tx) }
+    }
+
+    pub(crate) fn emit(&self, event: JobEvent) {
+        let _ = self
+            .tx
+            .lock()
+            .expect("event sender lock poisoned")
+            .send(event);
+    }
+}
+
+/// Forwards pipeline progress callbacks onto a job's event stream (the bridge
+/// from [`ProgressObserver`] to [`JobEvent`]).
+impl ProgressObserver for EventSink {
+    fn stage_started(&self, stage: &'static str) {
+        self.emit(JobEvent::StageStarted { stage });
+    }
+
+    fn compaction_iteration(&self, iteration: usize, alive_nodes: usize) {
+        self.emit(JobEvent::CompactionIteration {
+            iteration,
+            alive_nodes,
+        });
+    }
+}

@@ -1,0 +1,164 @@
+//! Assembly-as-a-service: three tenants sharing one job server.
+//!
+//! Starts an [`AssemblyServer`] with two workers and a global memory cap, then
+//! submits three concurrent jobs — a file-streamed FASTQ assembly, a
+//! server-side synthetic workload, and a low-priority job that is cancelled
+//! mid-run — and watches their progress-event streams.
+//!
+//! This is the CI smoke test for the server API: it exits non-zero if a job's
+//! contigs diverge from a one-shot [`PakmanAssembler`] run over the same
+//! reads, if the cancelled job completes anyway, or if the shared ledger does
+//! not return to zero after shutdown.
+//!
+//! ```text
+//! cargo run --release --example job_server
+//! ```
+
+use nmp_pak::genome::fasta::write_fastq;
+use nmp_pak::genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SyntheticSource};
+use nmp_pak::pakman::{PakmanAssembler, PakmanConfig, PakmanError};
+use nmp_pak::server::{AssemblyServer, JobEvent, JobInput, JobPriority, JobSpec, ServerConfig};
+use std::fs::File;
+use std::io::BufWriter;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = PakmanConfig {
+        k: 21,
+        min_kmer_count: 2,
+        threads: 2,
+        ..PakmanConfig::default()
+    };
+
+    // 1. A sequencing run persisted as FASTQ — tenant A's input file.
+    let genome_a = ReferenceGenome::builder().length(40_000).seed(41).build()?;
+    let sequencer_a = SequencerConfig {
+        coverage: 20.0,
+        substitution_error_rate: 0.001,
+        seed: 17,
+        ..SequencerConfig::default()
+    };
+    let reads_a = ReadSimulator::new(sequencer_a).simulate(&genome_a)?;
+    let fastq_path = std::env::temp_dir().join("nmp_pak_job_server.fastq");
+    write_fastq(BufWriter::new(File::create(&fastq_path)?), &reads_a)?;
+
+    // Tenant B's synthetic workload, described by spec (generated server-side).
+    let sequencer_b = SequencerConfig {
+        coverage: 15.0,
+        substitution_error_rate: 0.0,
+        seed: 5,
+        ..SequencerConfig::default()
+    };
+
+    // 2. One server, two workers, one global ledger: every job's stages share
+    //    the same pool and the same memory accounting.
+    let server = AssemblyServer::start(ServerConfig {
+        workers: 2,
+        memory_cap_bytes: Some(256 << 20),
+    });
+
+    let job_a = server.submit(
+        JobSpec::new(
+            JobInput::File {
+                path: fastq_path.clone(),
+            },
+            config,
+        )
+        .with_priority(JobPriority::High),
+    )?;
+    let job_b = server.submit(JobSpec::new(
+        JobInput::Synthetic {
+            genome_length: 30_000,
+            genome_seed: 7,
+            sequencer: sequencer_b,
+        },
+        config,
+    ))?;
+    let job_c = server.submit(
+        JobSpec::new(
+            JobInput::Synthetic {
+                genome_length: 50_000,
+                genome_seed: 3,
+                sequencer: sequencer_b,
+            },
+            config,
+        )
+        .with_priority(JobPriority::Low),
+    )?;
+    println!(
+        "submitted {} (file, high), {} (synthetic, normal), {} (synthetic, low — will cancel)",
+        job_a.id(),
+        job_b.id(),
+        job_c.id()
+    );
+
+    // 3. Cancel tenant C at its first compaction iteration: the stage observes
+    //    the flag at the next between-iterations checkpoint and unwinds.
+    loop {
+        let event = job_c.events().recv_timeout(Duration::from_secs(120))?;
+        match event {
+            JobEvent::CompactionIteration {
+                iteration,
+                alive_nodes,
+            } => {
+                println!(
+                    "{}: cancelling at iteration {iteration} ({alive_nodes} nodes alive)",
+                    job_c.id()
+                );
+                job_c.cancel();
+                break;
+            }
+            JobEvent::Done { .. } | JobEvent::Failed { .. } | JobEvent::Cancelled { .. } => {
+                return Err("job C terminated before it could be cancelled".into());
+            }
+            _ => {}
+        }
+    }
+    let cancelled_id = job_c.id();
+    let cancelled = job_c.join();
+    assert!(
+        matches!(cancelled, Err(PakmanError::Cancelled { .. })),
+        "cancelled job must resolve to Cancelled, got {cancelled:?}"
+    );
+    println!("{cancelled_id}: cancelled cleanly");
+
+    // 4. Tenants A and B complete; their event streams carry the pipeline's
+    //    own telemetry.
+    let out_a = job_a.join()?;
+    let out_b = job_b.join()?;
+    for (name, out) in [("job-0", &out_a), ("job-1", &out_b)] {
+        println!(
+            "{name}: {} contigs, N50 = {}, total {} bases, {} compaction iterations",
+            out.stats.contig_count,
+            out.stats.n50,
+            out.stats.total_length,
+            out.compaction_profile.iterations.len()
+        );
+    }
+
+    // 5. The determinism contract: multi-tenant scheduling is observation plus
+    //    ordering, never a change to the computation — each job's contigs are
+    //    bit-identical to a one-shot assembler run over the same reads.
+    let assembler = PakmanAssembler::new(config);
+    let one_shot_a = assembler.assemble(&reads_a)?;
+    assert_eq!(
+        out_a.contigs, one_shot_a.contigs,
+        "file-streamed job diverged from the one-shot run"
+    );
+    let genome_b = ReferenceGenome::builder().length(30_000).seed(7).build()?;
+    let one_shot_b = assembler.assemble_source(SyntheticSource::new(genome_b, sequencer_b)?)?;
+    assert_eq!(
+        out_b.contigs, one_shot_b.contigs,
+        "synthetic job diverged from the one-shot run"
+    );
+    println!("ok: both surviving jobs bit-identical to one-shot assemblies");
+
+    // 6. Clean shutdown: the cancelled job's reservation (and every chained
+    //    budget) was released, so the shared ledger drains to zero.
+    assert_eq!(server.ledger().used(), 0, "ledger must drain to zero");
+    server.shutdown();
+    println!("ok: server shut down with an empty ledger");
+
+    std::fs::remove_file(&fastq_path).ok();
+    Ok(())
+}

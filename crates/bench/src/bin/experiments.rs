@@ -7,6 +7,12 @@
 //! experiments            # run everything at the quick scale, including the
 //!                        # pipeline benchmark — overwrites ./BENCH_pipeline.json
 //! experiments fig12 tab1 # run a subset (no benchmark, no file written)
+//! experiments sweep fig12          # run a recipe sweep — writes ./BENCH_sweep.json
+//! experiments sweep smoke --server 2  # run the sweep's one-shot cells as
+//!                                  # concurrent job-server jobs
+//! experiments sweep fig12 'normalized_performance>=100'  # extra ad-hoc gate
+//!                                  # (applies to every cell; exit 1 on violation)
+//! NMP_PAK_SWEEP_OUT=/tmp/s.json experiments sweep smoke  # sweep report path
 //! experiments pipeline   # only the pipeline benchmark + BENCH_pipeline.json
 //! experiments compaction # only the Iterative Compaction engine comparison
 //!                        # (per-iteration P1/P2/P3 table, full-scan vs frontier)
@@ -34,11 +40,58 @@ use nmp_pak_bench::pipeline_bench::{
     run_sharding_bench_standalone, run_spill_bench_standalone, CompactionComparison,
     ShardingComparison, SpillComparison,
 };
+use nmp_pak_bench::sweep::{print_report, run_sweep, write_report, SweepMode};
 use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
 use nmp_pak_core::experiments::Experiments;
+use nmp_pak_recipe::{builtin, Gate};
+
+/// Every subcommand `main` dispatches on (plus `sweep`, handled separately).
+const KNOWN_SUBCOMMANDS: &[&str] = &[
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+    "tab1",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "comm",
+    "table3",
+    "tab3",
+    "supercomputer",
+    "footprint",
+    "pipeline",
+    "compaction",
+    "sharding",
+    "spill",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: experiments [SUBCOMMAND]...\n       experiments sweep <recipe> \
+         [--server N] [metric>=x | metric<=x]...\n\nsubcommands: {}\nrecipes:     {}",
+        KNOWN_SUBCOMMANDS.join(" "),
+        builtin::names().join(" ")
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..]);
+        return;
+    }
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !KNOWN_SUBCOMMANDS.contains(&a.as_str()))
+    {
+        eprintln!("error: unknown subcommand `{unknown}`\n\n{}", usage());
+        std::process::exit(1);
+    }
+
     let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     // The compaction, sharding, and spill engine comparisons need no prepared
@@ -125,6 +178,91 @@ fn main() {
     if wanted("spill") && !args.is_empty() {
         spill_bench();
     }
+}
+
+/// `experiments sweep <recipe> [--server N] [metric>=x | metric<=x]...`:
+/// resolves a shipped recipe, runs it with the vendored-baseline probe,
+/// prints the matrix, writes `BENCH_sweep.json` (path override:
+/// `NMP_PAK_SWEEP_OUT`), and exits 1 when any gate — built-in or ad-hoc —
+/// is violated.
+fn sweep_main(args: &[String]) {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("error: `sweep` needs a recipe name\n\n{}", usage());
+        std::process::exit(1);
+    };
+    let Some(mut recipe) = builtin::by_name(name) else {
+        eprintln!(
+            "error: unknown recipe `{name}` (shipped recipes: {})\n\n{}",
+            builtin::names().join(" "),
+            usage()
+        );
+        std::process::exit(1);
+    };
+
+    let mut mode = SweepMode::Local;
+    let mut rest = args[1..].iter().peekable();
+    while let Some(arg) = rest.next() {
+        if arg == "--server" {
+            let workers = rest
+                .next()
+                .and_then(|w| w.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("error: `--server` needs a worker count\n\n{}", usage());
+                    std::process::exit(1);
+                });
+            mode = SweepMode::Server { workers };
+        } else if let Some(gate) = parse_gate(arg) {
+            recipe.gates.push(gate);
+        } else {
+            eprintln!("error: unknown sweep argument `{arg}`\n\n{}", usage());
+            std::process::exit(1);
+        }
+    }
+
+    let report = match run_sweep(&recipe, mode) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: sweep `{name}` failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    print_report(&report);
+
+    let path =
+        std::env::var("NMP_PAK_SWEEP_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    match write_report(&report, &path) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => {
+            eprintln!("error: could not write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if !report.passed() {
+        eprintln!("\nFAIL: one or more sweep gates violated");
+        std::process::exit(1);
+    }
+}
+
+/// Parses an ad-hoc gate argument of the form `metric>=x` or `metric<=x`.
+/// Ad-hoc gates apply to every cell of the sweep.
+fn parse_gate(arg: &str) -> Option<Gate> {
+    let (metric, threshold, at_least) = if let Some((m, t)) = arg.split_once(">=") {
+        (m, t, true)
+    } else if let Some((m, t)) = arg.split_once("<=") {
+        (m, t, false)
+    } else {
+        return None;
+    };
+    let threshold: f64 = threshold.trim().parse().ok()?;
+    let metric = metric.trim();
+    if metric.is_empty() {
+        return None;
+    }
+    Some(if at_least {
+        Gate::at_least(metric, threshold)
+    } else {
+        Gate::at_most(metric, threshold)
+    })
 }
 
 /// Times the budget-capped external-memory counter against the unconstrained

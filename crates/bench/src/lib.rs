@@ -7,6 +7,7 @@
 
 pub mod baseline;
 pub mod pipeline_bench;
+pub mod sweep;
 
 use nmp_pak_core::assembler::NmpPakAssembler;
 use nmp_pak_core::experiments::Experiments;

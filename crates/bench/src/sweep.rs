@@ -1,0 +1,266 @@
+//! Recipe-sweep support: the vendored-baseline [`MetricProbe`] plus the
+//! report printing/writing used by `experiments sweep`.
+//!
+//! The probe computes the `speedup.*`/overhead metrics the historical
+//! `NMP_PAK_BENCH_*` gates read — current engines timed against the vendored
+//! pre-refactor baselines (`crate::baseline`) — but only for the metrics the
+//! recipe's gates actually reference, so sweeps without timing gates (e.g.
+//! `fig12`) pay nothing.
+
+use crate::baseline::{build_graph_baseline, compact_baseline, count_kmers_baseline};
+use crate::pipeline_bench::pipelined_critical_path;
+use nmp_pak_core::Workload;
+use nmp_pak_pakman::{
+    compact_sharded, compact_with_scratch, count_kmers, count_kmers_spilled, BatchAssembler,
+    BatchSchedule, CompactionScratch, KmerCounterConfig, PakGraph, PakmanConfig, ShardedGraph,
+    SpillConfig,
+};
+use nmp_pak_recipe::{metric, CellOutput, MetricProbe, Recipe, RecipeError, ScenarioSpec};
+use nmp_pak_recipe::{Executor, SweepReport};
+use std::time::Instant;
+
+/// Spill partition count used by the probe's standalone overhead timing
+/// (matches the hand-rolled spill bench).
+const SWEEP_SPILL_PARTITIONS: usize = 8;
+
+/// [`MetricProbe`] over the vendored pre-refactor baselines.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineProbe {
+    /// Timing repetitions per measurement (best-of). At least 1.
+    pub reps: usize,
+}
+
+impl Default for BaselineProbe {
+    fn default() -> BaselineProbe {
+        BaselineProbe { reps: 2 }
+    }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn seconds(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+impl MetricProbe for BaselineProbe {
+    fn cell_metrics(
+        &self,
+        wants: &[String],
+        spec: &ScenarioSpec,
+        workload: &Workload,
+        _output: &CellOutput,
+    ) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        let want = |m: &str| wants.iter().any(|w| w == m);
+        let config = spec.pakman_config();
+        let untraced = PakmanConfig {
+            record_trace: false,
+            ..config
+        };
+        let reps = self.reps.max(1);
+
+        let needs_counted = want(metric::SPEEDUP_COUNTING_PLUS_CONSTRUCTION)
+            || want(metric::SPEEDUP_COMPACTION)
+            || (want(metric::SHARDED_OVERHEAD_AT_ONE) && spec.shards == 1);
+        if needs_counted {
+            let Ok((counted, _)) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+            else {
+                return out;
+            };
+
+            if want(metric::SPEEDUP_COUNTING_PLUS_CONSTRUCTION) {
+                let current = best_of(reps, || {
+                    seconds(|| {
+                        let (c, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+                            .expect("counting succeeded above");
+                        let _ = PakGraph::from_counted_kmers(&c, config.k, config.threads);
+                    })
+                });
+                let baseline = best_of(reps, || {
+                    seconds(|| {
+                        let c = count_kmers_baseline(
+                            &workload.reads,
+                            config.k,
+                            config.min_kmer_count,
+                            config.threads,
+                        );
+                        let _ = build_graph_baseline(&c, config.k);
+                    })
+                });
+                out.push((
+                    metric::SPEEDUP_COUNTING_PLUS_CONSTRUCTION.to_string(),
+                    baseline / current.max(1e-9),
+                ));
+            }
+
+            if want(metric::SPEEDUP_COMPACTION) || want(metric::SHARDED_OVERHEAD_AT_ONE) {
+                let reference = PakGraph::from_counted_kmers(&counted, config.k, config.threads);
+                let mut scratch = CompactionScratch::new();
+                let current = best_of(reps, || {
+                    let mut graph = reference.clone();
+                    seconds(|| {
+                        let _ = compact_with_scratch(&mut graph, &untraced, &mut scratch);
+                    })
+                });
+
+                if want(metric::SPEEDUP_COMPACTION) {
+                    let baseline = best_of(reps, || {
+                        let mut graph = reference.clone();
+                        seconds(|| {
+                            let _ = compact_baseline(&mut graph, &untraced);
+                        })
+                    });
+                    out.push((
+                        metric::SPEEDUP_COMPACTION.to_string(),
+                        baseline / current.max(1e-9),
+                    ));
+                }
+
+                if want(metric::SHARDED_OVERHEAD_AT_ONE) && spec.shards == 1 {
+                    let sharded = best_of(reps, || {
+                        let mut graph = ShardedGraph::from_single(reference.clone());
+                        seconds(|| {
+                            let _ = compact_sharded(&mut graph, &untraced);
+                        })
+                    });
+                    out.push((
+                        metric::SHARDED_OVERHEAD_AT_ONE.to_string(),
+                        sharded / current.max(1e-9),
+                    ));
+                }
+            }
+        }
+
+        if want(metric::SPILL_OVERHEAD) {
+            if let Some(budget) = spec.spill_budget {
+                let spill_config = SpillConfig::bounded(budget);
+                let in_memory = best_of(reps, || {
+                    seconds(|| {
+                        let _ = count_kmers(&workload.reads, KmerCounterConfig::from(&config));
+                    })
+                });
+                let spilled = best_of(reps, || {
+                    seconds(|| {
+                        let _ = count_kmers_spilled(
+                            &workload.reads,
+                            KmerCounterConfig::from(&config),
+                            &spill_config,
+                            SWEEP_SPILL_PARTITIONS,
+                        );
+                    })
+                });
+                out.push((
+                    metric::SPILL_OVERHEAD.to_string(),
+                    spilled / in_memory.max(1e-9),
+                ));
+            }
+        }
+
+        if (want(metric::CRITICAL_PATH_SPEEDUP) || want(metric::PIPELINED_CRITICAL_PATH_SPEEDUP))
+            && spec.schedule.is_batched()
+        {
+            let (fraction, _) = spec
+                .schedule
+                .to_batch()
+                .expect("batched schedules map to a batch plan");
+            let Ok(sequential) =
+                BatchAssembler::with_schedule(untraced, fraction, BatchSchedule::Sequential)
+                    .assemble(&workload.reads)
+            else {
+                return out;
+            };
+            let sequential_cp: f64 = sequential
+                .batch_timings
+                .iter()
+                .map(|t| t.total().as_secs_f64())
+                .sum();
+            if want(metric::CRITICAL_PATH_SPEEDUP) {
+                let overlapped = pipelined_critical_path(&sequential.batch_timings, 1);
+                out.push((
+                    metric::CRITICAL_PATH_SPEEDUP.to_string(),
+                    sequential_cp / overlapped.as_secs_f64().max(1e-9),
+                ));
+            }
+            if want(metric::PIPELINED_CRITICAL_PATH_SPEEDUP) {
+                let pipelined =
+                    pipelined_critical_path(&sequential.batch_timings, spec.schedule.depth());
+                out.push((
+                    metric::PIPELINED_CRITICAL_PATH_SPEEDUP.to_string(),
+                    sequential_cp / pipelined.as_secs_f64().max(1e-9),
+                ));
+            }
+        }
+
+        out
+    }
+}
+
+/// How `experiments sweep` executes cells.
+#[derive(Debug, Clone, Copy)]
+pub enum SweepMode {
+    /// Every cell in-process.
+    Local,
+    /// Unique one-shot runs as concurrent job-server jobs.
+    Server {
+        /// Worker threads in the server pool.
+        workers: usize,
+    },
+}
+
+/// Runs a recipe with the vendored-baseline probe attached.
+///
+/// # Errors
+///
+/// Propagates [`RecipeError`] from enumeration and execution; gate violations
+/// are reported in the returned [`SweepReport`], not as errors.
+pub fn run_sweep(recipe: &Recipe, mode: SweepMode) -> Result<SweepReport, RecipeError> {
+    let executor = match mode {
+        SweepMode::Local => Executor::local(),
+        SweepMode::Server { workers } => Executor::via_server(workers, None),
+    };
+    executor.with_probe(BaselineProbe::default()).run(recipe)
+}
+
+/// Prints the per-cell matrix and gate verdicts to stdout.
+pub fn print_report(report: &SweepReport) {
+    println!("sweep `{}` — {}", report.recipe, report.description);
+    println!("  {} cell(s):", report.cells.len());
+    for cell in &report.cells {
+        let highlights: Vec<String> = cell
+            .metrics
+            .iter()
+            .filter(|(name, _)| {
+                report.gates.iter().any(|g| g.metric == *name)
+                    || name == metric::WALL_S
+                    || name == metric::N50
+            })
+            .map(|(name, value)| format!("{name}={value:.4}"))
+            .collect();
+        println!("    {}  {}", cell.label, highlights.join("  "));
+    }
+    println!("  {} gate(s):", report.gates.len());
+    for gate in &report.gates {
+        let verdict = if gate.passed { "PASS" } else { "FAIL" };
+        let observed = match gate.observed {
+            Some(v) => format!("{v:.4}"),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "    [{verdict}] {} (observed {observed} over {} cell(s); {})",
+            gate.description, gate.cells_checked, gate.detail
+        );
+    }
+}
+
+/// Writes the report's JSON matrix to `path`.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn write_report(report: &SweepReport, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}

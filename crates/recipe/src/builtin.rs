@@ -1,0 +1,214 @@
+//! The shipped recipes: the Fig. 12 backend sweep, the sharding scaling
+//! curve, the spill-budget curve, and the CI smoke grid.
+//!
+//! Each recipe's gates carry the `NMP_PAK_BENCH_*` environment override that
+//! used to gate the equivalent hand-rolled bench block, so CI can keep
+//! exporting the same variables while the assertion lives here.
+
+use crate::axis::Axis;
+use crate::exec::metric;
+use crate::gate::{CellSelector, Gate};
+use crate::grid::{Filter, Grid};
+use crate::spec::{ScenarioSpec, ScheduleSpec};
+use crate::Recipe;
+use nmp_pak_core::backend::BackendId;
+use nmp_pak_pakman::ShardConfig;
+
+/// Names of the shipped recipes, in presentation order.
+pub fn names() -> &'static [&'static str] {
+    &["smoke", "fig12", "sharding", "spill"]
+}
+
+/// Looks a shipped recipe up by name.
+pub fn by_name(name: &str) -> Option<Recipe> {
+    match name {
+        "smoke" => Some(smoke()),
+        "fig12" => Some(fig12()),
+        "sharding" => Some(sharding()),
+        "spill" => Some(spill()),
+        _ => None,
+    }
+}
+
+/// Fig. 12: every standard backend simulated on one shared software trace,
+/// reported as runtime normalized to the CPU baseline. Cells reproduce the
+/// hand-rolled `experiments fig12` quick-scale rows bit for bit.
+pub fn fig12() -> Recipe {
+    Recipe {
+        name: "fig12".to_string(),
+        description: "Backend sweep on one shared trace, normalized to the CPU baseline \
+                      (paper Fig. 12)"
+            .to_string(),
+        base: ScenarioSpec::default(),
+        grid: Grid::axis(Axis::backend(&[
+            BackendId::CPU_BASELINE_UNOPTIMIZED,
+            BackendId::CPU_BASELINE,
+            BackendId::GPU_BASELINE,
+            BackendId::CPU_PAK,
+            BackendId::NMP_PAK,
+            BackendId::NMP_IDEAL_PE,
+            BackendId::NMP_IDEAL_FORWARDING,
+        ])),
+        gates: vec![
+            // The baseline normalizes to exactly 1.0 against itself; anything
+            // else indicates the shared-trace contract broke.
+            Gate::at_least(metric::NORMALIZED_PERFORMANCE, 1.0)
+                .on(CellSelector::backend_is(BackendId::CPU_BASELINE)),
+            Gate::at_most(metric::NORMALIZED_PERFORMANCE, 1.0)
+                .on(CellSelector::backend_is(BackendId::CPU_BASELINE)),
+            // The paper's headline: NMP-PaK beats the CPU baseline.
+            Gate::at_least(metric::NORMALIZED_PERFORMANCE, 1.0)
+                .on(CellSelector::backend_is(BackendId::NMP_PAK)),
+            Gate::at_least(metric::N50, 1.0),
+        ],
+    }
+}
+
+/// The sharding scaling curve: shard counts up to the channel count (a filter
+/// drops the out-of-range point), gated on the measured mailbox telemetry and
+/// — via the bench probe — the sharding tax at one shard.
+pub fn sharding() -> Recipe {
+    Recipe {
+        name: "sharding".to_string(),
+        description: "Owner-computes sharded execution across shard counts, gated on \
+                      mailbox telemetry and the one-shard overhead"
+            .to_string(),
+        base: ScenarioSpec::default(),
+        grid: Grid::axis(Axis::shards(&[1, 2, 4, 8, 16]))
+            .filter(Filter::shards_at_most(ShardConfig::DEFAULT_CHANNELS)),
+        gates: vec![
+            Gate::at_least(metric::CROSS_SHARD_BYTES, 1.0).on(CellSelector::sharded()),
+            // §6.3: at 8 shards the cross-shard fraction approaches 7/8.
+            Gate::at_least(metric::CROSS_SHARD_FRACTION, 0.5).on(CellSelector::shards_eq(8)),
+            Gate::at_most(metric::SHARDED_OVERHEAD_AT_ONE, 1.15)
+                .with_env("NMP_PAK_BENCH_MAX_SHARD_OVERHEAD")
+                .on(CellSelector::shards_eq(1)),
+        ],
+    }
+}
+
+/// The spill-budget curve: in-memory counting against two bounded budgets,
+/// gated on the spill telemetry and — via the bench probe — the bounded
+/// counting overhead.
+pub fn spill() -> Recipe {
+    Recipe {
+        name: "spill".to_string(),
+        description: "External-memory counting across resident-byte budgets, gated on \
+                      spill telemetry and bounded-counting overhead"
+            .to_string(),
+        base: ScenarioSpec::default(),
+        grid: Grid::axis(Axis::spill_budget(&[
+            None,
+            Some(512 * 1024),
+            Some(64 * 1024),
+        ])),
+        gates: vec![
+            Gate::at_least(metric::BYTES_SPILLED, 1.0).on(CellSelector::spilled()),
+            Gate::at_least(metric::MERGE_PASSES, 1.0).on(CellSelector::spilled()),
+            Gate::at_most(metric::SPILL_OVERHEAD, 12.0)
+                .with_env("NMP_PAK_BENCH_MAX_SPILL_OVERHEAD")
+                .on(CellSelector::spilled()),
+        ],
+    }
+}
+
+/// The CI smoke grid: a tiny cross of threads × schedule exercising `cross`,
+/// `plug` and `filter`, carrying the historical `NMP_PAK_BENCH_*` speedup
+/// floors as recipe gates (the probe computes the speedups against the
+/// vendored baselines).
+pub fn smoke() -> Recipe {
+    let base = ScenarioSpec {
+        genome_length: 12_000,
+        coverage: 15.0,
+        ..ScenarioSpec::default()
+    };
+    let full_run = CellSelector::custom("threads=4 single-batch", |s| {
+        s.threads == 4 && !s.schedule.is_batched()
+    });
+    Recipe {
+        name: "smoke".to_string(),
+        description: "Tiny threads x schedule grid carrying the historical CI speedup \
+                      floors as declarative gates"
+            .to_string(),
+        base,
+        grid: Grid::axis(Axis::threads(&[1, 4]))
+            .cross(Grid::axis(Axis::batch_schedule(&[
+                ScheduleSpec::SingleBatch,
+                ScheduleSpec::Pipelined {
+                    batch_fraction: 0.5,
+                    depth: 2,
+                },
+            ])))
+            // Single-thread hosts gain nothing from pipelining; skip the cell.
+            .filter(Filter::new("skip single-thread pipelined", |s| {
+                s.threads > 1 || !s.schedule.is_batched()
+            }))
+            .plug(Grid::axis(Axis::k(&[21]))),
+        gates: vec![
+            Gate::at_least(metric::N50, 1.0),
+            Gate::at_least(metric::SPEEDUP_COUNTING_PLUS_CONSTRUCTION, 1.3)
+                .with_env("NMP_PAK_BENCH_MIN_SPEEDUP")
+                .on(full_run.clone()),
+            Gate::at_least(metric::SPEEDUP_COMPACTION, 1.2)
+                .with_env("NMP_PAK_BENCH_MIN_COMPACTION_SPEEDUP")
+                .on(full_run),
+            Gate::at_least(metric::CRITICAL_PATH_SPEEDUP, 1.0)
+                .with_env("NMP_PAK_BENCH_MIN_OVERLAP_SPEEDUP")
+                .on(CellSelector::batched()),
+            Gate::at_least(metric::PIPELINED_CRITICAL_PATH_SPEEDUP, 1.0)
+                .with_env("NMP_PAK_BENCH_MIN_PIPELINED_SPEEDUP")
+                .on(CellSelector::batched()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_recipe_resolves_and_enumerates() {
+        for name in names() {
+            let recipe = by_name(name).unwrap();
+            assert_eq!(&recipe.name, name);
+            let specs = recipe.scenarios().unwrap();
+            assert!(!specs.is_empty(), "recipe `{name}` enumerates no cells");
+        }
+        assert!(by_name("fig99").is_none());
+    }
+
+    #[test]
+    fn fig12_enumerates_the_seven_standard_backends_in_order() {
+        let specs = fig12().scenarios().unwrap();
+        let ids: Vec<&str> = specs.iter().map(|s| s.backend.unwrap().as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "cpu-baseline-unoptimized",
+                "cpu-baseline",
+                "gpu-baseline",
+                "cpu-pak",
+                "nmp-pak",
+                "nmp-ideal-pe",
+                "nmp-ideal-forwarding",
+            ]
+        );
+    }
+
+    #[test]
+    fn sharding_filter_drops_the_out_of_range_point() {
+        let specs = sharding().scenarios().unwrap();
+        let shards: Vec<usize> = specs.iter().map(|s| s.shards).collect();
+        assert_eq!(shards, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn smoke_filter_drops_single_thread_pipelined() {
+        let specs = smoke().scenarios().unwrap();
+        assert_eq!(specs.len(), 3);
+        assert!(!specs
+            .iter()
+            .any(|s| s.threads == 1 && s.schedule.is_batched()));
+        assert!(specs.iter().all(|s| s.k == 21));
+    }
+}

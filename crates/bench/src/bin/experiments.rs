@@ -20,6 +20,8 @@
 //!                        # load imbalance + inter-shard mailbox traffic)
 //! experiments spill      # only the external-memory counting comparison
 //!                        # (budget-capped spill vs in-memory, bit-identity)
+//! experiments async      # only the async-vs-lockstep shard schedule comparison
+//!                        # (verified-equivalent outputs, critical-path speedup)
 //! NMP_PAK_BENCH_SCALE=standard experiments   # the scale recorded in EXPERIMENTS.md
 //! NMP_PAK_BENCH_OUT=/tmp/b.json experiments pipeline      # report path override
 //! NMP_PAK_BENCH_MIN_SPEEDUP=1.3 experiments pipeline      # exit 1 below threshold
@@ -33,12 +35,14 @@
 //!                                        # engine's 1-shard overhead vs single-graph
 //! NMP_PAK_BENCH_MAX_SPILL_OVERHEAD=12.0 experiments spill # gate the budget-capped
 //!                                        # counter's wall-clock overhead vs in-memory
+//! NMP_PAK_BENCH_MIN_ASYNC_SPEEDUP=1.0 experiments async # gate the async schedule's
+//!                                        # critical-path speedup over lock-step
 //! ```
 
 use nmp_pak_bench::pipeline_bench::{
-    report_to_json, run_compaction_bench_standalone, run_pipeline_bench,
-    run_sharding_bench_standalone, run_spill_bench_standalone, CompactionComparison,
-    ShardingComparison, SpillComparison,
+    report_to_json, run_async_schedule_bench_standalone, run_compaction_bench_standalone,
+    run_pipeline_bench, run_sharding_bench_standalone, run_spill_bench_standalone,
+    AsyncScheduleComparison, CompactionComparison, ShardingComparison, SpillComparison,
 };
 use nmp_pak_bench::sweep::{print_report, run_sweep, write_report, SweepMode};
 use nmp_pak_bench::{pct, prepare_experiments, BenchScale};
@@ -66,6 +70,7 @@ const KNOWN_SUBCOMMANDS: &[&str] = &[
     "compaction",
     "sharding",
     "spill",
+    "async",
 ];
 
 fn usage() -> String {
@@ -100,7 +105,7 @@ fn main() {
     if !args.is_empty()
         && args
             .iter()
-            .all(|a| a == "compaction" || a == "sharding" || a == "spill")
+            .all(|a| a == "compaction" || a == "sharding" || a == "spill" || a == "async")
     {
         if args.iter().any(|a| a == "compaction") {
             compaction_bench();
@@ -110,6 +115,9 @@ fn main() {
         }
         if args.iter().any(|a| a == "spill") {
             spill_bench();
+        }
+        if args.iter().any(|a| a == "async") {
+            async_bench();
         }
         return;
     }
@@ -177,6 +185,9 @@ fn main() {
     }
     if wanted("spill") && !args.is_empty() {
         spill_bench();
+    }
+    if wanted("async") && !args.is_empty() {
+        async_bench();
     }
 }
 
@@ -390,6 +401,68 @@ fn check_sharding_gate(cmp: &ShardingComparison) {
     }
 }
 
+/// Times the async shard schedule against lock-step at the paper's shard
+/// count, prints the verified-equivalent comparison, and applies the
+/// `NMP_PAK_BENCH_MIN_ASYNC_SPEEDUP` gate.
+fn async_bench() {
+    heading("Async schedule benchmark — barrier-free shards vs lock-step");
+    let cmp = run_async_schedule_bench_standalone(3);
+    print_async_comparison(&cmp);
+    check_async_gate(&cmp);
+}
+
+fn print_async_comparison(cmp: &AsyncScheduleComparison) {
+    println!(
+        "{} shards ({} threads, load imbalance {:.2}): lock-step {:>9.3} ms   async {:>9.3} ms   \
+         wall speedup {:.2}x",
+        cmp.shards,
+        cmp.threads,
+        cmp.load_imbalance,
+        cmp.lockstep_wall.as_secs_f64() * 1e3,
+        cmp.async_wall.as_secs_f64() * 1e3,
+        cmp.wall_speedup(),
+    );
+    println!(
+        "  critical path from measured rounds: barriered {:>9.3} ms   barrier-free {:>9.3} ms \
+         ({:.2}x); {} mailbox flushes, ledger identical to lock-step",
+        cmp.lockstep_critical_path.as_secs_f64() * 1e3,
+        cmp.async_critical_path.as_secs_f64() * 1e3,
+        cmp.critical_path_speedup(),
+        cmp.flushes,
+    );
+}
+
+/// Optional regression gate: `NMP_PAK_BENCH_MIN_ASYNC_SPEEDUP=1.0` fails the
+/// run when the async schedule's critical-path speedup over the barriered
+/// schedule falls below the threshold, or when the async run stops recording
+/// mailbox flushes (which would mean the eager flush path is being bypassed).
+/// The gate uses the critical-path ratio rebuilt from the async run's own
+/// measured round times rather than the raw wall clocks: the ratio is ≥ 1 on
+/// any host by construction, while the measured walls flake on shared runners.
+fn check_async_gate(cmp: &AsyncScheduleComparison) {
+    let Ok(threshold) = std::env::var("NMP_PAK_BENCH_MIN_ASYNC_SPEEDUP") else {
+        return;
+    };
+    let threshold: f64 = threshold
+        .parse()
+        .expect("NMP_PAK_BENCH_MIN_ASYNC_SPEEDUP must be a number");
+    if cmp.critical_path_speedup() < threshold {
+        eprintln!(
+            "async schedule regression: critical-path speedup {:.2}x is below \
+             the required {threshold}x",
+            cmp.critical_path_speedup()
+        );
+        std::process::exit(1);
+    }
+    if cmp.flushes == 0 {
+        eprintln!(
+            "async schedule regression: the async run recorded zero mailbox flushes — \
+             the eager flush path is being bypassed"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Times the three Iterative Compaction engines (pre-refactor serial, full-scan
 /// parallel, frontier parallel) on the benchmark workload, prints the frontier's
 /// per-iteration P1/P2/P3 breakdown, and applies the
@@ -493,6 +566,7 @@ fn pipeline_bench() {
     );
     print_compaction_comparison(&report.compaction);
     print_sharding_comparison(&report.sharding);
+    print_async_comparison(&report.async_schedule);
     print_spill_comparison(&report.spill);
 
     let streaming = &report.batch_streaming;
@@ -546,6 +620,10 @@ fn pipeline_bench() {
     // Optional sharding gate: bounds the sharded engine's bookkeeping overhead
     // at one shard and requires real cross-shard mailbox traffic when sharded.
     check_sharding_gate(&report.sharding);
+
+    // Optional async gate: requires the async shard schedule's critical-path
+    // speedup over lock-step and real recorded mailbox flushes.
+    check_async_gate(&report.async_schedule);
 
     // Optional spill gate: bounds the external-memory counter's wall-clock
     // overhead and requires the byte budget to move real data to disk.

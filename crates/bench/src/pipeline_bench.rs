@@ -12,8 +12,8 @@ use nmp_pak_nmphw::{ChannelLoadStats, NmpSystem};
 use nmp_pak_pakman::{
     compact_sharded, compact_with_scratch, count_kmers, count_kmers_spilled, AssemblyOutput,
     BatchAssembler, BatchSchedule, CompactionMode, CompactionProfile, CompactionScratch,
-    KmerCounterConfig, PakGraph, PakmanAssembler, PakmanConfig, ShardedGraph, ShardingTelemetry,
-    SpillConfig, SpillTelemetry,
+    KmerCounterConfig, PakGraph, PakmanAssembler, PakmanConfig, ShardSchedule, ShardedGraph,
+    ShardingTelemetry, SpillConfig, SpillTelemetry,
 };
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,10 @@ pub const BENCH_PIPELINE_DEPTH: usize = 3;
 /// Shard counts swept by the sharded-execution benchmark (1 is the overhead
 /// probe; 8 matches the paper's channel count).
 pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+/// Shard count of the async-schedule comparison (the paper's channel count;
+/// owner-hashing at 8 shards leaves a measurably skewed per-shard load, the
+/// regime where dropping the barrier pays).
+pub const BENCH_ASYNC_SHARDS: usize = 8;
 /// Resident-byte budget of the external-memory counting benchmark — small
 /// enough that the standard workload (≈ 600 k extracted k-mers ≈ 4.8 MB) must
 /// evict and merge repeatedly, the regime the spill path exists for.
@@ -238,6 +242,61 @@ impl ShardingComparison {
     }
 }
 
+/// Wall-clock and modeled-critical-path comparison of the async shard schedule
+/// against lock-step at [`BENCH_ASYNC_SHARDS`] shards on the same constructed
+/// graph.
+///
+/// The two schedules are verified-equivalent — contigs, statistics, and the
+/// per-flush mailbox ledger are asserted byte-identical on every benchmark run
+/// — so the interesting numbers are the wall clocks and the critical paths
+/// rebuilt from the async run's measured per-shard round times: under a
+/// lock-step barrier every round costs its slowest shard (`Σ_r max_s`), while
+/// the async schedule is paced by the busiest shard's own work (`max_s Σ_r`).
+/// The ratio is ≥ 1 by construction and grows with per-shard skew; CI gates it
+/// via `NMP_PAK_BENCH_MIN_ASYNC_SPEEDUP`.
+#[derive(Debug, Clone)]
+pub struct AsyncScheduleComparison {
+    /// Shard count of both runs ([`BENCH_ASYNC_SHARDS`]).
+    pub shards: usize,
+    /// Lock-step `compact_sharded` wall clock (best of reps).
+    pub lockstep_wall: Duration,
+    /// Async `compact_sharded` wall clock (best of reps).
+    pub async_wall: Duration,
+    /// Barriered critical path over the async run's measured round times.
+    pub lockstep_critical_path: Duration,
+    /// Barrier-free critical path over the same measured round times.
+    pub async_critical_path: Duration,
+    /// Mailbox flushes recorded by the async run (identical to lock-step's).
+    pub flushes: usize,
+    /// Measured per-shard load imbalance (max/mean of P1 work) — the skew the
+    /// barrier pays for.
+    pub load_imbalance: f64,
+    /// Worker threads used by both engines.
+    pub threads: usize,
+}
+
+impl AsyncScheduleComparison {
+    /// Barriered over barrier-free critical path (≥ 1 by construction; the
+    /// gated quantity).
+    pub fn critical_path_speedup(&self) -> f64 {
+        let async_cp = self.async_critical_path.as_secs_f64();
+        if async_cp == 0.0 {
+            return f64::INFINITY;
+        }
+        self.lockstep_critical_path.as_secs_f64() / async_cp
+    }
+
+    /// Measured lock-step over async wall clock (noisy on shared hosts; the
+    /// critical-path ratio is the stable signal).
+    pub fn wall_speedup(&self) -> f64 {
+        let async_wall = self.async_wall.as_secs_f64();
+        if async_wall == 0.0 {
+            return f64::INFINITY;
+        }
+        self.lockstep_wall.as_secs_f64() / async_wall
+    }
+}
+
 /// Wall-clock and telemetry comparison of external-memory k-mer counting under
 /// [`BENCH_SPILL_BUDGET_BYTES`] versus the unconstrained in-memory counter on
 /// identical inputs.
@@ -290,6 +349,8 @@ pub struct PipelineBenchReport {
     pub compaction: CompactionComparison,
     /// Sharded-execution comparison (owner-computes shards vs single graph).
     pub sharding: ShardingComparison,
+    /// Async vs lock-step shard-schedule comparison at the paper's shard count.
+    pub async_schedule: AsyncScheduleComparison,
     /// External-memory counting comparison (budget-capped spill vs in-memory).
     pub spill: SpillComparison,
     /// Full optimized assembly output (timings of all phases, quality stats).
@@ -385,6 +446,7 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
     let batch_streaming = run_batch_streaming_bench(&workload.reads, &config, reps);
     let compaction = run_compaction_bench(&counted, &config, reps);
     let sharding = run_sharding_bench(&counted, &config, reps);
+    let async_schedule = run_async_schedule_bench(&counted, &config, reps);
     let spill = run_spill_bench(&workload.reads, &config, reps);
 
     PipelineBenchReport {
@@ -402,6 +464,7 @@ pub fn run_pipeline_bench(reps: usize) -> PipelineBenchReport {
         batch_streaming,
         compaction,
         sharding,
+        async_schedule,
         spill,
         assembly: assembly.expect("at least one repetition ran"),
     }
@@ -569,6 +632,109 @@ fn run_sharding_bench(
     ShardingComparison {
         single_graph,
         runs,
+        threads: config.threads,
+    }
+}
+
+/// Runs only the async-schedule comparison on the standard benchmark workload
+/// (the `experiments async` subcommand).
+pub fn run_async_schedule_bench_standalone(reps: usize) -> AsyncScheduleComparison {
+    let (workload, config) = bench_workload_and_config("bench_async");
+    let (counted, _) = count_kmers(&workload.reads, KmerCounterConfig::from(&config))
+        .expect("benchmark counting succeeds");
+    run_async_schedule_bench(&counted, &config, reps.max(1))
+}
+
+/// Times the async shard schedule against lock-step at [`BENCH_ASYNC_SHARDS`]
+/// shards on identical owner-partitioned graphs (best-of-`reps` each),
+/// asserting the verified-equivalent contract — statistics, compacted nodes,
+/// and the per-flush mailbox ledger byte-identical — on an untimed pair, then
+/// rebuilding both critical paths from the async run's measured round times.
+fn run_async_schedule_bench(
+    counted: &[nmp_pak_pakman::CountedKmer],
+    config: &PakmanConfig,
+    reps: usize,
+) -> AsyncScheduleComparison {
+    let lockstep_config = PakmanConfig {
+        record_trace: false,
+        shard_schedule: ShardSchedule::Lockstep,
+        ..*config
+    };
+    let async_config = PakmanConfig {
+        shard_schedule: ShardSchedule::Async,
+        ..lockstep_config
+    };
+    let prototype =
+        ShardedGraph::from_counted_kmers(counted, config.k, BENCH_ASYNC_SHARDS, config.threads);
+
+    let mut lockstep_wall = Duration::MAX;
+    let mut async_wall = Duration::MAX;
+    let mut telemetry = None;
+    for _ in 0..reps.max(1) {
+        let mut sharded = prototype.clone();
+        let t = Instant::now();
+        let _ = compact_sharded(&mut sharded, &lockstep_config);
+        lockstep_wall = lockstep_wall.min(t.elapsed());
+
+        let mut sharded = prototype.clone();
+        let t = Instant::now();
+        let (_, run_telemetry) = compact_sharded(&mut sharded, &async_config);
+        let elapsed = t.elapsed();
+        if elapsed < async_wall {
+            async_wall = elapsed;
+            telemetry = Some(run_telemetry);
+        }
+    }
+
+    // Verified-equivalent cross-check (untimed): the wall clocks are only
+    // comparable while both schedules agree on every output bit and every
+    // mailbox flush.
+    let mut lockstep_graph = prototype.clone();
+    let (lockstep_outcome, lockstep_telemetry) =
+        compact_sharded(&mut lockstep_graph, &lockstep_config);
+    let mut async_graph = prototype;
+    let (async_outcome, async_telemetry) = compact_sharded(&mut async_graph, &async_config);
+    // Per-iteration stats are scheduling telemetry (the async engine does not
+    // record them); the contract covers the census, transfers, and outcome.
+    assert_eq!(
+        async_outcome.stats.initial_nodes, lockstep_outcome.stats.initial_nodes,
+        "async initial census diverged from lock-step"
+    );
+    assert_eq!(
+        async_outcome.stats.final_nodes, lockstep_outcome.stats.final_nodes,
+        "async final census diverged from lock-step"
+    );
+    assert_eq!(
+        async_outcome.stats.total_transfers, lockstep_outcome.stats.total_transfers,
+        "async transfer total diverged from lock-step"
+    );
+    assert_eq!(
+        async_outcome.stats.converged, lockstep_outcome.stats.converged,
+        "async convergence diverged from lock-step"
+    );
+    assert_eq!(
+        async_telemetry.flushes, lockstep_telemetry.flushes,
+        "async mailbox flush ledger diverged from lock-step"
+    );
+    let lockstep_global = lockstep_graph.into_global_graph();
+    let async_global = async_graph.into_global_graph();
+    for slot in 0..lockstep_global.slot_count() {
+        assert_eq!(
+            async_global.node(slot),
+            lockstep_global.node(slot),
+            "async compacted graph diverged at slot {slot}"
+        );
+    }
+
+    let telemetry = telemetry.expect("at least one repetition ran");
+    AsyncScheduleComparison {
+        shards: BENCH_ASYNC_SHARDS,
+        lockstep_wall,
+        async_wall,
+        lockstep_critical_path: Duration::from_nanos(telemetry.lockstep_critical_path_nanos()),
+        async_critical_path: Duration::from_nanos(telemetry.async_critical_path_nanos()),
+        flushes: telemetry.flushes.len(),
+        load_imbalance: telemetry.load_imbalance(),
         threads: config.threads,
     }
 }
@@ -942,6 +1108,18 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
             "    \"overhead_at_one\": {sharding_overhead:.3},\n",
             "    \"runs\": [\n{sharding_runs}\n    ]\n",
             "  }},\n",
+            "  \"async\": {{\n",
+            "    \"shards\": {async_shards},\n",
+            "    \"threads\": {async_threads},\n",
+            "    \"load_imbalance\": {async_imbalance:.4},\n",
+            "    \"lockstep_wall_s\": {async_lockstep_wall_s:.6},\n",
+            "    \"async_wall_s\": {async_wall_s:.6},\n",
+            "    \"wall_speedup\": {async_wall_speedup:.3},\n",
+            "    \"lockstep_critical_path_s\": {async_lockstep_cp_s:.6},\n",
+            "    \"async_critical_path_s\": {async_cp_s:.6},\n",
+            "    \"critical_path_speedup\": {async_cp_speedup:.3},\n",
+            "    \"flushes\": {async_flushes}\n",
+            "  }},\n",
             "  \"spill\": {{\n",
             "    \"threads\": {spill_threads},\n",
             "    \"budget_bytes\": {spill_budget},\n",
@@ -1012,6 +1190,16 @@ pub fn report_to_json(report: &PipelineBenchReport) -> String {
         sharding_single_s = secs(&report.sharding.single_graph),
         sharding_overhead = report.sharding.overhead_at_one(),
         sharding_runs = sharding_runs_json(&report.sharding, "      "),
+        async_shards = report.async_schedule.shards,
+        async_threads = report.async_schedule.threads,
+        async_imbalance = report.async_schedule.load_imbalance,
+        async_lockstep_wall_s = secs(&report.async_schedule.lockstep_wall),
+        async_wall_s = secs(&report.async_schedule.async_wall),
+        async_wall_speedup = report.async_schedule.wall_speedup(),
+        async_lockstep_cp_s = secs(&report.async_schedule.lockstep_critical_path),
+        async_cp_s = secs(&report.async_schedule.async_critical_path),
+        async_cp_speedup = report.async_schedule.critical_path_speedup(),
+        async_flushes = report.async_schedule.flushes,
         spill_threads = report.spill.threads,
         spill_budget = BENCH_SPILL_BUDGET_BYTES,
         spill_partitions = report.spill.telemetry.partitions,
@@ -1068,6 +1256,8 @@ mod tests {
             "\"sharding\"",
             "\"overhead_at_one\"",
             "\"cross_channel_bytes\"",
+            "\"async\"",
+            "\"async_critical_path_s\"",
             "\"spill\"",
             "\"bytes_spilled\"",
             "\"merge_passes\"",
@@ -1104,6 +1294,18 @@ mod tests {
         assert!(eight.telemetry.total_cross_shard_bytes() > 0);
         assert!(eight.telemetry.cross_shard_fraction() > 0.5);
         assert!(eight.channel_load.imbalance() >= 1.0);
+        // Async-schedule invariants: the run recorded real mailbox flushes,
+        // and the barrier-free critical path never exceeds the barriered one
+        // rebuilt from the same measured round times.
+        assert_eq!(report.async_schedule.shards, BENCH_ASYNC_SHARDS);
+        assert!(report.async_schedule.flushes > 0);
+        assert!(report.async_schedule.async_critical_path > Duration::ZERO);
+        assert!(
+            report.async_schedule.async_critical_path
+                <= report.async_schedule.lockstep_critical_path
+        );
+        assert!(report.async_schedule.critical_path_speedup() >= 1.0);
+        assert!(report.async_schedule.wall_speedup() > 0.0);
         // The compaction comparison's deterministic invariants: iteration 0 is a
         // full scan, every later frontier iteration checks strictly fewer nodes
         // than the alive census, and the totals reflect that.

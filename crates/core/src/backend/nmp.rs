@@ -178,6 +178,8 @@ mod tests {
                 cross_shard_bytes: 10_000,
             }],
             route_bytes: vec![0; shards * shards],
+            flushes: Vec::new(),
+            round_nanos: Vec::new(),
         };
         let ctx = SimulationContext::new(1 << 30).with_sharding(telemetry);
         assert!(ctx.load_imbalance > 4.0);

@@ -26,6 +26,7 @@ pub mod config;
 pub mod crossbar;
 pub mod hybrid;
 pub mod mapping;
+pub mod network;
 pub mod pe;
 pub mod system;
 
@@ -35,5 +36,6 @@ pub use config::{NmpConfig, PeVariant};
 pub use crossbar::CrossbarSwitch;
 pub use hybrid::{HybridSchedule, HybridScheduler};
 pub use mapping::{DimmMappingTable, ShardChannelMap};
+pub use network::{MultinodeProjection, NetworkModel, Topology};
 pub use pe::{PeCycleModel, StageCycles};
 pub use system::{ChannelLoadStats, CommStats, NmpRunResult, NmpSystem};

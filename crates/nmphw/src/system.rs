@@ -146,12 +146,37 @@ pub struct NmpSystem {
     nmp: NmpConfig,
     dram: DramConfig,
     cpu: CpuConfig,
+    /// Measured channel load folded in by [`NmpSystem::with_sharding`];
+    /// when present, [`NmpSystem::simulate`] uses it by default.
+    sharding: Option<ChannelLoadStats>,
 }
 
 impl NmpSystem {
     /// Creates a system with the given NMP, DRAM and host-CPU configurations.
     pub fn new(nmp: NmpConfig, dram: DramConfig, cpu: CpuConfig) -> Self {
-        NmpSystem { nmp, dram, cpu }
+        NmpSystem {
+            nmp,
+            dram,
+            cpu,
+            sharding: None,
+        }
+    }
+
+    /// Folds measured sharded-execution telemetry into this system: every
+    /// subsequent [`NmpSystem::simulate`] call redistributes work by the
+    /// measured owner-computes channel load instead of the uniform
+    /// slot-interleaved assumption. Pass telemetry from the run being
+    /// simulated; callers no longer need to opt in via
+    /// [`NmpSystem::simulate_with_channel_load`].
+    pub fn with_sharding(mut self, telemetry: &ShardingTelemetry) -> Self {
+        self.sharding = Some(self.channel_load_from_sharding(telemetry));
+        self
+    }
+
+    /// The measured channel load this system folds into [`NmpSystem::simulate`],
+    /// if any was attached via [`NmpSystem::with_sharding`].
+    pub fn sharding_load(&self) -> Option<&ChannelLoadStats> {
+        self.sharding.as_ref()
     }
 
     /// The NMP configuration.
@@ -198,9 +223,30 @@ impl NmpSystem {
         }
     }
 
-    /// Simulates the compaction trace, returning runtime and statistics.
+    /// Projects the simulated one-host run onto a `nodes`-node cluster: the
+    /// trace is simulated with the measured channel load folded in, then the
+    /// telemetry's mailbox traffic is mapped onto nodes and charged to
+    /// `network` (see [`NetworkModel::project_multinode`]).
+    pub fn project_multinode(
+        &self,
+        trace: &CompactionTrace,
+        layout: &NodeLayout,
+        telemetry: &ShardingTelemetry,
+        network: &crate::network::NetworkModel,
+        nodes: usize,
+    ) -> crate::network::MultinodeProjection {
+        let base = self
+            .clone()
+            .with_sharding(telemetry)
+            .simulate(trace, layout);
+        network.project_multinode(telemetry, nodes, base.runtime_ns)
+    }
+
+    /// Simulates the compaction trace, returning runtime and statistics. When
+    /// measured sharding telemetry was attached ([`NmpSystem::with_sharding`]),
+    /// the measured channel load is folded in automatically.
     pub fn simulate(&self, trace: &CompactionTrace, layout: &NodeLayout) -> NmpRunResult {
-        self.simulate_with_channel_load(trace, layout, None)
+        self.simulate_with_channel_load(trace, layout, self.sharding.as_ref())
     }
 
     /// [`NmpSystem::simulate`] with **measured** per-channel load folded in.
@@ -630,6 +676,8 @@ mod tests {
                 cross_shard_bytes: 4_000,
             }],
             route_bytes,
+            flushes: Vec::new(),
+            round_nanos: Vec::new(),
         };
         let stats = system(NmpConfig::default()).channel_load_from_sharding(&telemetry);
         assert_eq!(stats.map.channel_count(), 8);
@@ -677,6 +725,8 @@ mod tests {
                 cross_shard_bytes: 10_000,
             }],
             route_bytes,
+            flushes: Vec::new(),
+            round_nanos: Vec::new(),
         }
     }
 
@@ -712,6 +762,23 @@ mod tests {
         // properties of the trace, identical across placements.
         assert_eq!(skewed.traffic, uniform.traffic);
         assert_eq!(skewed.comm, uniform.comm);
+    }
+
+    #[test]
+    fn with_sharding_folds_measured_load_into_default_simulate() {
+        let (trace, layout) = synthetic_trace(4_000, 5);
+        let sys = system(NmpConfig::default());
+        let uniform = sys.simulate(&trace, &layout);
+        // Attaching skewed telemetry changes the *default* simulate path…
+        let folded = sys.clone().with_sharding(&skewed_telemetry(8, 64));
+        let skewed = folded.simulate(&trace, &layout);
+        assert!(
+            skewed.runtime_ns > uniform.runtime_ns,
+            "attached telemetry should stretch the lock-step"
+        );
+        // …and matches the explicit opt-in exactly.
+        let explicit = sys.simulate_with_channel_load(&trace, &layout, folded.sharding_load());
+        assert_eq!(skewed.runtime_ns, explicit.runtime_ns);
     }
 
     #[test]

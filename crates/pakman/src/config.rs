@@ -24,6 +24,34 @@ pub enum CompactionMode {
     Frontier,
 }
 
+/// How the sharded compaction engine schedules shard iterations.
+///
+/// [`ShardSchedule::Lockstep`] keeps the original barrier semantics: every
+/// shard runs iteration *i* before any shard starts iteration *i + 1*, and the
+/// full outcome — statistics, trace, telemetry — is bit-identical to the
+/// single-graph engine. [`ShardSchedule::Async`] drops the thread barrier:
+/// shards run as queued tasks over a worker pool, each advancing its own wave
+/// counter and flushing mailbox lanes as soon as its P3 finishes, with wave
+/// completion counted through a shared ledger instead of joined — so quiescent
+/// shards cost O(1) per wave and a straggler no longer serializes the pool
+/// through per-phase joins. Async output follows the *verified-equivalent*
+/// contract (see DESIGN.md): final contigs, the compacted graph, statistics
+/// and the mailbox flush ledger are byte-identical to lock-step (transfers are
+/// applied at wave boundaries in canonical global-slot order), while
+/// scheduling telemetry (per-iteration stats, the profile, per-round timing)
+/// is allowed to differ. `compaction_node_threshold` and the iteration cap are
+/// applied against the global census at wave boundaries, exactly as under the
+/// barrier. Trace recording (`record_trace`) forces lock-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ShardSchedule {
+    /// Barriered iterations; bit-identical to the single-graph engine.
+    #[default]
+    Lockstep,
+    /// Per-shard iteration counters with eager mailbox flushes; final output
+    /// verified equivalent to lock-step, per-iteration telemetry may differ.
+    Async,
+}
+
 /// Sharded subgraph execution knob: how many owner-computes shards the
 /// PaK-graph is partitioned into.
 ///
@@ -201,6 +229,11 @@ pub struct PakmanConfig {
     /// default is single-graph execution; any shard count produces bit-identical
     /// output.
     pub shards: ShardConfig,
+    /// Iteration scheduling for the sharded compaction engine (see
+    /// [`ShardSchedule`]). Lock-step (the default) is bit-identical to the
+    /// single-graph engine; async drops the barrier and is verified equivalent
+    /// on final output. Ignored when `shards.shard_count == 1`.
+    pub shard_schedule: ShardSchedule,
     /// External-memory k-mer counting budget (see [`SpillConfig`]). The default
     /// is fully in-memory counting; any budget produces bit-identical output.
     pub spill: SpillConfig,
@@ -221,6 +254,7 @@ impl Default for PakmanConfig {
             threads: 4,
             compaction_mode: CompactionMode::default(),
             shards: ShardConfig::default(),
+            shard_schedule: ShardSchedule::default(),
             spill: SpillConfig::default(),
             record_trace: false,
             min_contig_length: 0,
@@ -327,6 +361,22 @@ mod tests {
         assert!(ShardConfig::default_channels().is_sharded());
         // The default configuration keeps the single-graph path.
         assert_eq!(PakmanConfig::default().shards, ShardConfig::single());
+    }
+
+    #[test]
+    fn shard_schedule_defaults_to_lockstep() {
+        assert_eq!(ShardSchedule::default(), ShardSchedule::Lockstep);
+        assert_eq!(
+            PakmanConfig::default().shard_schedule,
+            ShardSchedule::Lockstep
+        );
+        let async_cfg = PakmanConfig {
+            shard_schedule: ShardSchedule::Async,
+            shards: ShardConfig::default_channels(),
+            ..PakmanConfig::default()
+        };
+        assert!(async_cfg.validate().is_ok());
+        assert_ne!(async_cfg, PakmanConfig::default());
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use compaction::{
     compact, compact_controlled, compact_with_scratch, CompactionOutcome, CompactionProfile,
     CompactionScratch, CompactionStats, IterationProfile, IterationStats, SizeHistogram,
 };
-pub use config::{CompactionMode, PakmanConfig, ShardConfig, SpillConfig};
+pub use config::{CompactionMode, PakmanConfig, ShardConfig, ShardSchedule, SpillConfig};
 pub use contig::{AssemblyStats, Contig};
 pub use control::{CancelToken, NullObserver, ProgressObserver, RunControl};
 pub use error::PakmanError;
@@ -84,8 +84,8 @@ pub use macronode::{MacroNode, ThroughPath};
 pub use memory::{MemoryBudget, MemoryFootprint};
 pub use pipeline::{AssemblyOutput, PakmanAssembler, PhaseTimings};
 pub use shard::{
-    compact_sharded, compact_sharded_controlled, MailboxIterationStats, ShardedGraph,
-    ShardingTelemetry,
+    compact_sharded, compact_sharded_controlled, MailboxFlushStats, MailboxIterationStats,
+    ShardedGraph, ShardingTelemetry,
 };
 pub use spill::SpillTelemetry;
 pub use stage::{AssemblyPipeline, CompactArtifact, DrainedReads, FrontArtifact, Stage};

@@ -22,33 +22,60 @@
 //! * [`ShardingTelemetry`] — the measured per-shard load and inter-shard
 //!   traffic the hardware models consume instead of assuming uniformity.
 //!
-//! **Determinism contract.** Sharding changes *where* work executes, never what
-//! it computes: contigs, statistics, and the recorded trace are bit-identical
-//! to the single-graph path at every shard count and thread count. The
-//! load-bearing facts are (1) ownership is a pure function of the (k-1)-mer,
-//! (2) each node is fully assembled on its owner (all of a key's extension
-//! contributions are routed there), (3) the mailbox is a stable partition of
-//! the canonical transfer stream, so per-destination delivery order equals the
-//! serial order, and (4) every reduction (histogram, counts) is order-free and
-//! every ordered artifact (trace events, dirty set) is re-serialized from the
-//! canonical global-slot order.
+//! **Determinism contract.** Under the default lock-step schedule, sharding
+//! changes *where* work executes, never what it computes: contigs, statistics,
+//! and the recorded trace are bit-identical to the single-graph path at every
+//! shard count and thread count. The load-bearing facts are (1) ownership is a
+//! pure function of the (k-1)-mer, (2) each node is fully assembled on its
+//! owner (all of a key's extension contributions are routed there), (3) the
+//! mailbox is a stable partition of the canonical transfer stream, so
+//! per-destination delivery order equals the serial order, and (4) every
+//! reduction (histogram, counts) is order-free and every ordered artifact
+//! (trace events, dirty set) is re-serialized from the canonical global-slot
+//! order.
+//!
+//! **Async schedule.** [`crate::ShardSchedule::Async`] drops the per-iteration
+//! thread barrier: shards run as queued tasks over a persistent worker pool,
+//! each advancing its own wave counter and flushing mailbox lanes
+//! ([`MailboxFlushStats`]) to destination shards as soon as its P3 finishes,
+//! with a bounded number of unconsumed flushes per (src, dst) lane and
+//! slot-tagged transfers within each flush. Wave completion is counted
+//! through a shared ledger rather than joined: the last shard to finish a
+//! wave re-arms the others, detects the global fixed point (a wave with zero
+//! invalidations), applies the node threshold against the global census, and
+//! enforces the iteration cap — so an empty or quiescent shard costs O(1) per
+//! wave instead of three phase joins. Because `apply_transfer` is
+//! order-sensitive (partial-count takes and path splits do not commute), each
+//! destination buffers inbound flushes and applies a wave's worth in one
+//! stable pass ordered by global source slot — the canonical stream order the
+//! lock-step mailbox delivers — and deaths are published as *versioned* wave
+//! numbers so a concurrent predicate always reads its wave-start snapshot.
+//! The result is the *verified-equivalent* contract (DESIGN.md): final
+//! contigs, the compacted graph, statistics and the flush ledger are
+//! byte-identical to lock-step, while scheduling telemetry (iteration stats,
+//! the profile, per-round timing) may differ. The equivalence is enforced by
+//! a test sweep across shard counts, thread counts, and compaction modes.
 
 use crate::compaction::{
     apply_transfer, assemble_trace_checks, fold_census, fold_transfers,
     is_invalidation_target_with, remove_sorted, CompactionOutcome, CompactionProfile,
     CompactionStats, IterationProfile, IterationStats, SizeHistogram,
 };
-use crate::config::{CompactionMode, PakmanConfig};
+use crate::config::{CompactionMode, PakmanConfig, ShardSchedule};
 use crate::control::RunControl;
 use crate::error::PakmanError;
 use crate::graph::{build_segment, PakGraph};
 use crate::kmer_count::{partition_counted_by_owner, CountedKmer};
 use crate::macronode::MacroNode;
+use crate::memory::MemoryBudget;
 use crate::par::radix_sort_pairs;
 use crate::trace::{CompactionTrace, IterationTrace, NodeCheck, UpdateEvent};
 use crate::transfer::{ShardMailbox, TransferNode};
 use nmp_pak_genome::{shard_of_packed, Kmer};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One shard's built parts: slot keys (ascending) and the slot vector.
@@ -342,6 +369,29 @@ pub struct MailboxIterationStats {
     pub cross_shard_bytes: u64,
 }
 
+/// One mailbox flush: a batch of TransferNodes from one source shard's local
+/// iteration, delivered to one destination shard.
+///
+/// Under the async schedule each record is an *actual* flush (published as
+/// soon as the source's P3 finished that local iteration); under lock-step the
+/// barriered exchange is decomposed into one record per (iteration, src, dst)
+/// cell with traffic. Either way the per-flush bytes sum to the whole-run
+/// route matrix, so the network model charges identical traffic from both
+/// engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailboxFlushStats {
+    /// Source shard.
+    pub src: usize,
+    /// Destination shard (equal to `src` for shard-local deliveries).
+    pub dst: usize,
+    /// The source shard's local iteration that produced this flush.
+    pub src_iteration: usize,
+    /// TransferNodes carried.
+    pub transfers: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+}
+
 /// Measured per-shard load and inter-shard traffic of one sharded run — the
 /// telemetry the `nmphw` channel model and the PANDA cost model consume instead
 /// of assuming uniform work and uniform traffic.
@@ -361,6 +411,13 @@ pub struct ShardingTelemetry {
     /// Whole-run shard→shard payload bytes, flattened
     /// `source * shard_count + destination`.
     pub route_bytes: Vec<u64>,
+    /// Per-flush mailbox ledger, sorted by (src_iteration, src, dst). Total
+    /// bytes equal the `route_bytes` matrix total under both schedules.
+    pub flushes: Vec<MailboxFlushStats>,
+    /// Wall nanoseconds of each completed local round, per shard — recorded by
+    /// the async engine only (empty vectors under lock-step, whose telemetry
+    /// stays deterministic and comparable across thread counts).
+    pub round_nanos: Vec<Vec<u64>>,
 }
 
 impl ShardingTelemetry {
@@ -422,6 +479,47 @@ impl ShardingTelemetry {
     pub fn routed_bytes(&self, src: usize, dst: usize) -> u64 {
         self.route_bytes[src * self.shard_count + dst]
     }
+
+    /// Total payload bytes across the per-flush ledger. Equal to the
+    /// route-matrix total under both schedules (asserted by the equivalence
+    /// tests), so network models may charge either view.
+    pub fn total_flush_bytes(&self) -> u64 {
+        self.flushes.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Total payload bytes in the shard×shard route matrix.
+    pub fn total_route_bytes(&self) -> u64 {
+        self.route_bytes.iter().sum()
+    }
+
+    /// The barriered critical path implied by the measured per-shard round
+    /// times: with a lock-step barrier every round costs as much as its
+    /// slowest shard (`Σ_r max_s t[s][r]`). Zero when round times were not
+    /// recorded (lock-step runs do not measure them).
+    pub fn lockstep_critical_path_nanos(&self) -> u64 {
+        let rounds = self.round_nanos.iter().map(Vec::len).max().unwrap_or(0);
+        (0..rounds)
+            .map(|round| {
+                self.round_nanos
+                    .iter()
+                    .filter_map(|shard| shard.get(round).copied())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// The asynchronous critical path over the same measured rounds: without
+    /// the barrier no shard waits for a straggler, so the critical path is the
+    /// busiest shard's total work (`max_s Σ_r t[s][r]`). By construction this
+    /// never exceeds [`ShardingTelemetry::lockstep_critical_path_nanos`].
+    pub fn async_critical_path_nanos(&self) -> u64 {
+        self.round_nanos
+            .iter()
+            .map(|shard| shard.iter().sum())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Runs Iterative Compaction over the sharded graph: P1/P2/P3 execute
@@ -453,6 +551,15 @@ pub fn compact_sharded_controlled(
     config: &PakmanConfig,
     control: &RunControl<'_>,
 ) -> Result<(CompactionOutcome, ShardingTelemetry), PakmanError> {
+    // The async engine takes over for multi-shard runs on the async schedule.
+    // Trace recording forces lock-step: the trace format is defined in global
+    // barrier iterations, which the async engine does not have.
+    if config.shard_schedule == ShardSchedule::Async
+        && sharded.shard_count() > 1
+        && !config.record_trace
+    {
+        return compact_sharded_async(sharded, config, control);
+    }
     let shard_count = sharded.shard_count();
     let slot_count = sharded.global_slot_count();
     let initial_nodes = sharded.alive_count();
@@ -481,6 +588,8 @@ pub fn compact_sharded_controlled(
         checked_per_shard: vec![0; shard_count],
         mailbox: Vec::new(),
         route_bytes: vec![0; shard_count * shard_count],
+        flushes: Vec::new(),
+        round_nanos: Vec::new(),
     };
 
     // Global-slot-indexed census state, mirroring the single-graph scratch.
@@ -607,6 +716,23 @@ pub fn compact_sharded_controlled(
         });
         for (cell, routed) in telemetry.route_bytes.iter_mut().zip(mailbox.route_bytes()) {
             *cell += routed;
+        }
+        // Decompose the barriered exchange into per-(src, dst) flush records
+        // so lock-step and async expose the same per-flush ledger (already in
+        // (iteration, src, dst) order by construction).
+        for src in 0..shard_count {
+            for dst in 0..shard_count {
+                let routed = mailbox.routed_transfers(src, dst);
+                if routed > 0 {
+                    telemetry.flushes.push(MailboxFlushStats {
+                        src,
+                        dst,
+                        src_iteration: iteration,
+                        transfers: routed,
+                        bytes: mailbox.routed_bytes(src, dst),
+                    });
+                }
+            }
         }
 
         // ---- Stage P3: every destination shard drains its inbox in mailbox
@@ -864,6 +990,737 @@ fn apply_mailbox(
             scatter(inbox, out, resolved, matched);
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// The asynchronously scheduled engine ([`ShardSchedule::Async`]).
+// ---------------------------------------------------------------------------
+
+/// Maximum unconsumed flushes one (src, dst) lane may hold before the sender
+/// backs off — the bounded in-flight window that keeps a fast shard from
+/// flooding a straggler's inbox. Later flushes on a blocked lane wait behind
+/// it (per-lane FIFO), while flushes to other destinations proceed.
+const ASYNC_LANE_DEPTH: usize = 4;
+
+/// One eagerly delivered mailbox flush between two shards.
+struct AsyncFlush {
+    src: usize,
+    dst: usize,
+    /// The global wave the sender extracted this flush in; the receiver folds
+    /// it into the canonical apply stream at the start of wave
+    /// `src_iteration + 1`.
+    src_iteration: usize,
+    /// `(global source slot, transfer)`, ascending by source slot — the
+    /// sender extracts in ascending slot order, so a stable sort over all of a
+    /// wave's flushes reconstructs the canonical global stream exactly.
+    transfers: Vec<(u32, TransferNode)>,
+    bytes: u64,
+}
+
+/// Mutable per-shard compaction state. The run queue admits each shard at most
+/// once, so the mutex is held by at most one worker at a time.
+struct AsyncShardState<'g> {
+    graph: &'g mut PakGraph,
+    /// Local slot → global slot.
+    globals: &'g [u32],
+    /// The next wave this shard executes (== waves completed so far).
+    wave: usize,
+    /// This shard executed a wave whose completion it has not reported yet
+    /// (outbound flushes are still back-pressured on a full lane).
+    completion_pending: bool,
+    /// Invalidations of the yet-unreported wave, fed into the global
+    /// fixed-point check on completion.
+    unreported_deaths: usize,
+    /// Alive local slots, ascending.
+    alive_list: Vec<u32>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Drained-but-unapplied inbound flushes, wave-tagged. Also carries this
+    /// shard's own self-lane flushes (never deposited, never charged).
+    inbuf: Vec<AsyncFlush>,
+    /// Outbound flushes not yet deposited (back-pressured lanes retry here;
+    /// FIFO order per lane is preserved).
+    pending_out: VecDeque<AsyncFlush>,
+    /// Wall nanoseconds of each executed wave (one entry per wave).
+    round_nanos: Vec<u64>,
+    checked: u64,
+    transfers_routed: u64,
+    /// This shard's row of the route matrix (bytes per destination).
+    route_bytes: Vec<u64>,
+    flushes: Vec<MailboxFlushStats>,
+}
+
+/// The shard run queue plus the wave ledger. A shard is `active` from enqueue
+/// until its round finishes, so duplicate enqueues collapse; the wave fields
+/// implement the decentralized completion count that replaced the thread
+/// barrier.
+struct AsyncQueue {
+    runnable: VecDeque<usize>,
+    active: Vec<bool>,
+    running: usize,
+    done: bool,
+    /// Shards that have not yet completed the current wave.
+    wave_remaining: usize,
+    /// Invalidations reported for the current wave so far.
+    wave_deaths: usize,
+    /// The current wave is the apply-only epilogue after a threshold or
+    /// iteration-cap stop (lock-step applies its last mailbox before exiting,
+    /// so the async engine must land those flushes too).
+    finishing: bool,
+    converged: bool,
+}
+
+/// Everything the async workers share.
+struct AsyncEngine<'g> {
+    states: Vec<Mutex<AsyncShardState<'g>>>,
+    inboxes: Vec<Mutex<Vec<AsyncFlush>>>,
+    /// Versioned global-slot aliveness — the concurrent analogue of
+    /// [`ShardedGraph::contains`]. The stored value is `death wave + 1`
+    /// (`usize::MAX` = never died, `0` = never alive), so a wave-`r` predicate
+    /// reads its wave-start snapshot as `value > r`: a death published by a
+    /// concurrent wave-`r` peer is still alive for wave-`r` checks, exactly as
+    /// under the barrier, and dead from wave `r + 1` on.
+    death_wave: Vec<AtomicUsize>,
+    /// Packed (k-1)-mer of every global slot, ascending.
+    global_keys: &'g [u64],
+    alive: AtomicUsize,
+    /// Mirror of the queue's current wave, readable without the queue lock.
+    global_wave: AtomicUsize,
+    /// Mirror of [`AsyncQueue::finishing`].
+    finishing: AtomicBool,
+    queue: Mutex<AsyncQueue>,
+    queue_cv: Condvar,
+    failure: Mutex<Option<PakmanError>>,
+    shard_count: usize,
+    frontier: bool,
+    threshold: usize,
+    max_iterations: usize,
+}
+
+/// [`compact_sharded_controlled`] without the thread barrier: a worker pool of
+/// `min(threads, shards)` drains a run queue of shards, each pop running one
+/// *local* round (drain inbox → apply the previous wave's canonical stream →
+/// P1 over the local frontier → P2 extraction → publish deaths → P3 route,
+/// with remote lanes flushed eagerly and shard-local lanes folded back into
+/// the same canonical stream). Wave completion is counted, not joined: the
+/// last shard to finish a wave re-arms every shard for the next one, detects
+/// the global fixed point, applies the node threshold against the global
+/// census, and enforces the iteration cap — so the run is bit-identical to
+/// lock-step in everything but scheduling telemetry (per-shard `round_nanos`
+/// are recorded; per-iteration stats, the profile and the trace are not).
+fn compact_sharded_async(
+    sharded: &mut ShardedGraph,
+    config: &PakmanConfig,
+    control: &RunControl<'_>,
+) -> Result<(CompactionOutcome, ShardingTelemetry), PakmanError> {
+    let shard_count = sharded.shard_count();
+    let slot_count = sharded.global_slot_count();
+    let initial_nodes = sharded.alive_count();
+
+    let mut stats = CompactionStats {
+        initial_nodes,
+        final_nodes: initial_nodes,
+        ..CompactionStats::default()
+    };
+    let mut telemetry = ShardingTelemetry {
+        shard_count,
+        initial_alive_per_shard: sharded.per_shard_alive(),
+        final_alive_per_shard: Vec::new(),
+        checked_per_shard: vec![0; shard_count],
+        mailbox: Vec::new(),
+        route_bytes: vec![0; shard_count * shard_count],
+        flushes: Vec::new(),
+        round_nanos: vec![Vec::new(); shard_count],
+    };
+
+    control.check("async sharded compaction")?;
+    control.compaction_iteration(0, initial_nodes);
+    if initial_nodes <= config.compaction_node_threshold {
+        stats.converged = true;
+        telemetry.final_alive_per_shard = sharded.per_shard_alive();
+        return Ok((
+            CompactionOutcome {
+                stats,
+                trace: None,
+                profile: CompactionProfile::default(),
+            },
+            telemetry,
+        ));
+    }
+
+    // In-flight flush payloads are charged to this ledger on deposit and
+    // released when applied (or by the post-run drain), so a cancelled run
+    // always leaves the ledger at zero.
+    let ledger = control.adopt(MemoryBudget::unbounded());
+
+    let death_wave: Vec<AtomicUsize> = (0..slot_count)
+        .map(|slot| {
+            AtomicUsize::new(if sharded.node_global(slot).is_some() {
+                usize::MAX
+            } else {
+                0
+            })
+        })
+        .collect();
+    let frontier = config.compaction_mode == CompactionMode::Frontier;
+    let workers = config.threads.max(1).min(shard_count);
+
+    let ShardedGraph {
+        shards,
+        global_keys,
+        global_slots,
+        ..
+    } = sharded;
+    let global_keys: &[u64] = global_keys;
+
+    let states: Vec<Mutex<AsyncShardState<'_>>> = shards
+        .iter_mut()
+        .zip(global_slots.iter())
+        .map(|(graph, globals)| {
+            let alive_list: Vec<u32> = (0..graph.slot_count() as u32)
+                .filter(|&local| graph.node(local as usize).is_some())
+                .collect();
+            let slots = graph.slot_count();
+            Mutex::new(AsyncShardState {
+                graph,
+                globals,
+                wave: 0,
+                completion_pending: false,
+                unreported_deaths: 0,
+                alive_list,
+                dirty: vec![false; slots],
+                dirty_list: Vec::new(),
+                inbuf: Vec::new(),
+                pending_out: VecDeque::new(),
+                round_nanos: Vec::new(),
+                checked: 0,
+                transfers_routed: 0,
+                route_bytes: vec![0; shard_count],
+                flushes: Vec::new(),
+            })
+        })
+        .collect();
+
+    let engine = AsyncEngine {
+        states,
+        inboxes: (0..shard_count).map(|_| Mutex::new(Vec::new())).collect(),
+        death_wave,
+        global_keys,
+        alive: AtomicUsize::new(initial_nodes),
+        global_wave: AtomicUsize::new(0),
+        finishing: AtomicBool::new(false),
+        queue: Mutex::new(AsyncQueue {
+            runnable: (0..shard_count).collect(),
+            active: vec![true; shard_count],
+            running: 0,
+            done: false,
+            wave_remaining: shard_count,
+            wave_deaths: 0,
+            finishing: false,
+            converged: false,
+        }),
+        queue_cv: Condvar::new(),
+        failure: Mutex::new(None),
+        shard_count,
+        frontier,
+        threshold: config.compaction_node_threshold,
+        max_iterations: config.max_compaction_iterations,
+    };
+
+    if workers <= 1 {
+        // Single-worker runs stay on the caller thread: the queue drains FIFO,
+        // so scheduling is fully deterministic.
+        async_worker(&engine, control, &ledger);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let engine = &engine;
+                let ledger = &ledger;
+                scope.spawn(move || async_worker(engine, control, ledger));
+            }
+        });
+    }
+
+    let AsyncEngine {
+        states,
+        inboxes,
+        queue,
+        failure,
+        ..
+    } = engine;
+
+    // Drain whatever is still parked: a flush is charged from deposit until it
+    // is applied, so release everything sitting in an inbox or a drained-but-
+    // unapplied buffer (a cancelled run must leave the ledger at zero; a
+    // converged run has applied everything and this is a no-op).
+    for inbox in &inboxes {
+        let mut inbox = inbox.lock().expect("inbox poisoned");
+        for flush in inbox.drain(..) {
+            ledger.release(flush.bytes);
+        }
+    }
+    if let Some(err) = failure.lock().expect("failure slot poisoned").take() {
+        for (shard, state) in states.iter().enumerate() {
+            let state = state.lock().expect("shard state poisoned");
+            for flush in &state.inbuf {
+                if flush.src != shard {
+                    ledger.release(flush.bytes);
+                }
+            }
+        }
+        return Err(err);
+    }
+
+    let mut flushes: Vec<MailboxFlushStats> = Vec::new();
+    let mut total_transfers = 0u64;
+    let mut final_nodes = 0usize;
+    for (src, state) in states.into_iter().enumerate() {
+        let state = state.into_inner().expect("shard state poisoned");
+        debug_assert!(state.inbuf.is_empty(), "converged run applied every flush");
+        telemetry.checked_per_shard[src] = state.checked;
+        for (dst, &bytes) in state.route_bytes.iter().enumerate() {
+            telemetry.route_bytes[src * shard_count + dst] = bytes;
+        }
+        total_transfers += state.transfers_routed;
+        flushes.extend(state.flushes);
+        telemetry.round_nanos[src] = state.round_nanos;
+        let alive = state.graph.alive_count();
+        final_nodes += alive;
+        telemetry.final_alive_per_shard.push(alive);
+    }
+    // Waves are global iterations, so this reproduces the lock-step flush
+    // ledger exactly — same tags, same lanes, same order.
+    flushes.sort_by_key(|f| (f.src_iteration, f.src, f.dst));
+    let mut mailbox_stats: Vec<MailboxIterationStats> = Vec::new();
+    for flush in &flushes {
+        if mailbox_stats.last().map(|m| m.iteration) != Some(flush.src_iteration) {
+            mailbox_stats.push(MailboxIterationStats {
+                iteration: flush.src_iteration,
+                transfers: 0,
+                cross_shard_transfers: 0,
+                bytes: 0,
+                cross_shard_bytes: 0,
+            });
+        }
+        let entry = mailbox_stats.last_mut().expect("entry just pushed");
+        entry.transfers += flush.transfers as usize;
+        entry.bytes += flush.bytes;
+        if flush.src != flush.dst {
+            entry.cross_shard_transfers += flush.transfers as usize;
+            entry.cross_shard_bytes += flush.bytes;
+        }
+    }
+    telemetry.flushes = flushes;
+    telemetry.mailbox = mailbox_stats;
+    stats.total_transfers = total_transfers as usize;
+    stats.final_nodes = final_nodes;
+    stats.converged = queue.into_inner().expect("queue poisoned").converged
+        || final_nodes <= config.compaction_node_threshold;
+    Ok((
+        CompactionOutcome {
+            stats,
+            trace: None,
+            profile: CompactionProfile::default(),
+        },
+        telemetry,
+    ))
+}
+
+/// Worker main loop: pop a runnable shard, run one round, decide whether the
+/// shard needs to run again. On error the first failure is recorded and the
+/// whole pool shuts down.
+fn async_worker(engine: &AsyncEngine<'_>, control: &RunControl<'_>, ledger: &MemoryBudget) {
+    while let Some(shard) = async_pop(engine) {
+        match async_round(engine, shard, control, ledger) {
+            Ok(progress) => {
+                async_finish(engine, shard);
+                if !progress {
+                    // Pure retry round (e.g. a back-pressured lane): let the
+                    // destination's worker run before spinning again.
+                    std::thread::yield_now();
+                }
+            }
+            Err(err) => {
+                engine
+                    .failure
+                    .lock()
+                    .expect("failure slot poisoned")
+                    .get_or_insert(err);
+                let mut queue = engine.queue.lock().expect("queue poisoned");
+                queue.done = true;
+                queue.running -= 1;
+                drop(queue);
+                engine.queue_cv.notify_all();
+                break;
+            }
+        }
+    }
+}
+
+/// Pops the next runnable shard, blocking while work may still appear.
+/// Returns `None` once the run is done. Every wave completion either refills
+/// the queue or sets `done`, and a blocked sender re-enqueues itself, so an
+/// idle pool over an empty queue can only mean the run is over.
+fn async_pop(engine: &AsyncEngine<'_>) -> Option<usize> {
+    let mut queue = engine.queue.lock().expect("queue poisoned");
+    loop {
+        if queue.done {
+            return None;
+        }
+        if let Some(shard) = queue.runnable.pop_front() {
+            queue.running += 1;
+            return Some(shard);
+        }
+        if queue.running == 0 {
+            debug_assert!(false, "async run queue stalled before the run ended");
+            queue.done = true;
+            engine.queue_cv.notify_all();
+            return None;
+        }
+        queue = engine.queue_cv.wait(queue).expect("queue poisoned");
+    }
+}
+
+/// Enqueues `shard` unless it is already queued or running.
+fn async_enqueue(engine: &AsyncEngine<'_>, shard: usize) {
+    let mut queue = engine.queue.lock().expect("queue poisoned");
+    if queue.done || queue.active[shard] {
+        return;
+    }
+    queue.active[shard] = true;
+    queue.runnable.push_back(shard);
+    drop(queue);
+    engine.queue_cv.notify_one();
+}
+
+/// Finishes a round: clears the shard's active marker *first*, then re-checks
+/// for pending work. A deposit or wave advance racing with the end of the
+/// round either saw the marker still set (and this re-check sees its work) or
+/// re-enqueues the shard itself — no lost wakeups either way.
+fn async_finish(engine: &AsyncEngine<'_>, shard: usize) {
+    {
+        let mut queue = engine.queue.lock().expect("queue poisoned");
+        queue.active[shard] = false;
+        queue.running -= 1;
+    }
+    if async_needs_rerun(engine, shard) {
+        async_enqueue(engine, shard);
+    } else {
+        // Possibly the last actor: wake idle workers so the pool can notice
+        // `done` (or a stall) in `async_pop`.
+        engine.queue_cv.notify_all();
+    }
+}
+
+/// Whether `shard` has pending work: it still owes the current wave, holds
+/// undeposited outbound flushes or an unreported completion, or has arrivals
+/// to drain.
+fn async_needs_rerun(engine: &AsyncEngine<'_>, shard: usize) -> bool {
+    {
+        let state = engine.states[shard].lock().expect("shard state poisoned");
+        if !state.pending_out.is_empty() || state.completion_pending {
+            return true;
+        }
+        if state.wave <= engine.global_wave.load(Ordering::Acquire) {
+            return true;
+        }
+    }
+    !engine.inboxes[shard]
+        .lock()
+        .expect("inbox poisoned")
+        .is_empty()
+}
+
+/// Reports one shard's completion of the current wave; the last reporter
+/// decides what comes next: a wave with zero invalidations is the global
+/// fixed point, a census at or below the node threshold stops exactly where
+/// lock-step's start-of-iteration gate would (after one apply-only finishing
+/// wave lands the outstanding flushes), the iteration cap stops unconverged
+/// (same finishing wave), and otherwise every shard is re-armed for the next
+/// wave.
+fn async_complete_wave(engine: &AsyncEngine<'_>, control: &RunControl<'_>, deaths: usize) {
+    let mut queue = engine.queue.lock().expect("queue poisoned");
+    queue.wave_deaths += deaths;
+    queue.wave_remaining -= 1;
+    if queue.wave_remaining > 0 {
+        return;
+    }
+    let next = engine.global_wave.load(Ordering::Acquire) + 1;
+    let alive = engine.alive.load(Ordering::Acquire);
+    let mut callback = false;
+    if queue.finishing || queue.wave_deaths == 0 {
+        // The epilogue finished, or the wave was the fixed point (in which
+        // case nothing is in flight and no epilogue is needed).
+        queue.converged |= !queue.finishing;
+        queue.done = true;
+    } else {
+        let cap = next >= engine.max_iterations;
+        let threshold = alive <= engine.threshold;
+        if cap || threshold {
+            // Lock-step applies the mailbox of its last iteration before
+            // leaving the loop; run one apply-only wave to match. The capped
+            // exit issues no further iteration callback (the loop bound was
+            // hit); the threshold exit issues one, then breaks at the gate.
+            queue.finishing = true;
+            queue.converged = threshold && !cap;
+            engine.finishing.store(true, Ordering::Release);
+            callback = threshold && !cap;
+        } else {
+            callback = true;
+        }
+        queue.wave_remaining = engine.shard_count;
+        queue.wave_deaths = 0;
+        engine.global_wave.store(next, Ordering::Release);
+        for shard in 0..engine.shard_count {
+            if !queue.active[shard] {
+                queue.active[shard] = true;
+                queue.runnable.push_back(shard);
+            }
+        }
+    }
+    drop(queue);
+    engine.queue_cv.notify_all();
+    if callback {
+        control.compaction_iteration(next, alive);
+    }
+}
+
+/// Applies one arrived TransferNode against the owner shard, marking the
+/// destination dirty for the next wave's frontier. A destination that died in
+/// an earlier wave is dropped — the same outcome as a lock-step unmatched
+/// transfer.
+fn apply_async_transfer(state: &mut AsyncShardState<'_>, transfer: &TransferNode) {
+    let Some(local) = state.graph.index_of(&transfer.destination) else {
+        return;
+    };
+    let node = state.graph.node_mut(local).expect("destination is alive");
+    apply_transfer(node, transfer);
+    if !state.dirty[local] {
+        state.dirty[local] = true;
+        state.dirty_list.push(local as u32);
+    }
+}
+
+/// One scheduled round of `shard`: drain the inbox, execute the current wave
+/// if this shard still owes it, deposit outbound flushes eagerly, and report
+/// wave completion once every outbound lane has drained. Returns whether the
+/// round made progress (executed a wave or deposited a flush).
+fn async_round(
+    engine: &AsyncEngine<'_>,
+    shard: usize,
+    control: &RunControl<'_>,
+    ledger: &MemoryBudget,
+) -> Result<bool, PakmanError> {
+    control.check("async sharded compaction")?;
+    let round_start = Instant::now();
+    let mut state = engine.states[shard].lock().expect("shard state poisoned");
+    let state = &mut *state;
+
+    // ---- Drain: move arrivals out of the inbox immediately, freeing their
+    // lanes, even when they cannot be applied yet — application waits for the
+    // canonical wave boundary below. ----
+    {
+        let mut inbox = engine.inboxes[shard].lock().expect("inbox poisoned");
+        state.inbuf.append(&mut inbox);
+    }
+
+    let wave = engine.global_wave.load(Ordering::Acquire);
+    let mut executed = false;
+    if state.wave <= wave && !state.completion_pending {
+        let r = state.wave;
+
+        // ---- Apply everything tagged wave `r - 1` — remote lanes and the
+        // self lane — in one stable pass ordered by global source slot: the
+        // exact order the lock-step mailbox applies its inbox in, so the
+        // order-sensitive partial-count takes and path splits inside
+        // [`apply_transfer`] land identically. ----
+        if r > 0 {
+            let mut due: Vec<AsyncFlush> = Vec::new();
+            let mut held: Vec<AsyncFlush> = Vec::new();
+            for flush in state.inbuf.drain(..) {
+                debug_assert!(flush.src_iteration + 1 >= r, "flush missed its wave");
+                if flush.src_iteration < r {
+                    due.push(flush);
+                } else {
+                    held.push(flush);
+                }
+            }
+            state.inbuf = held;
+            let mut stream: Vec<&(u32, TransferNode)> =
+                due.iter().flat_map(|f| f.transfers.iter()).collect();
+            // Stable by source slot: one slot's transfers live in one flush,
+            // so their relative (path) order survives the sort.
+            stream.sort_by_key(|entry| entry.0);
+            for (_, transfer) in stream {
+                apply_async_transfer(state, transfer);
+            }
+            for flush in &due {
+                if flush.src != shard {
+                    ledger.release(flush.bytes);
+                }
+            }
+        }
+
+        if engine.finishing.load(Ordering::Acquire) {
+            // Apply-only epilogue: the stop decision is already made, this
+            // wave only lands the last iteration's flushes.
+            for &slot in &state.dirty_list {
+                state.dirty[slot as usize] = false;
+            }
+            state.dirty_list.clear();
+        } else {
+            // ---- P1 over the wave's frontier: wave 0 (and every wave under
+            // FullScan) scans every alive slot, Frontier waves recheck only
+            // slots whose neighbourhood changed in the previous wave.
+            // Neighbour aliveness reads the wave-`r` snapshot. ----
+            let mut recheck: Vec<u32> = Vec::new();
+            if r == 0 || !engine.frontier {
+                recheck.extend(state.alive_list.iter().copied());
+            } else {
+                state.dirty_list.sort_unstable();
+                recheck.extend(state.dirty_list.iter().copied());
+            }
+            for &slot in &state.dirty_list {
+                state.dirty[slot as usize] = false;
+            }
+            state.dirty_list.clear();
+            state.checked += recheck.len() as u64;
+
+            let mut invalidated: Vec<usize> = Vec::new();
+            for &local in &recheck {
+                let Some(node) = state.graph.node(local as usize) else {
+                    continue;
+                };
+                let lookup = |k1mer: &Kmer| -> bool {
+                    match engine.global_keys.binary_search(&k1mer.packed()) {
+                        Ok(slot) => engine.death_wave[slot].load(Ordering::Acquire) > r,
+                        Err(_) => false,
+                    }
+                };
+                if is_invalidation_target_with(lookup, node) {
+                    invalidated.push(local as usize);
+                }
+            }
+
+            // ---- P2: extract the canonical (ascending local slot, path
+            // order) stream, tagging each transfer with its global source
+            // slot, then publish the deaths as wave-`r` deaths: concurrent
+            // wave-`r` predicates still see the wave-start snapshot, wave
+            // `r + 1` sees them dead. ----
+            let mut outbound: Vec<(u32, TransferNode)> = Vec::new();
+            for &local in &invalidated {
+                let node = state.graph.node(local).expect("invalidated slot was alive");
+                let global = state.globals[local];
+                for path in node.paths() {
+                    if let Some((pred, succ)) = TransferNode::extract_pair(node, path) {
+                        outbound.push((global, pred));
+                        outbound.push((global, succ));
+                    }
+                }
+            }
+            for &local in &invalidated {
+                engine.death_wave[state.globals[local] as usize].store(r + 1, Ordering::Release);
+                state.graph.invalidate(local);
+            }
+            if !invalidated.is_empty() {
+                engine.alive.fetch_sub(invalidated.len(), Ordering::AcqRel);
+                remove_sorted(&mut state.alive_list, &invalidated);
+            }
+
+            // ---- P3: stable partition by destination owner. The self lane
+            // goes straight into this shard's wave-tagged buffer (applied at
+            // the next wave boundary with everything else); remote lanes
+            // queue for eager deposit below. ----
+            if !outbound.is_empty() {
+                let mut batches: Vec<Vec<(u32, TransferNode)>> =
+                    vec![Vec::new(); engine.shard_count];
+                for (slot, transfer) in outbound {
+                    let dst = shard_of_packed(transfer.destination.packed(), engine.shard_count);
+                    batches[dst].push((slot, transfer));
+                }
+                for (dst, batch) in batches.into_iter().enumerate() {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let bytes: u64 = batch.iter().map(|(_, t)| t.size_bytes() as u64).sum();
+                    state.route_bytes[dst] += bytes;
+                    state.transfers_routed += batch.len() as u64;
+                    state.flushes.push(MailboxFlushStats {
+                        src: shard,
+                        dst,
+                        src_iteration: r,
+                        transfers: batch.len() as u64,
+                        bytes,
+                    });
+                    let flush = AsyncFlush {
+                        src: shard,
+                        dst,
+                        src_iteration: r,
+                        transfers: batch,
+                        bytes,
+                    };
+                    if dst == shard {
+                        state.inbuf.push(flush);
+                    } else {
+                        state.pending_out.push_back(flush);
+                    }
+                }
+            }
+            state.unreported_deaths = invalidated.len();
+        }
+
+        state.wave = r + 1;
+        state.completion_pending = true;
+        executed = true;
+    }
+
+    // ---- Flush delivery: deposit pending lanes eagerly, with per-lane
+    // back-pressure ([`ASYNC_LANE_DEPTH`]) and a cancellation point between
+    // flushes. Blocked lanes keep FIFO order; other lanes proceed. ----
+    let mut blocked = vec![false; engine.shard_count];
+    let mut retained: VecDeque<AsyncFlush> = VecDeque::new();
+    let mut deposited: Vec<usize> = Vec::new();
+    while let Some(flush) = state.pending_out.pop_front() {
+        if blocked[flush.dst] {
+            retained.push_back(flush);
+            continue;
+        }
+        if let Err(err) = control.check("async mailbox flush") {
+            retained.push_back(flush);
+            retained.append(&mut state.pending_out);
+            state.pending_out = retained;
+            return Err(err);
+        }
+        let mut inbox = engine.inboxes[flush.dst].lock().expect("inbox poisoned");
+        let lane_depth = inbox.iter().filter(|f| f.src == shard).count();
+        if lane_depth >= ASYNC_LANE_DEPTH {
+            blocked[flush.dst] = true;
+            drop(inbox);
+            retained.push_back(flush);
+            continue;
+        }
+        ledger.charge(flush.bytes);
+        let dst = flush.dst;
+        inbox.push(flush);
+        drop(inbox);
+        deposited.push(dst);
+    }
+    state.pending_out = retained;
+    for dst in &deposited {
+        async_enqueue(engine, *dst);
+    }
+
+    if executed {
+        state
+            .round_nanos
+            .push(round_start.elapsed().as_nanos() as u64);
+    }
+    if state.completion_pending && state.pending_out.is_empty() {
+        state.completion_pending = false;
+        let deaths = std::mem::take(&mut state.unreported_deaths);
+        async_complete_wave(engine, control, deaths);
+    }
+    Ok(executed || !deposited.is_empty())
 }
 
 #[cfg(test)]

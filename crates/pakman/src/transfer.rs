@@ -144,6 +144,10 @@ pub struct ShardMailbox {
     inboxes: Vec<Vec<u32>>,
     /// Bytes routed shard→shard this iteration, flattened `src * shards + dst`.
     route_bytes: Vec<u64>,
+    /// Transfers routed shard→shard this iteration, same flattening — the
+    /// count companion of `route_bytes`, consumed when per-(src, dst) flush
+    /// records are synthesized from a barriered exchange.
+    route_counts: Vec<u64>,
     /// Transfers whose destination shard differs from their source shard.
     cross_shard_transfers: usize,
     /// Total transfers routed this iteration.
@@ -161,6 +165,7 @@ impl ShardMailbox {
         ShardMailbox {
             inboxes: vec![Vec::new(); shards],
             route_bytes: vec![0; shards * shards],
+            route_counts: vec![0; shards * shards],
             ..ShardMailbox::default()
         }
     }
@@ -178,6 +183,7 @@ impl ShardMailbox {
             inbox.clear();
         }
         self.route_bytes.iter_mut().for_each(|b| *b = 0);
+        self.route_counts.iter_mut().for_each(|c| *c = 0);
         self.cross_shard_transfers = 0;
         self.transfers = 0;
         self.bytes = 0;
@@ -202,6 +208,7 @@ impl ShardMailbox {
             let bytes = transfer.size_bytes() as u64;
             self.inboxes[dst].push(i as u32);
             self.route_bytes[src * shards + dst] += bytes;
+            self.route_counts[src * shards + dst] += 1;
             self.transfers += 1;
             self.bytes += bytes;
             if src != dst {
@@ -230,6 +237,11 @@ impl ShardMailbox {
     /// The flattened shard×shard byte matrix (`src * shard_count + dst`).
     pub fn route_bytes(&self) -> &[u64] {
         &self.route_bytes
+    }
+
+    /// Transfers routed from `src` shard to `dst` shard this iteration.
+    pub fn routed_transfers(&self, src: usize, dst: usize) -> u64 {
+        self.route_counts[src * self.inboxes.len() + dst]
     }
 
     /// Transfers routed this iteration.
@@ -389,6 +401,12 @@ mod tests {
         assert_eq!(mailbox.total_bytes(), expected_bytes);
         let matrix_sum: u64 = mailbox.route_bytes().iter().sum();
         assert_eq!(matrix_sum, expected_bytes);
+        // The count matrix is conserved too.
+        let count_sum: u64 = (0..shards)
+            .flat_map(|s| (0..shards).map(move |d| (s, d)))
+            .map(|(s, d)| mailbox.routed_transfers(s, d))
+            .sum();
+        assert_eq!(count_sum as usize, stream.len());
         let diag: u64 = (0..shards).map(|s| mailbox.routed_bytes(s, s)).sum();
         assert_eq!(mailbox.cross_shard_bytes(), expected_bytes - diag);
         // Re-routing after clear reproduces the same assignment.

@@ -5,6 +5,7 @@
 
 use crate::spec::{ScenarioSpec, ScheduleSpec};
 use nmp_pak_core::backend::BackendId;
+use nmp_pak_pakman::ShardSchedule;
 
 /// Identity of one scenario knob. Grid composition rejects a cell that binds
 /// the same key twice (except [`crate::Grid::plug`], where the left side
@@ -25,6 +26,8 @@ pub enum AxisKey {
     Threads,
     /// Shard count.
     Shards,
+    /// Shard compaction schedule (lock-step or async).
+    ShardSchedule,
     /// Batch schedule.
     BatchSchedule,
     /// Simulated hardware backend.
@@ -44,6 +47,7 @@ impl AxisKey {
             AxisKey::K => "k",
             AxisKey::Threads => "threads",
             AxisKey::Shards => "shards",
+            AxisKey::ShardSchedule => "shard_schedule",
             AxisKey::BatchSchedule => "batch_schedule",
             AxisKey::Backend => "backend",
             AxisKey::SpillBudget => "spill_budget",
@@ -74,6 +78,8 @@ pub enum Setting {
     Threads(usize),
     /// Shard count.
     Shards(usize),
+    /// Shard compaction schedule.
+    ShardSchedule(ShardSchedule),
     /// Batch schedule.
     BatchSchedule(ScheduleSpec),
     /// Hardware backend.
@@ -93,6 +99,7 @@ impl Setting {
             Setting::K(_) => AxisKey::K,
             Setting::Threads(_) => AxisKey::Threads,
             Setting::Shards(_) => AxisKey::Shards,
+            Setting::ShardSchedule(_) => AxisKey::ShardSchedule,
             Setting::BatchSchedule(_) => AxisKey::BatchSchedule,
             Setting::Backend(_) => AxisKey::Backend,
             Setting::SpillBudget(_) => AxisKey::SpillBudget,
@@ -109,6 +116,7 @@ impl Setting {
             Setting::K(v) => spec.k = v,
             Setting::Threads(v) => spec.threads = v,
             Setting::Shards(v) => spec.shards = v,
+            Setting::ShardSchedule(v) => spec.shard_schedule = v,
             Setting::BatchSchedule(v) => spec.schedule = v,
             Setting::Backend(v) => spec.backend = Some(v),
             Setting::SpillBudget(v) => spec.spill_budget = v,
@@ -181,6 +189,14 @@ impl Axis {
         Axis::new(
             AxisKey::Shards,
             values.iter().map(|&v| Setting::Shards(v)).collect(),
+        )
+    }
+
+    /// Shard compaction schedules.
+    pub fn shard_schedule(values: &[ShardSchedule]) -> Axis {
+        Axis::new(
+            AxisKey::ShardSchedule,
+            values.iter().map(|&v| Setting::ShardSchedule(v)).collect(),
         )
     }
 

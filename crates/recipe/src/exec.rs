@@ -18,6 +18,7 @@ use crate::Recipe;
 use nmp_pak_core::backend::{BackendId, BackendRegistry, BackendResult, SystemConfig};
 use nmp_pak_core::{NmpPakAssembler, Workload};
 use nmp_pak_memsim::NodeLayout;
+use nmp_pak_nmphw::NetworkModel;
 use nmp_pak_pakman::{
     AssemblyOutput, AssemblyStats, BatchAssembler, BatchAssemblyOutput, PakmanAssembler,
     PakmanConfig,
@@ -78,6 +79,18 @@ pub mod metric {
     pub const BACKEND_RUNTIME_NS: &str = "backend_runtime_ns";
     /// Simulated bandwidth utilization (0..=1).
     pub const BANDWIDTH_UTILIZATION: &str = "bandwidth_utilization";
+    /// Modeled lock-step critical path over the async critical path, both
+    /// rebuilt from one run's measured per-shard round times (≥ 1 by
+    /// construction; only defined for sharded one-shot cells).
+    pub const ASYNC_CRITICAL_PATH_SPEEDUP: &str = "async.critical_path_speedup";
+    /// Projected speedup on a 2-node cluster under the default network model.
+    pub const MULTINODE_2_SPEEDUP: &str = "multinode.nodes2_speedup";
+    /// Projected speedup on a 4-node cluster under the default network model.
+    pub const MULTINODE_4_SPEEDUP: &str = "multinode.nodes4_speedup";
+    /// Projected speedup on an 8-node cluster under the default network model.
+    pub const MULTINODE_8_SPEEDUP: &str = "multinode.nodes8_speedup";
+    /// Fraction of mailbox bytes crossing node boundaries at 8 nodes.
+    pub const MULTINODE_8_CROSS_FRACTION: &str = "multinode.nodes8_cross_fraction";
 
     /// Probe metric: current counting+construction vs the vendored baseline.
     pub const SPEEDUP_COUNTING_PLUS_CONSTRUCTION: &str = "speedup.counting_plus_construction";
@@ -427,6 +440,34 @@ fn standard_metrics(output: &CellOutput) -> Vec<(String, f64)> {
                     metric::CROSS_SHARD_FRACTION,
                     sharding.cross_shard_fraction(),
                 );
+                let async_cp = sharding.async_critical_path_nanos();
+                if async_cp > 0 {
+                    push(
+                        metric::ASYNC_CRITICAL_PATH_SPEEDUP,
+                        sharding.lockstep_critical_path_nanos() as f64 / async_cp as f64,
+                    );
+                }
+                // Project the measured one-host run onto small clusters: the
+                // network model charges the cell's own flush ledger, scaled
+                // over its measured compaction time.
+                let base_ns = t.compaction.as_nanos() as f64;
+                if sharding.shard_count > 1 && base_ns > 0.0 {
+                    let network = NetworkModel::default();
+                    for (nodes, name) in [
+                        (2usize, metric::MULTINODE_2_SPEEDUP),
+                        (4, metric::MULTINODE_4_SPEEDUP),
+                        (8, metric::MULTINODE_8_SPEEDUP),
+                    ] {
+                        let projection = network.project_multinode(sharding, nodes, base_ns);
+                        push(name, projection.speedup());
+                        if nodes == 8 {
+                            push(
+                                metric::MULTINODE_8_CROSS_FRACTION,
+                                projection.cross_node_fraction(),
+                            );
+                        }
+                    }
+                }
             }
             if let Some(spill) = &o.spill {
                 push(metric::BYTES_SPILLED, spill.bytes_spilled as f64);

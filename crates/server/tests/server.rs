@@ -6,7 +6,7 @@
 use std::time::Duration;
 
 use nmp_pak_genome::{ReadSimulator, ReferenceGenome, SequencerConfig, SyntheticSource};
-use nmp_pak_pakman::{PakmanAssembler, PakmanConfig, PakmanError};
+use nmp_pak_pakman::{PakmanAssembler, PakmanConfig, PakmanError, ShardConfig, ShardSchedule};
 use nmp_pak_server::{AssemblyServer, JobEvent, JobInput, JobPriority, JobSpec, ServerConfig};
 
 const EVENT_TIMEOUT: Duration = Duration::from_secs(60);
@@ -79,6 +79,46 @@ fn cancellation_mid_compaction_frees_the_reservation() {
     );
     // The terminal transition released the reservation (and the job's chained
     // internal budgets net to zero): the shared ledger is empty again.
+    assert_eq!(server.ledger().used(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn cancelling_an_async_sharded_job_drains_the_flush_ledger() {
+    // The async schedule holds in-flight mailbox flushes as ledger charges;
+    // cancelling mid-compaction must release every one of them along with the
+    // job's reservation, leaving the shared budget empty.
+    let server = AssemblyServer::start(ServerConfig {
+        workers: 2,
+        memory_cap_bytes: Some(1 << 30),
+    });
+    let async_config = PakmanConfig {
+        threads: 4,
+        shard_schedule: ShardSchedule::Async,
+        shards: ShardConfig { shard_count: 7 },
+        compaction_node_threshold: 0,
+        ..config()
+    };
+    let spec = JobSpec::new(synthetic_input(60_000, 5, 6), async_config).with_reservation(1 << 20);
+    let handle = server.submit(spec).expect("valid config");
+
+    wait_for_event(&handle, |e| matches!(e, JobEvent::Admitted { .. }));
+    wait_for_event(&handle, |e| {
+        matches!(e, JobEvent::CompactionIteration { .. })
+    });
+    handle.cancel();
+
+    let err = handle.join().expect_err("cancelled job must not complete");
+    match err {
+        PakmanError::Cancelled { ref at } => assert!(
+            at.starts_with("async"),
+            "cancellation mid-async-compaction must be observed at an async \
+             checkpoint, got {at:?}"
+        ),
+        ref other => panic!("unexpected outcome: {other:?}"),
+    }
+    // Every in-flight flush charge and stage budget unwound: the terminal
+    // transition leaves the shared ledger empty.
     assert_eq!(server.ledger().used(), 0);
     server.shutdown();
 }
